@@ -1,0 +1,181 @@
+package rfipad
+
+// One benchmark per table and figure of the paper's evaluation (§V),
+// plus the DESIGN.md ablations and micro-benchmarks of the pipeline's
+// hot paths. The table/figure benches print the regenerated rows on
+// their first iteration; run
+//
+//	go test -bench=. -benchmem
+//
+// for the quick pass, or cmd/rfipad-bench -full for paper-scale sample
+// sizes.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"rfipad/internal/core"
+	"rfipad/internal/dsp"
+	"rfipad/internal/experiments"
+)
+
+// benchCfg keeps the per-figure benches to a few seconds each.
+func benchCfg() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Trials = 2
+	cfg.Groups = 2
+	cfg.Parallelism = 4
+	return cfg
+}
+
+var benchPrintOnce sync.Map
+
+// runExperiment executes the named experiment b.N times and prints the
+// regenerated table once.
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, ok := experiments.Run(name, benchCfg())
+		if !ok {
+			b.Fatalf("unknown experiment %q", name)
+		}
+		if _, printed := benchPrintOnce.LoadOrStore(name, true); !printed {
+			b.Logf("\n%s", res)
+		}
+	}
+}
+
+// Evaluation tables and figures (§V).
+
+func BenchmarkFig02ChannelTraces(b *testing.B)    { runExperiment(b, "fig02") }
+func BenchmarkFig04TagDiversity(b *testing.B)     { runExperiment(b, "fig04") }
+func BenchmarkFig05DeviationBias(b *testing.B)    { runExperiment(b, "fig05") }
+func BenchmarkFig06Unwrap(b *testing.B)           { runExperiment(b, "fig06") }
+func BenchmarkFig07GrayMaps(b *testing.B)         { runExperiment(b, "fig07") }
+func BenchmarkFig08PhaseSymmetry(b *testing.B)    { runExperiment(b, "fig08") }
+func BenchmarkFig11PairInterference(b *testing.B) { runExperiment(b, "fig11") }
+func BenchmarkFig12ArrayShadowing(b *testing.B)   { runExperiment(b, "fig12") }
+func BenchmarkDeploymentGeometry(b *testing.B)    { runExperiment(b, "geometry") }
+func BenchmarkTable1LOSvsNLOS(b *testing.B)       { runExperiment(b, "table1") }
+func BenchmarkFig16Environments(b *testing.B)     { runExperiment(b, "fig16") }
+func BenchmarkFig17TxPower(b *testing.B)          { runExperiment(b, "fig17") }
+func BenchmarkFig18ReaderAngle(b *testing.B)      { runExperiment(b, "fig18") }
+func BenchmarkFig19ReaderDistance(b *testing.B)   { runExperiment(b, "fig19") }
+func BenchmarkFig20UserDiversity(b *testing.B)    { runExperiment(b, "fig20") }
+func BenchmarkFig21StrokeTimeCDF(b *testing.B)    { runExperiment(b, "fig21") }
+func BenchmarkFig22Segmentation(b *testing.B)     { runExperiment(b, "fig22") }
+func BenchmarkFig23LetterAccuracy(b *testing.B)   { runExperiment(b, "fig23") }
+func BenchmarkFig24ResponseTime(b *testing.B)     { runExperiment(b, "fig24") }
+func BenchmarkFig25KinectComparison(b *testing.B) { runExperiment(b, "fig25") }
+
+// Ablations (DESIGN.md §5).
+
+func BenchmarkAblationAccumulator(b *testing.B)  { runExperiment(b, "ablation-accumulator") }
+func BenchmarkAblationSuppression(b *testing.B)  { runExperiment(b, "ablation-suppression") }
+func BenchmarkAblationSegmentation(b *testing.B) { runExperiment(b, "ablation-segmentation") }
+func BenchmarkAblationWholeLetter(b *testing.B)  { runExperiment(b, "ablation-wholeletter") }
+func BenchmarkAblationFastMAC(b *testing.B)      { runExperiment(b, "ablation-fastmac") }
+func BenchmarkAblationHopping(b *testing.B)      { runExperiment(b, "ablation-hopping") }
+func BenchmarkMotionConfusion(b *testing.B)      { runExperiment(b, "confusion") }
+
+// Micro-benchmarks of the pipeline's hot paths.
+
+// benchCapture synthesizes one stroke capture for reuse across
+// micro-bench iterations.
+func benchCapture(b *testing.B) (*Simulator, *Calibration, []Reading, time.Duration) {
+	b.Helper()
+	sim, err := NewSimulator(SimulatorConfig{Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal, err := sim.Calibrate(3 * time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	readings, dur := sim.PerformMotion(M(Vertical, Forward), 77)
+	return sim, cal, readings, dur
+}
+
+func BenchmarkPipelineRecognizeStream(b *testing.B) {
+	sim, cal, readings, dur := benchCapture(b)
+	p := sim.NewPipeline(cal)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := p.RecognizeStream(readings, nil, 0, dur+time.Second)
+		if len(results) == 0 {
+			b.Fatal("no spans")
+		}
+	}
+}
+
+func BenchmarkDisturbanceMap(b *testing.B) {
+	sim, cal, readings, _ := benchCapture(b)
+	_ = sim
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.DisturbanceMap(readings, cal, core.DisturbanceOptions{})
+	}
+}
+
+func BenchmarkSegmenter(b *testing.B) {
+	sim, cal, readings, dur := benchCapture(b)
+	_ = sim
+	seg := core.NewSegmenter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if spans := seg.Segment(readings, cal, 0, dur+time.Second); len(spans) == 0 {
+			b.Fatal("no spans")
+		}
+	}
+}
+
+func BenchmarkOtsuBinarize(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	vals := make([]float64, 25)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	for _, i := range []int{2, 7, 12, 17, 22} {
+		vals[i] = 10 + rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dsp.OtsuBinarize(vals)
+	}
+}
+
+func BenchmarkPhaseUnwrap(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	phases := make([]float64, 200)
+	x := 0.0
+	for i := range phases {
+		x += rng.Float64() * 0.4
+		phases[i] = dsp.Wrap(x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dsp.Unwrap(phases)
+	}
+}
+
+func BenchmarkSimulatedCapture(b *testing.B) {
+	sim, _, _, _ := benchCapture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.PerformMotion(M(Horizontal, Forward), int64(i))
+	}
+}
+
+func BenchmarkStreamingIngest(b *testing.B) {
+	sim, cal, readings, dur := benchCapture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := sim.NewRecognizer(cal)
+		for _, r := range readings {
+			rec.Ingest(r)
+		}
+		rec.Flush(dur + 2*time.Second)
+	}
+}

@@ -1,0 +1,75 @@
+// Command rfipad-bench regenerates every table and figure of the
+// paper's evaluation (§V) plus the DESIGN.md ablations.
+//
+// Usage:
+//
+//	rfipad-bench -list
+//	rfipad-bench                 # quick pass over every experiment
+//	rfipad-bench -full           # paper-scale sample sizes (slow)
+//	rfipad-bench -run table1     # one experiment
+//	rfipad-bench -trials 10 -groups 3 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rfipad/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list     = flag.Bool("list", false, "list experiments and exit")
+		full     = flag.Bool("full", false, "use the paper's sample sizes (20 trials × 3 groups)")
+		name     = flag.String("run", "", "run a single experiment by name")
+		trials   = flag.Int("trials", 0, "override trials per motion per group")
+		groups   = flag.Int("groups", 0, "override independent deployment groups")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		parallel = flag.Int("parallel", 4, "concurrent groups")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.List() {
+			fmt.Printf("%-22s %s\n", e.Name, e.Description)
+		}
+		return 0
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *full {
+		cfg = experiments.PaperConfig()
+	}
+	cfg.Seed = *seed
+	cfg.Parallelism = *parallel
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *groups > 0 {
+		cfg.Groups = *groups
+	}
+
+	if *name != "" {
+		start := time.Now()
+		res, ok := experiments.Run(*name, cfg)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *name)
+			return 2
+		}
+		fmt.Printf("=== %s (%v)\n%s\n", res.Name(), time.Since(start).Round(time.Millisecond), res)
+		return 0
+	}
+
+	for _, e := range experiments.List() {
+		start := time.Now()
+		res, _ := experiments.Run(e.Name, cfg)
+		fmt.Printf("=== %s (%v)\n%s\n", e.Name, time.Since(start).Round(time.Millisecond), res)
+	}
+	return 0
+}

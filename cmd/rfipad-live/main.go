@@ -1,0 +1,111 @@
+// Command rfipad-live is the backend of the paper's setup: it connects
+// to a reader daemon (rfipad-readerd), calibrates the diversity
+// suppression from the static prelude, and recognizes strokes and
+// letters online as reports stream in.
+//
+// Usage:
+//
+//	rfipad-live -connect 127.0.0.1:5084 -calib 3s
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rfipad"
+	"rfipad/internal/llrp"
+	"rfipad/internal/tagmodel"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr  = flag.String("connect", "127.0.0.1:5084", "reader daemon address")
+		calib = flag.Duration("calib", 3*time.Second, "length of the static prelude used for calibration")
+		rows  = flag.Int("rows", 5, "tag array rows")
+		cols  = flag.Int("cols", 5, "tag array columns")
+	)
+	flag.Parse()
+
+	client, err := llrp.Dial(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer client.Close()
+	if err := client.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("connected to %s, calibrating from the first %v...\n", *addr, *calib)
+
+	grid := rfipad.Grid{Rows: *rows, Cols: *cols}
+
+	// Phase 1: accumulate the static prelude and calibrate.
+	var static []rfipad.Reading
+	var cal *rfipad.Calibration
+	var rec *rfipad.Recognizer
+	var lastTime time.Duration
+	letters := ""
+
+	handle := func(evs []rfipad.Event) {
+		for _, ev := range evs {
+			switch ev.Kind {
+			case rfipad.StrokeDetected:
+				fmt.Printf("stroke %-8v span %v–%v\n", ev.Stroke.Motion,
+					ev.Span.Start.Round(10*time.Millisecond), ev.Span.End.Round(10*time.Millisecond))
+			case rfipad.LetterDeduced:
+				fmt.Printf("letter %q\n", ev.Letter)
+				letters += string(ev.Letter)
+			}
+		}
+	}
+
+	for {
+		batch, err := client.NextReports()
+		if errors.Is(err, llrp.ErrStreamEnded) {
+			break
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for _, rep := range batch {
+			reading := rfipad.Reading{
+				TagIndex: tagmodel.SerialOf(rep.EPC) - 1,
+				EPC:      rep.EPC,
+				Time:     rep.Timestamp,
+				Phase:    rep.PhaseRad,
+				RSS:      rep.RSSdBm,
+				Doppler:  rep.DopplerHz,
+			}
+			lastTime = reading.Time
+			if cal == nil {
+				static = append(static, reading)
+				if reading.Time >= *calib {
+					c, err := rfipad.Calibrate(static, grid.NumTags())
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "calibration failed: %v\n", err)
+						return 1
+					}
+					cal = c
+					rec = rfipad.NewRecognizer(rfipad.NewPipeline(grid, cal), nil)
+					fmt.Println("calibrated; recognizing online")
+				}
+				continue
+			}
+			handle(rec.Ingest(reading))
+		}
+	}
+	if rec != nil {
+		handle(rec.Flush(lastTime + 2*time.Second))
+	}
+	fmt.Printf("stream ended; recognized %q\n", letters)
+	return 0
+}

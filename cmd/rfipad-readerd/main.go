@@ -1,0 +1,170 @@
+// Command rfipad-readerd is the reader daemon: it plays the role of
+// the Impinj reader + its host link in the paper's setup (§IV-A). It
+// simulates a full RFIPad deployment — a 3 s static prelude for
+// calibration followed by a writer air-writing a word — and streams
+// the resulting tag reports to connected backends over the LLRP-style
+// TCP protocol in internal/llrp.
+//
+// Usage:
+//
+//	rfipad-readerd -listen 127.0.0.1:5084 -word HELLO -speed 4
+//
+// Pair it with rfipad-live, which connects, calibrates from the
+// prelude, and recognizes the strokes online.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rfipad"
+	"rfipad/internal/llrp"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		listen = flag.String("listen", "127.0.0.1:5084", "TCP listen address")
+		word   = flag.String("word", "HI", "word the simulated writer performs")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		speed  = flag.Float64("speed", 1, "replay speed factor (higher = faster than real time)")
+		batch  = flag.Duration("batch", 50*time.Millisecond, "report batching window")
+		once   = flag.Bool("once", false, "exit after the first client finishes")
+	)
+	flag.Parse()
+	if *speed <= 0 {
+		fmt.Fprintln(os.Stderr, "speed must be positive")
+		return 2
+	}
+
+	reports, err := synthesize(*seed, strings.ToUpper(*word))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("synthesized %d reports covering %v (word %q)\n",
+		len(reports), reports[len(reports)-1].Timestamp.Round(time.Millisecond), strings.ToUpper(*word))
+
+	done := make(chan struct{}, 1)
+	srv := llrp.NewServer(func() llrp.ReportSource {
+		return &pacedSource{
+			reports: reports,
+			batch:   *batch,
+			speed:   *speed,
+			done:    done,
+		}
+	})
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("listening on %s\n", l.Addr())
+	if *once {
+		go func() {
+			<-done
+			// Give the completion event time to flush.
+			time.Sleep(200 * time.Millisecond)
+			srv.Close()
+		}()
+	}
+	if err := srv.Serve(l); err != nil && !isClosed(err) {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+func isClosed(err error) bool {
+	return strings.Contains(err.Error(), "use of closed network connection") ||
+		strings.Contains(err.Error(), "closed")
+}
+
+// synthesize builds the full capture: static prelude + the word.
+func synthesize(seed int64, word string) ([]llrp.TagReport, error) {
+	sim, err := rfipad.NewSimulator(rfipad.SimulatorConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	var reports []llrp.TagReport
+	add := func(rs []rfipad.Reading, offset time.Duration) time.Duration {
+		end := offset
+		for _, r := range rs {
+			ts := offset + r.Time
+			reports = append(reports, llrp.TagReport{
+				EPC:       r.EPC,
+				AntennaID: 1,
+				PhaseRad:  r.Phase,
+				RSSdBm:    r.RSS,
+				DopplerHz: r.Doppler,
+				Timestamp: ts,
+			})
+			if ts > end {
+				end = ts
+			}
+		}
+		return end
+	}
+	offset := add(sim.CollectStatic(3*time.Second), 0)
+	for i, ch := range word {
+		rs, _, err := sim.WriteLetter(ch, seed*100+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		// A couple of quiet seconds between letters so the online
+		// recognizer can close each one.
+		offset = add(rs, offset+2*time.Second)
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Timestamp < reports[j].Timestamp })
+	return reports, nil
+}
+
+// pacedSource replays the synthesized reports in batches at the
+// configured speed.
+type pacedSource struct {
+	reports []llrp.TagReport
+	batch   time.Duration
+	speed   float64
+
+	mu      sync.Mutex
+	pos     int
+	started time.Time
+	done    chan struct{}
+}
+
+// Next implements llrp.ReportSource.
+func (s *pacedSource) Next() ([]llrp.TagReport, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pos >= len(s.reports) {
+		select {
+		case s.done <- struct{}{}:
+		default:
+		}
+		return nil, false
+	}
+	if s.started.IsZero() {
+		s.started = time.Now()
+	}
+	// Pace: wait until the batch's stream time has elapsed in scaled
+	// wall time.
+	cut := s.reports[s.pos].Timestamp + s.batch
+	wait := time.Duration(float64(cut)/s.speed) - time.Since(s.started)
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+	start := s.pos
+	for s.pos < len(s.reports) && s.reports[s.pos].Timestamp < cut {
+		s.pos++
+	}
+	return s.reports[start:s.pos], true
+}

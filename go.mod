@@ -1,0 +1,3 @@
+module rfipad
+
+go 1.22

@@ -1,0 +1,26 @@
+package core
+
+import "time"
+
+// BatchResult pairs a detected span with its recognition.
+type BatchResult struct {
+	Span   Span
+	Result MotionResult
+}
+
+// RecognizeStream runs offline recognition over a complete capture:
+// segment the stream, then recognize each detected span. Spans whose
+// windows fail recognition are still reported (Result.Ok false) so
+// callers can count false positives.
+func (p *Pipeline) RecognizeStream(readings []Reading, seg *Segmenter, start, end time.Duration) []BatchResult {
+	if seg == nil {
+		seg = NewSegmenter()
+	}
+	spans := seg.Segment(readings, p.Cal, start, end)
+	out := make([]BatchResult, 0, len(spans))
+	for _, sp := range spans {
+		res := p.RecognizeWindow(window(readings, sp.Start, sp.End))
+		out = append(out, BatchResult{Span: sp, Result: res})
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rfipad/internal/dsp"
+)
+
+// minCalibrationReads is the minimum per-tag sample count for a usable
+// calibration (the paper interrogates each tag 100 times for Fig. 4/5;
+// far fewer suffice for stable means).
+const minCalibrationReads = 8
+
+// biasFloor keeps the inverse-bias weighting finite for unnaturally
+// quiet tags.
+const biasFloor = 0.005
+
+// Calibration holds the per-tag statistics RFIPad learns from a static
+// capture (no hand present): the mean phase θ̃_i that cancels tag
+// diversity (Eq. 6–8) and the deviation bias b_i whose inverse weights
+// out location diversity (Eq. 9–10). Calibration is environmental, not
+// behavioural: the paper's "no training period" claim refers to user
+// behaviour — this static capture is a one-off deployment step.
+type Calibration struct {
+	// MeanPhase is θ̃_i: the circular mean of each tag's static phase.
+	MeanPhase []float64
+	// Bias is b_i: each tag's static phase standard deviation.
+	Bias []float64
+	// TVRate is each tag's measured noise accumulation rate: the total
+	// variation its *static* suppressed phase stream gains per sample.
+	// The disturbance metric subtracts TVRate·n from a window's total
+	// variation, so a tag sitting in heavy ambient multipath does not
+	// masquerade as hand motion — the operational form of the paper's
+	// deviation-bias weighting.
+	TVRate []float64
+	// weights caches w_i of Eq. 9.
+	weights []float64
+}
+
+// Calibrate computes the per-tag statistics from a static capture.
+// Every tag must have at least minCalibrationReads reads.
+func Calibrate(static []Reading, numTags int) (*Calibration, error) {
+	if numTags <= 0 {
+		return nil, errors.New("core: calibrate: no tags")
+	}
+	series := byTag(static, numTags)
+	c := &Calibration{
+		MeanPhase: make([]float64, numTags),
+		Bias:      make([]float64, numTags),
+		TVRate:    make([]float64, numTags),
+		weights:   make([]float64, numTags),
+	}
+	var biasSum float64
+	for i, s := range series {
+		if len(s) < minCalibrationReads {
+			return nil, fmt.Errorf("core: calibrate: tag %d has %d reads, need >= %d", i, len(s), minCalibrationReads)
+		}
+		phases := make([]float64, len(s))
+		for j, r := range s {
+			phases[j] = r.Phase
+		}
+		c.MeanPhase[i] = dsp.CircularMean(phases)
+		b := dsp.CircularStd(phases)
+		if b < biasFloor {
+			b = biasFloor
+		}
+		c.Bias[i] = b
+		biasSum += b
+
+		// Noise accumulation rate: run the same smoothing + total
+		// variation the disturbance metric uses over this static
+		// stream.
+		suppressed := make([]float64, len(phases))
+		for j, p := range phases {
+			suppressed[j] = dsp.Wrap(p - c.MeanPhase[i])
+		}
+		sm := dsp.MovingAverage(dsp.Unwrap(suppressed), disturbanceSmoothWidth)
+		c.TVRate[i] = dsp.TotalVariation(sm) / float64(len(sm)-1)
+	}
+	for i := range c.weights {
+		c.weights[i] = c.Bias[i] / biasSum // Eq. 9
+	}
+	return c, nil
+}
+
+// Weight returns w_i of Eq. 9 for tag i.
+func (c *Calibration) Weight(i int) float64 { return c.weights[i] }
+
+// NumTags returns the calibrated population size.
+func (c *Calibration) NumTags() int { return len(c.MeanPhase) }
+
+// UniformCalibration builds a calibration with zero mean offsets and
+// equal weights — what the pipeline degenerates to when diversity
+// suppression is disabled (the "without suppression" arm of Fig. 16).
+func UniformCalibration(numTags int) *Calibration {
+	c := &Calibration{
+		MeanPhase: make([]float64, numTags),
+		Bias:      make([]float64, numTags),
+		TVRate:    make([]float64, numTags),
+		weights:   make([]float64, numTags),
+	}
+	for i := range c.weights {
+		c.Bias[i] = 1
+		c.weights[i] = 1 / float64(numTags)
+	}
+	return c
+}

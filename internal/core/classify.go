@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+
+	"rfipad/internal/stroke"
+)
+
+// ShapeResult is the geometric classification of a binarized
+// disturbance image.
+type ShapeResult struct {
+	// Shape is the recognized basic shape.
+	Shape stroke.Shape
+	// Box is the foreground bounding box in normalized canvas
+	// coordinates, padded by half a cell.
+	Box stroke.Rect
+	// Cells lists the foreground tag indices.
+	Cells []int
+	// CenterX, CenterY is the intensity-weighted centroid in
+	// normalized canvas coordinates — more robust to the disturbance
+	// bleeding past the stroke's footprint than the box centre, so the
+	// letter composer uses it for position disambiguation.
+	CenterX, CenterY float64
+	// Elongation is λ1/λ2 of the weighted scatter — diagnostic.
+	Elongation float64
+	// Ok is false when the image holds no classifiable foreground.
+	Ok bool
+}
+
+// Classification thresholds. A straight stroke across a 5×5 grid
+// lights a nearly degenerate cell set (elongation → ∞); an arc lights
+// a bent one (elongation ~1–4); a click concentrates its weight on one
+// tag, so its weighted RMS radius is well under a cell pitch while any
+// real stroke spans several cells.
+const (
+	lineElongation = 5.0
+	clickSpread    = 0.16 // weighted RMS radius, normalized canvas units
+	clickMaxCells  = 3
+)
+
+// ClassifyShape turns a disturbance image and its foreground mask into
+// a basic shape (§III-A3's "estimating the '1's in the tag array").
+// vals supplies per-cell weights (the grayscale intensities); it may be
+// nil for uniform weighting.
+func ClassifyShape(grid Grid, vals []float64, mask []bool) ShapeResult {
+	var cells []int
+	for i, m := range mask {
+		if m {
+			cells = append(cells, i)
+		}
+	}
+	if len(cells) == 0 {
+		return ShapeResult{}
+	}
+
+	// Weighted centroid and scatter in normalized coordinates.
+	var wSum, cx, cy float64
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, i := range cells {
+		x, y := grid.Norm(i)
+		w := 1.0
+		if vals != nil && vals[i] > 0 {
+			w = vals[i]
+		}
+		wSum += w
+		cx += w * x
+		cy += w * y
+		minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+		minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+	}
+	cx /= wSum
+	cy /= wSum
+
+	var sxx, syy, sxy float64
+	for _, i := range cells {
+		x, y := grid.Norm(i)
+		w := 1.0
+		if vals != nil && vals[i] > 0 {
+			w = vals[i]
+		}
+		dx, dy := x-cx, y-cy
+		sxx += w * dx * dx
+		syy += w * dy * dy
+		sxy += w * dx * dy
+	}
+	sxx /= wSum
+	syy /= wSum
+	sxy /= wSum
+
+	// Eigenvalues of the 2×2 scatter matrix.
+	tr := sxx + syy
+	det := sxx*syy - sxy*sxy
+	disc := math.Sqrt(math.Max(0, tr*tr/4-det))
+	l1 := tr/2 + disc
+	l2 := tr/2 - disc
+	elong := math.Inf(1)
+	if l2 > 1e-9 {
+		elong = l1 / l2
+	}
+
+	// Pad the bounding box by half a cell pitch.
+	padX, padY := 0.0, 0.0
+	if grid.Cols > 1 {
+		padX = 0.5 / float64(grid.Cols-1)
+	}
+	if grid.Rows > 1 {
+		padY = 0.5 / float64(grid.Rows-1)
+	}
+	box := stroke.R(
+		math.Max(0, minX-padX), math.Max(0, minY-padY),
+		math.Min(1, maxX+padX), math.Min(1, maxY+padY),
+	)
+
+	res := ShapeResult{Box: box, Cells: cells, Elongation: elong, CenterX: cx, CenterY: cy, Ok: true}
+
+	// Cell-count bounding box for the click test.
+	minR, minC := grid.Rows, grid.Cols
+	maxR, maxC := -1, -1
+	for _, i := range cells {
+		r, c := grid.RowCol(i)
+		minR, maxR = minInt(minR, r), maxInt(maxR, r)
+		minC, maxC = minInt(minC, c), maxInt(maxC, c)
+	}
+	wCells, hCells := maxC-minC+1, maxR-minR+1
+
+	spread := math.Sqrt(math.Max(0, l1) + math.Max(0, l2))
+	switch {
+	case spread < clickSpread,
+		len(cells) <= clickMaxCells && wCells <= 2 && hCells <= 2:
+		res.Shape = stroke.Click
+	case elong >= lineElongation:
+		// A straight stroke: bucket the principal-axis angle.
+		angle := 0.5 * math.Atan2(2*sxy, sxx-syy) // in (-π/2, π/2]
+		deg := angle * 180 / math.Pi
+		switch {
+		case math.Abs(deg) <= 22.5:
+			res.Shape = stroke.Horizontal
+		case math.Abs(deg) >= 67.5:
+			res.Shape = stroke.Vertical
+		case deg > 0:
+			// Positive slope in y-up coordinates: "/".
+			res.Shape = stroke.SlashUp
+		default:
+			res.Shape = stroke.SlashDown
+		}
+	default:
+		// Bent foreground: an arc. The mass sits on the closed side —
+		// left of the box centre for "⊂", right for "⊃".
+		if cx <= box.CenterX() {
+			res.Shape = stroke.ArcLeft
+		} else {
+			res.Shape = stroke.ArcRight
+		}
+	}
+	return res
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

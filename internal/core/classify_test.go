@@ -1,0 +1,180 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rfipad/internal/stroke"
+)
+
+// maskFromArt parses a 5-line ASCII grid (top line = highest row, as
+// MaskString renders) into a row-major mask.
+func maskFromArt(t *testing.T, art string) (Grid, []bool) {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(art), "\n")
+	rows := len(lines)
+	cols := len(strings.TrimSpace(lines[0]))
+	g := Grid{Rows: rows, Cols: cols}
+	mask := make([]bool, rows*cols)
+	for li, line := range lines {
+		line = strings.TrimSpace(line)
+		if len(line) != cols {
+			t.Fatalf("ragged art line %d", li)
+		}
+		r := rows - 1 - li
+		for c, ch := range line {
+			mask[r*cols+c] = ch == '#'
+		}
+	}
+	return g, mask
+}
+
+func TestClassifyShapes(t *testing.T) {
+	tests := []struct {
+		name string
+		art  string
+		want stroke.Shape
+	}{
+		{"vertical-col2", `
+			..#..
+			..#..
+			..#..
+			..#..
+			..#..`, stroke.Vertical},
+		{"vertical-wobbly", `
+			..#..
+			..#..
+			.##..
+			.#...
+			.#...`, stroke.Vertical},
+		{"horizontal-row2", `
+			.....
+			.....
+			#####
+			.....
+			.....`, stroke.Horizontal},
+		{"slash-up", `
+			....#
+			...#.
+			..#..
+			.#...
+			#....`, stroke.SlashUp},
+		{"slash-down", `
+			#....
+			.#...
+			..#..
+			...#.
+			....#`, stroke.SlashDown},
+		{"arc-left", `
+			.##..
+			#....
+			#....
+			#....
+			.##..`, stroke.ArcLeft},
+		{"arc-right", `
+			..##.
+			....#
+			....#
+			....#
+			..##.`, stroke.ArcRight},
+		{"click-single", `
+			.....
+			.....
+			..#..
+			.....
+			.....`, stroke.Click},
+		{"click-blob", `
+			.....
+			.##..
+			.#...
+			.....
+			.....`, stroke.Click},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, mask := maskFromArt(t, tt.art)
+			res := ClassifyShape(g, nil, mask)
+			if !res.Ok {
+				t.Fatal("not ok")
+			}
+			if res.Shape != tt.want {
+				t.Errorf("shape = %v, want %v\n%s", res.Shape, tt.want, MaskString(g, mask))
+			}
+		})
+	}
+}
+
+func TestClassifyEmptyMask(t *testing.T) {
+	g := Grid{Rows: 5, Cols: 5}
+	res := ClassifyShape(g, nil, make([]bool, 25))
+	if res.Ok {
+		t.Error("empty mask should not classify")
+	}
+}
+
+func TestClassifyBoxCoversStroke(t *testing.T) {
+	g, mask := maskFromArt(t, `
+		.....
+		.....
+		.....
+		.....
+		#####`)
+	res := ClassifyShape(g, nil, mask)
+	if res.Shape != stroke.Horizontal {
+		t.Fatalf("shape = %v", res.Shape)
+	}
+	// A bottom-row stroke: box hugs y≈0 and spans x.
+	if res.Box.Y1 > 0.4 {
+		t.Errorf("box top = %v, want near bottom", res.Box.Y1)
+	}
+	if res.Box.X0 > 0.05 || res.Box.X1 < 0.95 {
+		t.Errorf("box x = [%v,%v], want full span", res.Box.X0, res.Box.X1)
+	}
+}
+
+func TestClassifyWeightsBreakArcTie(t *testing.T) {
+	// A symmetric blob leans ⊂ or ⊃ depending on the intensity
+	// weights, not just the mask.
+	g := Grid{Rows: 5, Cols: 5}
+	mask := make([]bool, 25)
+	vals := make([]float64, 25)
+	// Ring of cells with heavier left side.
+	cells := map[int]float64{
+		1 + 0*5: 1, 3 + 0*5: 1,
+		0 + 1*5: 3, 0 + 2*5: 3, 0 + 3*5: 3,
+		4 + 1*5: 1, 4 + 2*5: 1, 4 + 3*5: 1,
+		1 + 4*5: 1, 3 + 4*5: 1,
+	}
+	for i, w := range cells {
+		mask[i] = true
+		vals[i] = w
+	}
+	res := ClassifyShape(g, vals, mask)
+	if res.Shape != stroke.ArcLeft {
+		t.Errorf("heavy-left ring = %v, want ⊂", res.Shape)
+	}
+}
+
+func TestGridImageRendering(t *testing.T) {
+	g := Grid{Rows: 2, Cols: 3}
+	img := NewGridImage(g, []float64{0, 0.5, 1, 0.2, 0.9, 0.1})
+	s := img.String()
+	if len(strings.Split(s, "\n")) != 2 {
+		t.Errorf("image string rows: %q", s)
+	}
+	mask := img.Binarize()
+	if len(mask) != 6 {
+		t.Errorf("mask len = %d", len(mask))
+	}
+	ms := MaskString(g, mask)
+	if !strings.ContainsAny(ms, "#.") {
+		t.Errorf("mask art = %q", ms)
+	}
+	// NewGridImage copies.
+	vals := []float64{1, 2}
+	img2 := NewGridImage(Grid{Rows: 1, Cols: 2}, vals)
+	vals[0] = 99
+	if img2.Vals[0] == 99 {
+		t.Error("NewGridImage aliases input")
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+// LargestComponent reduces a foreground mask to its largest
+// 8-connected component. A hand stroke disturbs a contiguous run of
+// tags, while interference flicker (arm shadowing in the LOS
+// deployment, multipath pops) lights isolated cells; dropping all but
+// the dominant component keeps the stroke and discards the specks.
+// Ties are broken by the summed cell weight (vals may be nil for
+// uniform weights). The input mask is not modified.
+func LargestComponent(grid Grid, mask []bool, vals []float64) []bool {
+	n := grid.NumTags()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var compWeight []float64
+	var compSize []int
+
+	var stack []int
+	for start := 0; start < n; start++ {
+		if !mask[start] || labels[start] >= 0 {
+			continue
+		}
+		id := len(compWeight)
+		compWeight = append(compWeight, 0)
+		compSize = append(compSize, 0)
+		stack = append(stack[:0], start)
+		labels[start] = id
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			compSize[id]++
+			w := 1.0
+			if vals != nil && vals[cur] > 0 {
+				w = vals[cur]
+			}
+			compWeight[id] += w
+			r, c := grid.RowCol(cur)
+			for dr := -1; dr <= 1; dr++ {
+				for dc := -1; dc <= 1; dc++ {
+					if dr == 0 && dc == 0 {
+						continue
+					}
+					nr, nc := r+dr, c+dc
+					if nr < 0 || nr >= grid.Rows || nc < 0 || nc >= grid.Cols {
+						continue
+					}
+					ni := nr*grid.Cols + nc
+					if mask[ni] && labels[ni] < 0 {
+						labels[ni] = id
+						stack = append(stack, ni)
+					}
+				}
+			}
+		}
+	}
+	if len(compWeight) <= 1 {
+		out := make([]bool, n)
+		copy(out, mask)
+		return out
+	}
+	best := 0
+	for id := 1; id < len(compWeight); id++ {
+		if compSize[id] > compSize[best] ||
+			(compSize[id] == compSize[best] && compWeight[id] > compWeight[best]) {
+			best = id
+		}
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = labels[i] == best
+	}
+	return out
+}

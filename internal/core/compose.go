@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+
+	"rfipad/internal/grammar"
+	"rfipad/internal/stroke"
+)
+
+// StrokeObservation is one recognized stroke ready for letter
+// composition: the motion plus its bounding box and weighted centroid
+// in canvas coordinates.
+type StrokeObservation struct {
+	Motion stroke.Motion
+	Box    stroke.Rect
+	// CenterX, CenterY is the intensity-weighted centroid; zero values
+	// fall back to the box centre.
+	CenterX, CenterY float64
+}
+
+// normalizeToLetterBox re-expresses the stroke boxes relative to their
+// union — the letter's own box — so they can be compared against the
+// grammar's unit-square layouts.
+func normalizeToLetterBox(obs []StrokeObservation) []grammar.Observed {
+	if len(obs) == 0 {
+		return nil
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, o := range obs {
+		minX = math.Min(minX, o.Box.X0)
+		minY = math.Min(minY, o.Box.Y0)
+		maxX = math.Max(maxX, o.Box.X1)
+		maxY = math.Max(maxY, o.Box.Y1)
+	}
+	w := maxX - minX
+	h := maxY - minY
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	out := make([]grammar.Observed, len(obs))
+	for i, o := range obs {
+		out[i] = grammar.Observed{
+			Motion: o.Motion,
+			Box: stroke.R(
+				(o.Box.X0-minX)/w, (o.Box.Y0-minY)/h,
+				(o.Box.X1-minX)/w, (o.Box.Y1-minY)/h,
+			),
+		}
+		if o.CenterX != 0 || o.CenterY != 0 {
+			out[i].CenterX = (o.CenterX - minX) / w
+			out[i].CenterY = (o.CenterY - minY) / h
+			out[i].HasCenter = true
+		}
+	}
+	return out
+}
+
+// ComposeLetter deduces the letter written as the given recognized
+// stroke sequence (§III-C2): stroke boxes are normalized to the
+// letter's own extent and matched against the grammar, with fuzzy
+// fallback for noisy direction estimates. ok is false when no letter
+// has the observed stroke count.
+func ComposeLetter(obs []StrokeObservation) (rune, bool) {
+	return grammar.DeduceFuzzy(normalizeToLetterBox(obs))
+}
+
+// ComposeLetterStrict is the exact-sequence variant (no fuzzy
+// fallback) used by the ablation benchmarks.
+func ComposeLetterStrict(obs []StrokeObservation) (rune, bool) {
+	return grammar.Deduce(normalizeToLetterBox(obs))
+}

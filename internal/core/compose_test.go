@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"rfipad/internal/stroke"
+)
+
+func TestComposeLetterH(t *testing.T) {
+	// Strokes in canvas coordinates (a sub-area of the plate): the
+	// composer must renormalize before grammar matching.
+	obs := []StrokeObservation{
+		{Motion: stroke.M(stroke.Vertical, stroke.Forward), Box: stroke.R(0.2, 0.2, 0.35, 0.8)},
+		{Motion: stroke.M(stroke.Horizontal, stroke.Forward), Box: stroke.R(0.2, 0.4, 0.8, 0.6)},
+		{Motion: stroke.M(stroke.Vertical, stroke.Forward), Box: stroke.R(0.65, 0.2, 0.8, 0.8)},
+	}
+	ch, ok := ComposeLetter(obs)
+	if !ok || ch != 'H' {
+		t.Errorf("ComposeLetter = %q,%v, want H", ch, ok)
+	}
+	if ch, ok := ComposeLetterStrict(obs); !ok || ch != 'H' {
+		t.Errorf("strict = %q,%v", ch, ok)
+	}
+}
+
+func TestComposeLetterDvsP(t *testing.T) {
+	// Identical sequences; the bowl's vertical extent decides.
+	dObs := []StrokeObservation{
+		{Motion: stroke.M(stroke.Vertical, stroke.Forward), Box: stroke.R(0.3, 0.1, 0.4, 0.9)},
+		{Motion: stroke.M(stroke.ArcRight, stroke.Forward), Box: stroke.R(0.35, 0.1, 0.75, 0.9)},
+	}
+	pObs := []StrokeObservation{
+		{Motion: stroke.M(stroke.Vertical, stroke.Forward), Box: stroke.R(0.3, 0.1, 0.4, 0.9)},
+		{Motion: stroke.M(stroke.ArcRight, stroke.Forward), Box: stroke.R(0.35, 0.55, 0.75, 0.9)},
+	}
+	if ch, ok := ComposeLetter(dObs); !ok || ch != 'D' {
+		t.Errorf("full bowl = %q,%v, want D", ch, ok)
+	}
+	if ch, ok := ComposeLetter(pObs); !ok || ch != 'P' {
+		t.Errorf("upper bowl = %q,%v, want P", ch, ok)
+	}
+}
+
+func TestComposeLetterFuzzyFallback(t *testing.T) {
+	// Wrong direction on one stroke: strict fails, fuzzy recovers.
+	obs := []StrokeObservation{
+		{Motion: stroke.M(stroke.Horizontal, stroke.Reverse), Box: stroke.R(0.1, 0.8, 0.9, 0.95)},
+		{Motion: stroke.M(stroke.Vertical, stroke.Forward), Box: stroke.R(0.45, 0.1, 0.55, 0.95)},
+	}
+	if _, ok := ComposeLetterStrict(obs); ok {
+		t.Error("strict should fail on wrong direction")
+	}
+	ch, ok := ComposeLetter(obs)
+	if !ok || ch != 'T' {
+		t.Errorf("fuzzy = %q,%v, want T", ch, ok)
+	}
+}
+
+func TestComposeLetterEmpty(t *testing.T) {
+	if _, ok := ComposeLetter(nil); ok {
+		t.Error("empty composition should fail")
+	}
+}
+
+func TestNormalizeToLetterBoxDegenerate(t *testing.T) {
+	// A single stroke with zero width/height must not divide by zero.
+	obs := []StrokeObservation{
+		{Motion: stroke.M(stroke.Vertical, stroke.Forward), Box: stroke.R(0.5, 0.2, 0.5, 0.8)},
+	}
+	norm := normalizeToLetterBox(obs)
+	if len(norm) != 1 {
+		t.Fatalf("norm len = %d", len(norm))
+	}
+	b := norm[0].Box
+	if b.X0 != 0 || b.Y0 != 0 {
+		t.Errorf("degenerate box = %+v", b)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"rfipad/internal/dsp"
+)
+
+// Suppression selects how much of the diversity-suppression machinery
+// (§III-A2) is applied — the knobs behind the Fig. 16 comparison and
+// the ablation benchmarks.
+type Suppression int
+
+// Suppression modes.
+const (
+	// SuppressFull applies both halves of §III-A2: θ̃_i mean
+	// subtraction (tag diversity) and per-tag noise-rate subtraction
+	// (location diversity). The subtraction is our operational form of
+	// Eq. 9–10's inverse-bias weighting: it likewise "appropriately
+	// weakens" the tags with larger deviation bias, but as a noise
+	// floor removed from the accumulated variation rather than a
+	// multiplicative distortion of the stroke's intensity profile.
+	SuppressFull Suppression = iota + 1
+	// SuppressMeanOnly subtracts the static mean but skips the
+	// location-diversity compensation.
+	SuppressMeanOnly
+	// SuppressNone uses raw phases with no compensation — the
+	// "without diversity suppression" arm of Fig. 16.
+	SuppressNone
+	// SuppressInverseWeight is the literal Eq. 10 form — divide each
+	// tag's accumulated variation by w_i — kept for the ablation
+	// benchmark comparing it against the subtractive form.
+	SuppressInverseWeight
+)
+
+// Accumulator selects the reading of Eq. 10's sum for the ablation
+// bench (DESIGN.md §5).
+type Accumulator int
+
+// Accumulator variants.
+const (
+	// AccumTotalVariation is Σ|θ'_{j+1}−θ'_j| — the reading consistent
+	// with Fig. 7 and the default.
+	AccumTotalVariation Accumulator = iota + 1
+	// AccumNetChange is the literal telescoped sum θ'_M−θ'_1.
+	AccumNetChange
+)
+
+// disturbanceSmoothWidth is the moving-average width applied to each
+// tag's unwrapped phase stream before accumulation.
+const disturbanceSmoothWidth = 3
+
+// DisturbanceOptions tunes DisturbanceMap.
+type DisturbanceOptions struct {
+	// Suppression defaults to SuppressFull.
+	Suppression Suppression
+	// Accumulator defaults to AccumTotalVariation.
+	Accumulator Accumulator
+}
+
+// DisturbanceMap computes I'_i (Eq. 10) for every tag from the readings
+// of one stroke window: per tag, the phase stream is mean-subtracted
+// (Eq. 8), unwrapped (§III-A3), accumulated, and divided by the tag's
+// weight. The result has one entry per tag; tags with fewer than two
+// reads in the window score zero.
+func DisturbanceMap(readings []Reading, cal *Calibration, opts DisturbanceOptions) []float64 {
+	if opts.Suppression == 0 {
+		opts.Suppression = SuppressFull
+	}
+	if opts.Accumulator == 0 {
+		opts.Accumulator = AccumTotalVariation
+	}
+	n := cal.NumTags()
+	series := byTag(readings, n)
+	out := make([]float64, n)
+	for i, s := range series {
+		if len(s) < 2 {
+			continue
+		}
+		phases := make([]float64, len(s))
+		for j, r := range s {
+			p := r.Phase
+			if opts.Suppression != SuppressNone {
+				// θ'_ij = θ_ij − θ̃_i (Eq. 8), wrapped back onto the
+				// reporting range before unwrapping.
+				p = dsp.Wrap(p - cal.MeanPhase[i])
+			}
+			phases[j] = p
+		}
+		// Smooth before accumulating: measurement noise would otherwise
+		// grow the total variation linearly with the read count, while
+		// the hand's disturbance is smooth at the MAC's sampling rate.
+		un := dsp.MovingAverage(dsp.Unwrap(phases), disturbanceSmoothWidth)
+		var acc float64
+		if opts.Accumulator == AccumNetChange {
+			if v := dsp.NetChange(un); v >= 0 {
+				acc = v
+			} else {
+				acc = -v
+			}
+		} else {
+			acc = dsp.TotalVariation(un)
+		}
+		switch opts.Suppression {
+		case SuppressFull:
+			// Subtract the tag's calibrated noise accumulation for a
+			// window of this many samples; what remains is
+			// hand-induced.
+			acc -= cal.TVRate[i] * float64(len(un)-1)
+			if acc < 0 {
+				acc = 0
+			}
+		case SuppressInverseWeight:
+			// I'_i = w_i⁻¹ · Σ … (Eq. 10 literal): quiet tags count
+			// for more, jittery tags are damped.
+			if w := cal.Weight(i); w > 0 {
+				acc /= w * float64(n) // ×n keeps the scale read-count independent
+			}
+		default:
+			// Mean-only and none keep uniform weighting.
+		}
+		out[i] = acc
+	}
+	return out
+}

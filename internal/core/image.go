@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"strings"
+
+	"rfipad/internal/dsp"
+)
+
+// GridImage is the grayscale "disturbance image" of §III-A3: one pixel
+// per tag, brightness = I'_i. The whiter a pixel, the more the hand
+// disturbed that tag.
+type GridImage struct {
+	Grid Grid
+	// Vals holds one value per tag, row-major.
+	Vals []float64
+}
+
+// NewGridImage wraps a disturbance map (copied).
+func NewGridImage(grid Grid, vals []float64) *GridImage {
+	cp := make([]float64, len(vals))
+	copy(cp, vals)
+	return &GridImage{Grid: grid, Vals: cp}
+}
+
+// Binarize applies Otsu's method (§III-A3, [21]) to the
+// range-compressed image and returns the foreground mask: true pixels
+// are where the hand moved.
+func (g *GridImage) Binarize() []bool { return dsp.OtsuBinarize(LogCompress(g.Vals)) }
+
+// LogCompress maps disturbance scores through ln(1 + v/median(v)),
+// a scale-invariant dynamic-range compression. The hand's disturbance
+// profile falls off along a stroke (the tags at the ends see less of
+// the pass than the middle), and Otsu on the raw scores can split that
+// gradient, keeping only the brightest cells; compressing the range
+// first keeps the whole stroke in one foreground cluster while the
+// idle cells stay well below it.
+func LogCompress(vals []float64) []float64 {
+	m := dsp.Median(vals)
+	out := make([]float64, len(vals))
+	if !(m > 0) {
+		copy(out, vals)
+		return out
+	}
+	for i, v := range vals {
+		if v < 0 {
+			v = 0
+		}
+		out[i] = math.Log1p(v / m)
+	}
+	return out
+}
+
+// Normalized returns the image rescaled to [0,1].
+func (g *GridImage) Normalized() []float64 { return dsp.Normalize(g.Vals) }
+
+// String renders the image as ASCII art (top row = highest row index,
+// matching the y-up writing orientation): ten brightness levels from
+// '.' to '@'.
+func (g *GridImage) String() string {
+	levels := []byte(".:-=+*#%8@")
+	norm := g.Normalized()
+	var b strings.Builder
+	for r := g.Grid.Rows - 1; r >= 0; r-- {
+		for c := 0; c < g.Grid.Cols; c++ {
+			v := norm[r*g.Grid.Cols+c]
+			idx := int(v * float64(len(levels)-1))
+			if idx < 0 {
+				idx = 0
+			} else if idx >= len(levels) {
+				idx = len(levels) - 1
+			}
+			b.WriteByte(levels[idx])
+		}
+		if r > 0 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// MaskString renders a binary mask as ASCII art ('#' foreground,
+// '.' background), top row = highest row index.
+func MaskString(grid Grid, mask []bool) string {
+	var b strings.Builder
+	for r := grid.Rows - 1; r >= 0; r-- {
+		for c := 0; c < grid.Cols; c++ {
+			if mask[r*grid.Cols+c] {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		if r > 0 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

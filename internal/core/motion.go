@@ -1,0 +1,156 @@
+package core
+
+import (
+	"rfipad/internal/geo"
+	"rfipad/internal/stroke"
+)
+
+// MotionResult is the full output of recognizing one stroke window.
+type MotionResult struct {
+	// Motion is the recognized motion (shape + direction).
+	Motion stroke.Motion
+	// Box is the stroke's bounding box in normalized canvas
+	// coordinates.
+	Box stroke.Rect
+	// CenterX, CenterY is the intensity-weighted centroid — the
+	// position information the letter composer uses for
+	// disambiguation (§III-C2).
+	CenterX, CenterY float64
+	// Image is the grayscale disturbance image (Fig. 7b).
+	Image *GridImage
+	// Mask is the Otsu foreground (Fig. 7c).
+	Mask []bool
+	// Troughs are the per-tag RSS troughs, in time order.
+	Troughs []TagTrough
+	// TravelDir is the fitted hand travel direction (unit, normalized
+	// canvas coordinates); zero when unavailable.
+	TravelDir geo.Vec2
+	// DirectionOK reports whether the direction came from RSS troughs
+	// (false means the default Forward was assumed).
+	DirectionOK bool
+	// Ok is false when the window contained no recognizable motion.
+	Ok bool
+}
+
+// Pipeline bundles the recognition configuration shared across
+// windows: the grid, the calibration, and the suppression options.
+type Pipeline struct {
+	Grid Grid
+	Cal  *Calibration
+	Opts DisturbanceOptions
+}
+
+// NewPipeline builds a recognition pipeline with full diversity
+// suppression.
+func NewPipeline(grid Grid, cal *Calibration) *Pipeline {
+	return &Pipeline{Grid: grid, Cal: cal}
+}
+
+// RecognizeWindow runs the §III pipeline over one stroke window's
+// readings: disturbance map → grayscale image → Otsu → shape
+// classification → RSS direction estimation.
+func (p *Pipeline) RecognizeWindow(readings []Reading) MotionResult {
+	vals := DisturbanceMap(readings, p.Cal, p.Opts)
+	img := NewGridImage(p.Grid, vals)
+	// Otsu runs on the range-compressed image so a stroke's intensity
+	// gradient stays in one foreground cluster; the geometric
+	// classifier weights cells by the raw scores so residual noise
+	// cells in the mask barely deflect the fit.
+	mask := LargestComponent(p.Grid, img.Binarize(), vals)
+	shape := ClassifyShape(p.Grid, vals, mask)
+	if !shape.Ok {
+		return MotionResult{Image: img, Mask: mask}
+	}
+
+	res := MotionResult{
+		Box:     shape.Box,
+		CenterX: shape.CenterX,
+		CenterY: shape.CenterY,
+		Image:   img,
+		Mask:    mask,
+		Ok:      true,
+	}
+
+	if shape.Shape == stroke.Click {
+		res.Motion = stroke.M(stroke.Click, 0)
+		res.Troughs = FindTagTroughs(readings, p.Grid.NumTags(), shape.Cells)
+		return res
+	}
+
+	dir, troughs, dirOK := EstimateDirection(readings, p.Grid, shape.Cells)
+	if shape.Shape == stroke.ArcLeft || shape.Shape == stroke.ArcRight {
+		// Arcs reverse course in x; endpoint displacement is the
+		// robust direction cue.
+		if d, ok := arcEndpointsDirection(p.Grid, troughs); ok {
+			dir, dirOK = d, true
+		}
+	}
+	res.Troughs = troughs
+	res.TravelDir = dir
+
+	// Position refinement (§III-C2: stroke positions come from tag
+	// IDs): the RSS troughs mark the tags the hand actually passed —
+	// a much tighter footprint than the phase disturbance, which
+	// bleeds a cell past the trail. With enough troughs, they define
+	// the stroke's box and centroid.
+	if len(troughs) >= 3 {
+		minX, minY := 2.0, 2.0
+		maxX, maxY := -1.0, -1.0
+		var wSum, cx, cy float64
+		for _, tr := range troughs {
+			x, y := p.Grid.Norm(tr.TagIndex)
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+			wSum += tr.DepthDB
+			cx += tr.DepthDB * x
+			cy += tr.DepthDB * y
+		}
+		padX, padY := 0.0, 0.0
+		if p.Grid.Cols > 1 {
+			padX = 0.5 / float64(p.Grid.Cols-1)
+		}
+		if p.Grid.Rows > 1 {
+			padY = 0.5 / float64(p.Grid.Rows-1)
+		}
+		res.Box = stroke.R(
+			maxf(0, minX-padX), maxf(0, minY-padY),
+			minf(1, maxX+padX), minf(1, maxY+padY),
+		)
+		res.CenterX = cx / wSum
+		res.CenterY = cy / wSum
+	}
+
+	d := stroke.Forward
+	if dirOK {
+		if sd, ok := DirectionFor(shape.Shape, dir); ok {
+			d = sd
+			res.DirectionOK = true
+		}
+	}
+	res.Motion = stroke.M(shape.Shape, d)
+	return res
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,86 @@
+// Package core implements RFIPad's recognition pipeline — the paper's
+// contribution (§III): diversity suppression of per-tag phase streams,
+// the accumulative phase-difference disturbance metric, image-assisted
+// motion recognition via Otsu thresholding, RSS-based direction
+// estimation, stroke segmentation from continuous phase streams, and
+// letter composition over the stroke grammar.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"rfipad/internal/tagmodel"
+)
+
+// Reading is one tag report as delivered by the reader: the tuple of
+// §II-B (ID, channel parameters, timestamp).
+type Reading struct {
+	// TagIndex is the tag's row-major index in the array.
+	TagIndex int
+	// EPC is the tag identifier from the air protocol.
+	EPC tagmodel.EPC
+	// Time is the read timestamp.
+	Time time.Duration
+	// Phase is the reported phase in [0, 2π).
+	Phase float64
+	// RSS is the reported signal strength in dBm.
+	RSS float64
+	// Doppler is the reported Doppler shift in Hz.
+	Doppler float64
+}
+
+// Grid describes the tag-array geometry the pipeline maps indices onto.
+type Grid struct {
+	Rows, Cols int
+}
+
+// NumTags returns the number of tags in the grid.
+func (g Grid) NumTags() int { return g.Rows * g.Cols }
+
+// RowCol converts a row-major tag index to grid coordinates.
+func (g Grid) RowCol(index int) (row, col int) {
+	return index / g.Cols, index % g.Cols
+}
+
+// Norm returns the tag's position in normalized canvas coordinates
+// (x right along columns, y up along rows, both in [0,1]).
+func (g Grid) Norm(index int) (x, y float64) {
+	r, c := g.RowCol(index)
+	if g.Cols > 1 {
+		x = float64(c) / float64(g.Cols-1)
+	}
+	if g.Rows > 1 {
+		y = float64(r) / float64(g.Rows-1)
+	}
+	return x, y
+}
+
+// byTag splits readings into per-tag series sorted by time. Readings
+// with out-of-range indices are dropped.
+func byTag(readings []Reading, numTags int) [][]Reading {
+	out := make([][]Reading, numTags)
+	for _, r := range readings {
+		if r.TagIndex < 0 || r.TagIndex >= numTags {
+			continue
+		}
+		out[r.TagIndex] = append(out[r.TagIndex], r)
+	}
+	for i := range out {
+		s := out[i]
+		sort.Slice(s, func(a, b int) bool { return s[a].Time < s[b].Time })
+	}
+	return out
+}
+
+// window extracts the readings with Time in [start, end), preserving
+// order.
+func window(readings []Reading, start, end time.Duration) []Reading {
+	var out []Reading
+	for _, r := range readings {
+		if r.Time >= start && r.Time < end {
+			out = append(out, r)
+		}
+	}
+	return out
+}

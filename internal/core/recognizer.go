@@ -1,0 +1,184 @@
+package core
+
+import (
+	"time"
+)
+
+// EventKind tags streaming recognizer outputs.
+type EventKind int
+
+// Event kinds.
+const (
+	// StrokeDetected is emitted once per recognized stroke.
+	StrokeDetected EventKind = iota + 1
+	// LetterDeduced is emitted when a quiet period closes a letter.
+	LetterDeduced
+)
+
+// Event is one streaming recognition output.
+type Event struct {
+	Kind EventKind
+	// At is the stream time the event was emitted.
+	At time.Duration
+	// Stroke carries the recognition result for StrokeDetected.
+	Stroke MotionResult
+	// Span is the detected stroke interval for StrokeDetected.
+	Span Span
+	// Letter carries the deduced character for LetterDeduced.
+	Letter rune
+	// LetterOK reports whether the composition succeeded.
+	LetterOK bool
+	// Strokes lists the observations composed into the letter.
+	Strokes []StrokeObservation
+}
+
+// Recognizer is the online engine: feed it readings as the reader
+// reports them and it emits stroke and letter events. It underlies the
+// "realtime reaction" requirement of §I and the response-time
+// evaluation of §V-D.
+type Recognizer struct {
+	pipeline *Pipeline
+	seg      *Segmenter
+
+	// ConfirmGap is how long the stream must stay quiet past a span's
+	// end before the span is considered closed (one segmentation
+	// window by default).
+	ConfirmGap time.Duration
+	// LetterGap is the quiet period that finalizes a letter.
+	LetterGap time.Duration
+
+	buf      []Reading
+	bufStart time.Duration
+	now      time.Duration
+	// emittedEnd is the end time of the last recognized span; spans
+	// starting before it are re-detections of already-emitted strokes
+	// (segment boundaries shift slightly as the buffer grows).
+	emittedEnd time.Duration
+	pending    []StrokeObservation
+	lastStroke time.Duration
+}
+
+// NewRecognizer builds a streaming recognizer.
+func NewRecognizer(p *Pipeline, seg *Segmenter) *Recognizer {
+	if seg == nil {
+		seg = NewSegmenter()
+	}
+	return &Recognizer{
+		pipeline:   p,
+		seg:        seg,
+		ConfirmGap: time.Duration(seg.WindowFrames) * seg.FrameLen,
+		// The letter gap must exceed the longest inter-stroke
+		// adjustment interval (~2 s for a slow writer).
+		LetterGap: 2500 * time.Millisecond,
+	}
+}
+
+// Ingest feeds one reading and returns any events it triggered.
+// Readings must arrive in non-decreasing time order.
+func (r *Recognizer) Ingest(rd Reading) []Event {
+	r.buf = append(r.buf, rd)
+	if rd.Time > r.now {
+		r.now = rd.Time
+	}
+	return r.poll(r.now)
+}
+
+// Flush declares the stream over at the given time, forcing any
+// pending stroke and letter out.
+func (r *Recognizer) Flush(at time.Duration) []Event {
+	if at < r.now {
+		at = r.now
+	}
+	// Push the horizon far enough that every span closes.
+	events := r.poll(at + r.ConfirmGap + time.Millisecond)
+	if len(r.pending) > 0 {
+		events = append(events, r.finishLetter(at)...)
+	}
+	return events
+}
+
+// streamWarmup is how much buffered context segmentation needs before
+// its adaptive thresholds are trustworthy; earlier polls are skipped.
+const streamWarmup = 2 * time.Second
+
+// minPreContext is the quiet lead a span must have inside the buffer:
+// a real stroke is always preceded by a lead-in or adjustment interval,
+// while threshold artefacts hug the buffer edge.
+const minPreContext = 800 * time.Millisecond
+
+// historyKeep is how much recognized history stays in the buffer after
+// a letter is finalized, anchoring the adaptive segmentation
+// thresholds for the next one.
+const historyKeep = 8 * time.Second
+
+// poll re-segments the buffer and emits every newly closed span, plus
+// a letter when the quiet gap has elapsed and nothing is in progress.
+func (r *Recognizer) poll(horizon time.Duration) []Event {
+	if horizon-r.bufStart < streamWarmup {
+		return nil
+	}
+	var events []Event
+	spans := r.seg.Segment(r.buf, r.pipeline.Cal, r.bufStart, horizon)
+	openSpan := false
+	for _, sp := range spans {
+		// Skip re-detections of spans already recognized: boundaries
+		// wobble by a frame or two as context accumulates.
+		if sp.Start < r.emittedEnd-2*r.seg.FrameLen {
+			continue
+		}
+		if sp.Start-r.bufStart < minPreContext {
+			continue
+		}
+		if sp.End+r.ConfirmGap > horizon {
+			openSpan = true
+			break // still open: more data may extend it
+		}
+		res := r.pipeline.RecognizeWindow(window(r.buf, sp.Start, sp.End))
+		r.emittedEnd = sp.End
+		r.lastStroke = sp.End
+		if !res.Ok {
+			continue
+		}
+		r.pending = append(r.pending, StrokeObservation{Motion: res.Motion, Box: res.Box, CenterX: res.CenterX, CenterY: res.CenterY})
+		events = append(events, Event{
+			Kind:   StrokeDetected,
+			At:     horizon,
+			Stroke: res,
+			Span:   sp,
+		})
+	}
+	if len(r.pending) > 0 && !openSpan && horizon-r.lastStroke >= r.LetterGap {
+		events = append(events, r.finishLetter(horizon)...)
+	}
+	return events
+}
+
+// finishLetter composes the pending strokes and resets for the next
+// letter.
+func (r *Recognizer) finishLetter(at time.Duration) []Event {
+	ch, ok := ComposeLetter(r.pending)
+	ev := Event{
+		Kind:     LetterDeduced,
+		At:       at,
+		Letter:   ch,
+		LetterOK: ok,
+		Strokes:  r.pending,
+	}
+	// Trim old history so the buffer stays bounded, but keep several
+	// seconds before the cut: the segmenter's adaptive thresholds need
+	// real strokes in context, or quiet-period ripple right after a
+	// letter would read as activity.
+	cut := r.lastStroke - historyKeep
+	if cut > r.bufStart {
+		var kept []Reading
+		for _, rd := range r.buf {
+			if rd.Time >= cut {
+				kept = append(kept, rd)
+			}
+		}
+		r.buf = kept
+		r.bufStart = cut
+	}
+	r.pending = nil
+	return []Event{ev}
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"time"
+
+	"rfipad/internal/dsp"
+)
+
+// Segmenter separates strokes from a continuous phase stream by
+// detecting the "adjustment intervals" between them (§III-C1): the
+// stream is cut into 100 ms frames, each frame's RMS phase disturbance
+// is computed (Eq. 11), frames are grouped into 0.5 s windows, and a
+// window is part of a stroke when the standard deviation of its frame
+// RMS values exceeds a threshold (Eq. 12).
+type Segmenter struct {
+	// FrameLen is the frame length (default 100 ms, §III-C1).
+	FrameLen time.Duration
+	// WindowFrames is the number of frames per window (default 5,
+	// i.e. 0.5 s).
+	WindowFrames int
+	// Threshold is `thre` of Eq. 12, in radians. The paper determines
+	// it empirically for its deployment; a zero value selects the
+	// adaptive default, which scales with the capture's own quiet
+	// noise level (adaptiveK × the median window std, floored).
+	Threshold float64
+	// MergeGap joins detected spans separated by less than this gap.
+	// A stroke's phase rotation stalls briefly where the reflected
+	// path length is stationary (the symmetric trends of Fig. 8),
+	// which can split one stroke in two; an adjustment interval is
+	// much longer than this. Default 300 ms.
+	MergeGap time.Duration
+	// MinSpan drops detected spans shorter than this: the briefest
+	// real stroke lasts several frames (the paper treats a 0.5 s
+	// window as the detection unit), while interference pops last one
+	// or two. Default 400 ms.
+	MinSpan time.Duration
+}
+
+// Adaptive-threshold tuning: the quietest quarter of a capture's
+// windows tracks the noise floor even when strokes cover most of the
+// session; stroke windows stand an order of magnitude above it.
+const (
+	adaptiveK        = 3.0
+	adaptiveQuantile = 0.25
+	thresholdFloor   = 0.02
+	// adaptivePeakFrac scales the threshold with the capture's own
+	// dynamic range: transition ripple a few × above the noise floor
+	// must not seed spans when real strokes stand 20–50× above it.
+	adaptivePeakFrac = 0.25
+)
+
+// NewSegmenter returns a Segmenter with the paper's parameters and the
+// adaptive threshold.
+func NewSegmenter() *Segmenter {
+	return &Segmenter{
+		FrameLen:     100 * time.Millisecond,
+		WindowFrames: 5,
+		MergeGap:     300 * time.Millisecond,
+		MinSpan:      400 * time.Millisecond,
+	}
+}
+
+// Span is one detected stroke interval.
+type Span struct {
+	Start, End time.Duration
+}
+
+// Duration returns the span length.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// frameRMS computes Eq. 11 per frame: the sum over tags of the RMS of
+// the mean-subtracted phase samples in the frame.
+func (g *Segmenter) frameRMS(readings []Reading, cal *Calibration, start, end time.Duration) []float64 {
+	nFrames := int((end - start) / g.FrameLen)
+	if nFrames <= 0 {
+		return nil
+	}
+	n := cal.NumTags()
+	// Collect θ' samples per (frame, tag).
+	perFrame := make([][][]float64, nFrames)
+	for i := range perFrame {
+		perFrame[i] = make([][]float64, n)
+	}
+	for _, r := range readings {
+		if r.Time < start || r.Time >= end || r.TagIndex < 0 || r.TagIndex >= n {
+			continue
+		}
+		f := int((r.Time - start) / g.FrameLen)
+		if f >= nFrames {
+			continue
+		}
+		// p_ij: the diversity-suppressed phase, as a signed excursion
+		// around the tag's static centre.
+		p := dsp.WrapSigned(r.Phase - cal.MeanPhase[r.TagIndex])
+		perFrame[f][r.TagIndex] = append(perFrame[f][r.TagIndex], p)
+	}
+	// Eq. 11 runs over the diversity-suppressed streams: each tag's
+	// contribution is normalized by its relative deviation bias, so a
+	// tag sitting in heavy multipath cannot drown the frame statistic
+	// (with UniformCalibration all factors are 1 — the unsuppressed
+	// arm of Fig. 16).
+	// The factor only attenuates (≤1): a tag noisier than typical is
+	// damped toward the typical level; quiet tags pass unchanged.
+	typBias := dsp.Median(cal.Bias)
+	factor := make([]float64, n)
+	for i := range factor {
+		f := 1.0
+		if cal.Bias[i] > 0 && typBias > 0 && cal.Bias[i] > typBias {
+			f = typBias / cal.Bias[i]
+			if f < 1.0/32 {
+				f = 1.0 / 32
+			}
+		}
+		factor[i] = f
+	}
+	out := make([]float64, nFrames)
+	for f := range perFrame {
+		var sum float64
+		for i := 0; i < n; i++ {
+			if len(perFrame[f][i]) == 0 {
+				continue
+			}
+			sum += factor[i] * dsp.RMS(perFrame[f][i])
+		}
+		out[f] = sum
+	}
+	return out
+}
+
+// Segment detects the stroke spans in the readings between start and
+// end. The returned spans have frame granularity.
+func (g *Segmenter) Segment(readings []Reading, cal *Calibration, start, end time.Duration) []Span {
+	rms := g.frameRMS(readings, cal, start, end)
+	if len(rms) == 0 {
+		return nil
+	}
+	w := g.WindowFrames
+	if w <= 0 {
+		w = 5
+	}
+
+	// Sliding window std(RMS): frame f is "active" if any window
+	// containing it exceeds the threshold. Sliding (rather than the
+	// strictly tiled windows of the paper) removes the 0.5 s
+	// quantization of stroke boundaries while keeping Eq. 12 intact.
+	stds := make([]float64, 0, len(rms))
+	for f := 0; f+w <= len(rms); f++ {
+		stds = append(stds, dsp.Std(rms[f:f+w]))
+	}
+	thre := g.effectiveThreshold(stds)
+	active := make([]bool, len(rms))
+	var seeded []float64
+	for f := 0; f+w <= len(rms); f++ {
+		if stds[f] > thre {
+			for k := f; k < f+w; k++ {
+				if !active[k] {
+					active[k] = true
+					seeded = append(seeded, rms[k])
+				}
+			}
+		}
+	}
+
+	if len(seeded) == 0 {
+		return nil
+	}
+
+	// Bridging: Eq. 12's std(RMS) rule fires on transitions but can
+	// dip mid-stroke when the disturbance plateaus. A frame whose RMS
+	// sits above the midpoint between the quiet floor and the typical
+	// active level is part of a stroke too.
+	quiet := dsp.NewCDF(rms).Quantile(adaptiveQuantile)
+	bridge := (quiet + dsp.Median(seeded)) / 2
+	for f, v := range rms {
+		if v > bridge {
+			active[f] = true
+		}
+	}
+
+	// Trim the edges of each active run back to the bridge level: this
+	// sharpens boundaries that the window-level rule blurs and discards
+	// runs that were only transition ripple.
+	var spans []Span
+	f := 0
+	for f < len(active) {
+		if !active[f] {
+			f++
+			continue
+		}
+		lo := f
+		for f < len(active) && active[f] {
+			f++
+		}
+		hi := f // exclusive
+		for lo < hi && rms[lo] <= bridge {
+			lo++
+		}
+		for hi > lo && rms[hi-1] <= bridge {
+			hi--
+		}
+		if hi <= lo {
+			continue
+		}
+		spans = append(spans, Span{
+			Start: start + time.Duration(lo)*g.FrameLen,
+			End:   start + time.Duration(hi)*g.FrameLen,
+		})
+	}
+	merged := g.merge(spans)
+	if g.MinSpan <= 0 {
+		return merged
+	}
+	kept := merged[:0]
+	for _, sp := range merged {
+		if sp.Duration() >= g.MinSpan {
+			kept = append(kept, sp)
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	return kept
+}
+
+// merge joins spans closer than MergeGap.
+func (g *Segmenter) merge(spans []Span) []Span {
+	if len(spans) < 2 || g.MergeGap <= 0 {
+		return spans
+	}
+	out := spans[:1]
+	for _, sp := range spans[1:] {
+		last := &out[len(out)-1]
+		if sp.Start-last.End <= g.MergeGap {
+			last.End = sp.End
+		} else {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// effectiveThreshold resolves Eq. 12's `thre`: the configured constant
+// when set, otherwise the adaptive default derived from this capture's
+// window stds.
+func (g *Segmenter) effectiveThreshold(stds []float64) float64 {
+	if g.Threshold > 0 {
+		return g.Threshold
+	}
+	thre := adaptiveK * dsp.NewCDF(stds).Quantile(adaptiveQuantile)
+	if _, peak := dsp.MinMax(stds); peak*adaptivePeakFrac > thre {
+		thre = peak * adaptivePeakFrac
+	}
+	if !(thre > thresholdFloor) { // also catches NaN
+		thre = thresholdFloor
+	}
+	return thre
+}
+
+// EffectiveThreshold reports the Eq. 12 threshold that Segment would
+// use on this capture — diagnostic for tests and figure benches.
+func (g *Segmenter) EffectiveThreshold(readings []Reading, cal *Calibration, start, end time.Duration) float64 {
+	return g.effectiveThreshold(g.WindowStdTrace(readings, cal, start, end))
+}
+
+// FrameRMSTrace exposes the per-frame RMS values (Fig. 9's middle
+// panel) for diagnostics and the figure benchmarks.
+func (g *Segmenter) FrameRMSTrace(readings []Reading, cal *Calibration, start, end time.Duration) []float64 {
+	return g.frameRMS(readings, cal, start, end)
+}
+
+// WindowStdTrace exposes std(RMS) per sliding window position (Fig. 9's
+// bottom panel).
+func (g *Segmenter) WindowStdTrace(readings []Reading, cal *Calibration, start, end time.Duration) []float64 {
+	rms := g.frameRMS(readings, cal, start, end)
+	w := g.WindowFrames
+	if w <= 0 || len(rms) < w {
+		return nil
+	}
+	out := make([]float64, len(rms)-w+1)
+	for f := range out {
+		out[f] = dsp.Std(rms[f : f+w])
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package dsp
+
+import "math"
+
+// OtsuBins is the histogram resolution used when applying Otsu's method
+// to continuous-valued images. 256 matches the 8-bit grayscale setting
+// the original algorithm (Otsu 1979) was formulated for.
+const OtsuBins = 256
+
+// OtsuThreshold computes Otsu's optimal clustering threshold for the
+// values in x (NaNs ignored). The values are first normalized to [0,1]
+// and bucketed into OtsuBins histogram bins; the returned threshold is
+// in the original value scale. Inputs with fewer than two distinct
+// values return the minimum value (everything classified as background).
+func OtsuThreshold(x []float64) float64 {
+	lo, hi := MinMax(x)
+	if math.IsNaN(lo) || hi == lo {
+		return lo
+	}
+	span := hi - lo
+
+	var hist [OtsuBins]int
+	total := 0
+	for _, v := range x {
+		if math.IsNaN(v) {
+			continue
+		}
+		b := int((v - lo) / span * float64(OtsuBins-1))
+		if b < 0 {
+			b = 0
+		} else if b >= OtsuBins {
+			b = OtsuBins - 1
+		}
+		hist[b]++
+		total++
+	}
+	if total < 2 {
+		return lo
+	}
+
+	// Otsu's method: choose the bin boundary maximizing the
+	// between-class variance ω0·ω1·(μ0−μ1)².
+	var sumAll float64
+	for b, c := range hist {
+		sumAll += float64(b) * float64(c)
+	}
+	// When several bin boundaries tie for the maximum (the empty gap
+	// between two clusters), the customary choice is the middle of the
+	// plateau, so we track the first and last maximizing bins.
+	var (
+		wB, sumB            float64
+		bestVar             float64 = -1
+		firstBest, lastBest int
+	)
+	for b := 0; b < OtsuBins; b++ {
+		wB += float64(hist[b])
+		if wB == 0 {
+			continue
+		}
+		wF := float64(total) - wB
+		if wF == 0 {
+			break
+		}
+		sumB += float64(b) * float64(hist[b])
+		mB := sumB / wB
+		mF := (sumAll - sumB) / wF
+		between := wB * wF * (mB - mF) * (mB - mF)
+		if between > bestVar {
+			bestVar = between
+			firstBest, lastBest = b, b
+		} else if between == bestVar {
+			lastBest = b
+		}
+	}
+	bestBin := float64(firstBest+lastBest) / 2
+	// Threshold at the upper edge of the best background bin.
+	return lo + (bestBin+0.5)/float64(OtsuBins-1)*span
+}
+
+// OtsuBinarize classifies each value of x as foreground (true, value
+// above the Otsu threshold) or background (false). NaNs are background.
+func OtsuBinarize(x []float64) []bool {
+	th := OtsuThreshold(x)
+	out := make([]bool, len(x))
+	if math.IsNaN(th) {
+		return out
+	}
+	for i, v := range x {
+		out[i] = !math.IsNaN(v) && v > th
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOtsuSeparatesBimodal(t *testing.T) {
+	// Two well-separated clusters: Otsu must cut between them.
+	r := rand.New(rand.NewSource(11))
+	var x []float64
+	for i := 0; i < 100; i++ {
+		x = append(x, 1+r.NormFloat64()*0.1)
+	}
+	for i := 0; i < 30; i++ {
+		x = append(x, 9+r.NormFloat64()*0.1)
+	}
+	th := OtsuThreshold(x)
+	if th < 2 || th > 8 {
+		t.Fatalf("threshold %v not between clusters", th)
+	}
+	mask := OtsuBinarize(x)
+	for i, m := range mask {
+		want := x[i] > 5
+		if m != want {
+			t.Fatalf("sample %d (%v) classified %v", i, x[i], m)
+		}
+	}
+}
+
+func TestOtsuTagArrayScenario(t *testing.T) {
+	// The real use: 25 tag scores, 5 of which (one column) are hot.
+	scores := make([]float64, 25)
+	r := rand.New(rand.NewSource(5))
+	for i := range scores {
+		scores[i] = 0.5 + r.Float64()*0.5 // background activity
+	}
+	hot := []int{2, 7, 12, 17, 22} // column 3 of a 5×5 row-major grid
+	for _, i := range hot {
+		scores[i] = 6 + r.Float64()
+	}
+	mask := OtsuBinarize(scores)
+	for i, m := range mask {
+		isHot := i%5 == 2
+		if m != isHot {
+			t.Fatalf("tag %d: foreground=%v, want %v (score %v)", i, m, isHot, scores[i])
+		}
+	}
+}
+
+func TestOtsuDegenerateInputs(t *testing.T) {
+	if got := OtsuThreshold(nil); !math.IsNaN(got) {
+		t.Errorf("empty threshold = %v, want NaN", got)
+	}
+	if got := OtsuThreshold([]float64{3, 3, 3}); got != 3 {
+		t.Errorf("constant threshold = %v, want 3", got)
+	}
+	mask := OtsuBinarize([]float64{3, 3, 3})
+	for _, m := range mask {
+		if m {
+			t.Error("constant input produced foreground")
+		}
+	}
+	maskNaN := OtsuBinarize([]float64{math.NaN(), 1, 10})
+	if maskNaN[0] {
+		t.Error("NaN classified as foreground")
+	}
+	if !maskNaN[2] || maskNaN[1] {
+		t.Errorf("two-value split wrong: %v", maskNaN)
+	}
+}
+
+func TestOtsuThresholdWithinRangeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(100)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64() * 10
+		}
+		lo, hi := MinMax(x)
+		if lo == hi {
+			continue
+		}
+		th := OtsuThreshold(x)
+		if th < lo || th > hi {
+			t.Fatalf("threshold %v outside [%v,%v]", th, lo, hi)
+		}
+		// At least one sample on the foreground side unless degenerate.
+		mask := OtsuBinarize(x)
+		fg := 0
+		for _, m := range mask {
+			if m {
+				fg++
+			}
+		}
+		if fg == 0 || fg == n {
+			t.Fatalf("trial %d: degenerate split fg=%d/%d", trial, fg, n)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package dsp
+
+import (
+	"math"
+	"time"
+)
+
+// TimedSample is a timestamped scalar measurement (e.g. one RSS read of
+// one tag).
+type TimedSample struct {
+	T time.Duration
+	V float64
+}
+
+// Trough describes one detected local minimum in a timed series.
+type Trough struct {
+	T     time.Duration // time of the minimum
+	V     float64       // value at the minimum
+	Depth float64       // how far the minimum sits below the series median
+}
+
+// FindTrough implements the two-staged RSS trough estimation from
+// Section III-B of the paper.
+//
+// Stage 1 (coarse): the series is smoothed with a centred moving average
+// and the global minimum located.
+// Stage 2 (refine): within a refinement radius around the coarse
+// minimum, the trough time is re-estimated on the raw samples as the
+// depth-weighted centroid of the below-median excursion, which is robust
+// to flat-bottomed troughs and single-sample noise spikes.
+//
+// ok is false when the series has no significant trough — i.e. the
+// excursion below the median is smaller than minDepth (same units as the
+// samples; for RSS, dB).
+func FindTrough(samples []TimedSample, smoothWidth int, minDepth float64) (Trough, bool) {
+	if len(samples) < 3 {
+		return Trough{}, false
+	}
+	raw := make([]float64, len(samples))
+	for i, s := range samples {
+		raw[i] = s.V
+	}
+	smooth := MovingAverage(raw, smoothWidth)
+	med := Median(raw)
+
+	// Stage 1: coarse global minimum of the smoothed series.
+	minIdx, minVal := -1, math.Inf(1)
+	for i, v := range smooth {
+		if !math.IsNaN(v) && v < minVal {
+			minVal, minIdx = v, i
+		}
+	}
+	if minIdx < 0 {
+		return Trough{}, false
+	}
+	depth := med - minVal
+	if math.IsNaN(depth) || depth < minDepth {
+		return Trough{}, false
+	}
+
+	// Stage 2: expand from the coarse minimum while samples remain below
+	// the median, then take the depth-weighted time centroid.
+	lo := minIdx
+	for lo > 0 && smooth[lo-1] < med {
+		lo--
+	}
+	hi := minIdx
+	for hi < len(smooth)-1 && smooth[hi+1] < med {
+		hi++
+	}
+	var wSum, tSum float64
+	for i := lo; i <= hi; i++ {
+		w := med - raw[i]
+		if w <= 0 || math.IsNaN(w) {
+			continue
+		}
+		wSum += w
+		tSum += w * float64(samples[i].T)
+	}
+	t := samples[minIdx].T
+	if wSum > 0 {
+		t = time.Duration(tSum / wSum)
+	}
+	return Trough{T: t, V: raw[minIdx], Depth: depth}, true
+}
+
+// Frame groups timed samples into consecutive non-overlapping frames of
+// the given length starting at start. Sample i lands in frame
+// (T−start)/frameLen; samples before start are dropped. The returned
+// slice covers every frame up to the last sample (possibly empty
+// frames in between).
+func Frame(samples []TimedSample, start, frameLen time.Duration) [][]TimedSample {
+	if frameLen <= 0 {
+		return nil
+	}
+	var frames [][]TimedSample
+	for _, s := range samples {
+		if s.T < start {
+			continue
+		}
+		idx := int((s.T - start) / frameLen)
+		for len(frames) <= idx {
+			frames = append(frames, nil)
+		}
+		frames[idx] = append(frames[idx], s)
+	}
+	return frames
+}
+
+// Values extracts the scalar values from timed samples.
+func Values(samples []TimedSample) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = s.V
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func mkSeries(n int, f func(i int) float64) []TimedSample {
+	out := make([]TimedSample, n)
+	for i := range out {
+		out[i] = TimedSample{T: time.Duration(i*10) * time.Millisecond, V: f(i)}
+	}
+	return out
+}
+
+func TestFindTroughLocatesDip(t *testing.T) {
+	// Flat at -41 dBm with a dip to -49 centred at sample 50.
+	s := mkSeries(100, func(i int) float64 {
+		d := float64(i-50) / 6
+		return -41 - 8*math.Exp(-d*d)
+	})
+	tr, ok := FindTrough(s, 5, 2)
+	if !ok {
+		t.Fatal("no trough found")
+	}
+	want := 500 * time.Millisecond
+	if diff := (tr.T - want); diff < -60*time.Millisecond || diff > 60*time.Millisecond {
+		t.Errorf("trough at %v, want ≈%v", tr.T, want)
+	}
+	if tr.Depth < 6 {
+		t.Errorf("depth %v, want ≈8", tr.Depth)
+	}
+}
+
+func TestFindTroughRejectsFlat(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	s := mkSeries(100, func(i int) float64 { return -41 + r.NormFloat64()*0.3 })
+	if _, ok := FindTrough(s, 5, 2); ok {
+		t.Error("found trough in flat noise")
+	}
+}
+
+func TestFindTroughNoisyDip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	s := mkSeries(200, func(i int) float64 {
+		d := float64(i-120) / 10
+		return -41 - 10*math.Exp(-d*d) + r.NormFloat64()*0.8
+	})
+	tr, ok := FindTrough(s, 7, 3)
+	if !ok {
+		t.Fatal("no trough found in noisy dip")
+	}
+	want := 1200 * time.Millisecond
+	if diff := tr.T - want; diff < -100*time.Millisecond || diff > 100*time.Millisecond {
+		t.Errorf("trough at %v, want ≈%v", tr.T, want)
+	}
+}
+
+func TestFindTroughOrderingTwoTags(t *testing.T) {
+	// Two tags passed in sequence: troughs must come out in pass order.
+	tagA := mkSeries(200, func(i int) float64 {
+		d := float64(i-60) / 8
+		return -41 - 9*math.Exp(-d*d)
+	})
+	tagB := mkSeries(200, func(i int) float64 {
+		d := float64(i-140) / 8
+		return -43 - 9*math.Exp(-d*d)
+	})
+	ta, okA := FindTrough(tagA, 5, 2)
+	tb, okB := FindTrough(tagB, 5, 2)
+	if !okA || !okB {
+		t.Fatal("troughs not found")
+	}
+	if ta.T >= tb.T {
+		t.Errorf("ordering wrong: A at %v, B at %v", ta.T, tb.T)
+	}
+}
+
+func TestFindTroughTooFewSamples(t *testing.T) {
+	if _, ok := FindTrough(mkSeries(2, func(int) float64 { return 0 }), 3, 1); ok {
+		t.Error("found trough with 2 samples")
+	}
+	if _, ok := FindTrough(nil, 3, 1); ok {
+		t.Error("found trough with no samples")
+	}
+}
+
+func TestFrame(t *testing.T) {
+	samples := []TimedSample{
+		{T: 5 * time.Millisecond, V: 1},
+		{T: 95 * time.Millisecond, V: 2},
+		{T: 105 * time.Millisecond, V: 3},
+		{T: 310 * time.Millisecond, V: 4},
+	}
+	frames := Frame(samples, 0, 100*time.Millisecond)
+	if len(frames) != 4 {
+		t.Fatalf("frames = %d, want 4", len(frames))
+	}
+	if len(frames[0]) != 2 || len(frames[1]) != 1 || len(frames[2]) != 0 || len(frames[3]) != 1 {
+		t.Errorf("frame sizes = %d,%d,%d,%d", len(frames[0]), len(frames[1]), len(frames[2]), len(frames[3]))
+	}
+	// Samples before start dropped.
+	f2 := Frame(samples, 100*time.Millisecond, 100*time.Millisecond)
+	if len(f2) != 3 || len(f2[0]) != 1 {
+		t.Errorf("start offset handling wrong: %v", f2)
+	}
+	if Frame(samples, 0, 0) != nil {
+		t.Error("zero frame length should return nil")
+	}
+}
+
+func TestValues(t *testing.T) {
+	v := Values([]TimedSample{{V: 1}, {V: 2}})
+	if len(v) != 2 || v[0] != 1 || v[1] != 2 {
+		t.Errorf("Values = %v", v)
+	}
+}

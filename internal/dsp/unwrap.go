@@ -1,0 +1,99 @@
+// Package dsp implements the signal-processing primitives RFIPad's
+// recognition pipeline is built from: phase de-periodicity (unwrapping),
+// Otsu image thresholding, frame/window statistics (RMS, standard
+// deviation), RSS trough detection, smoothing filters, and empirical
+// CDFs. Everything operates on plain float64 slices so the package has
+// no dependency on the rest of the system.
+package dsp
+
+import "math"
+
+// Wrap maps an angle in radians onto [0, 2π), the range RFID readers
+// report phase in.
+func Wrap(theta float64) float64 {
+	t := math.Mod(theta, 2*math.Pi)
+	if t < 0 {
+		t += 2 * math.Pi
+	}
+	return t
+}
+
+// WrapSigned maps an angle in radians onto (-π, π].
+func WrapSigned(theta float64) float64 {
+	t := Wrap(theta)
+	if t > math.Pi {
+		t -= 2 * math.Pi
+	}
+	return t
+}
+
+// Unwrap performs phase de-periodicity (Section III-A3 of the paper):
+// whenever two consecutive samples differ by more than π the later
+// samples are shifted by the appropriate multiple of 2π so the sequence
+// becomes continuous. The input is not modified; the result has the same
+// length. NaN samples are passed through and ignored for the jump
+// detection.
+func Unwrap(phase []float64) []float64 {
+	out := make([]float64, len(phase))
+	if len(phase) == 0 {
+		return out
+	}
+	out[0] = phase[0]
+	offset := 0.0
+	prev := phase[0]
+	for i := 1; i < len(phase); i++ {
+		p := phase[i]
+		if math.IsNaN(p) {
+			out[i] = p
+			continue
+		}
+		if !math.IsNaN(prev) {
+			d := p - prev
+			if d > math.Pi {
+				offset -= 2 * math.Pi
+			} else if d < -math.Pi {
+				offset += 2 * math.Pi
+			}
+		}
+		out[i] = p + offset
+		prev = p
+	}
+	return out
+}
+
+// TotalVariation returns Σ|x[i+1]−x[i]|, the accumulative difference
+// used for the per-tag phase disturbance metric I'_i (Eq. 10). Sequences
+// shorter than two samples have zero variation. NaN samples are skipped.
+func TotalVariation(x []float64) float64 {
+	var tv float64
+	prev := math.NaN()
+	for _, v := range x {
+		if math.IsNaN(v) {
+			continue
+		}
+		if !math.IsNaN(prev) {
+			tv += math.Abs(v - prev)
+		}
+		prev = v
+	}
+	return tv
+}
+
+// NetChange returns x[last]−x[first] over the non-NaN samples: the
+// telescoped reading of Eq. 10, kept for the ablation benchmark.
+func NetChange(x []float64) float64 {
+	first, last := math.NaN(), math.NaN()
+	for _, v := range x {
+		if math.IsNaN(v) {
+			continue
+		}
+		if math.IsNaN(first) {
+			first = v
+		}
+		last = v
+	}
+	if math.IsNaN(first) || math.IsNaN(last) {
+		return 0
+	}
+	return last - first
+}

@@ -1,0 +1,171 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWrap(t *testing.T) {
+	tests := []struct {
+		in, want float64
+	}{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, 3 * math.Pi / 2},
+		{5 * math.Pi, math.Pi},
+		{-4 * math.Pi, 0},
+	}
+	for _, tt := range tests {
+		if got := Wrap(tt.in); !almostEq(got, tt.want, 1e-9) {
+			t.Errorf("Wrap(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestWrapSigned(t *testing.T) {
+	tests := []struct {
+		in, want float64
+	}{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{math.Pi + 0.1, -math.Pi + 0.1},
+		{-0.5, -0.5},
+		{2 * math.Pi, 0},
+	}
+	for _, tt := range tests {
+		if got := WrapSigned(tt.in); !almostEq(got, tt.want, 1e-9) {
+			t.Errorf("WrapSigned(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestWrapRangeProperty(t *testing.T) {
+	f := func(x float64) bool {
+		x = math.Mod(x, 1e6)
+		w := Wrap(x)
+		ws := WrapSigned(x)
+		return w >= 0 && w < 2*math.Pi && ws > -math.Pi-1e-12 && ws <= math.Pi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnwrapRemovesJumps(t *testing.T) {
+	// A linearly increasing true phase, observed wrapped.
+	truth := make([]float64, 200)
+	obs := make([]float64, 200)
+	for i := range truth {
+		truth[i] = 0.1 * float64(i) // total 19.9 rad, several wraps
+		obs[i] = Wrap(truth[i])
+	}
+	un := Unwrap(obs)
+	for i := range un {
+		// Unwrapped series should match the truth up to a constant 2πk.
+		diff := un[i] - truth[i]
+		k := math.Round(diff / (2 * math.Pi))
+		if !almostEq(diff, k*2*math.Pi, 1e-9) {
+			t.Fatalf("sample %d: unwrap drifted, diff=%v", i, diff)
+		}
+		if i > 0 {
+			if math.Abs(un[i]-un[i-1]) > math.Pi {
+				t.Fatalf("sample %d: residual jump %v", i, un[i]-un[i-1])
+			}
+		}
+	}
+}
+
+func TestUnwrapRoundTripProperty(t *testing.T) {
+	// For any smooth sequence (steps < π), Unwrap(Wrap(x)) == x + 2πk.
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		n := 50 + r.Intn(100)
+		x := make([]float64, n)
+		x[0] = r.Float64() * 2 * math.Pi
+		for i := 1; i < n; i++ {
+			x[i] = x[i-1] + (r.Float64()-0.5)*2*3.0 // steps within ±3 < π? no: π≈3.14, ok
+		}
+		wrapped := make([]float64, n)
+		for i, v := range x {
+			wrapped[i] = Wrap(v)
+		}
+		un := Unwrap(wrapped)
+		k := math.Round((un[0] - x[0]) / (2 * math.Pi))
+		for i := range un {
+			if !almostEq(un[i], x[i]+k*2*math.Pi, 1e-6) {
+				t.Fatalf("trial %d sample %d: %v vs %v", trial, i, un[i], x[i]+k*2*math.Pi)
+			}
+		}
+	}
+}
+
+func TestUnwrapEdgeCases(t *testing.T) {
+	if got := Unwrap(nil); len(got) != 0 {
+		t.Error("Unwrap(nil) non-empty")
+	}
+	if got := Unwrap([]float64{1.5}); len(got) != 1 || got[0] != 1.5 {
+		t.Errorf("Unwrap single = %v", got)
+	}
+	// NaNs pass through without breaking continuity.
+	in := []float64{0.1, math.NaN(), 0.2, 6.2, 0.05}
+	got := Unwrap(in)
+	if !math.IsNaN(got[1]) {
+		t.Error("NaN not preserved")
+	}
+	// 6.2 -> 0.05 is a wrap-up (+2π on later samples).
+	if got[4] <= got[3] {
+		t.Errorf("wrap across NaN mishandled: %v", got)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 0},
+		{"monotone", []float64{0, 1, 2, 3}, 3},
+		{"zigzag", []float64{0, 1, 0, 1}, 3},
+		{"with-nan", []float64{0, math.NaN(), 2}, 2},
+		{"constant", []float64{7, 7, 7}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := TotalVariation(tt.in); !almostEq(got, tt.want, 1e-12) {
+				t.Errorf("TotalVariation = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTotalVariationLowerBoundProperty(t *testing.T) {
+	// TV >= |net change| always.
+	f := func(raw []float64) bool {
+		for i := range raw {
+			raw[i] = math.Mod(raw[i], 1e6)
+		}
+		return TotalVariation(raw)+1e-9 >= math.Abs(NetChange(raw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNetChange(t *testing.T) {
+	if got := NetChange([]float64{1, 5, 2}); got != 1 {
+		t.Errorf("NetChange = %v", got)
+	}
+	if got := NetChange(nil); got != 0 {
+		t.Errorf("NetChange(nil) = %v", got)
+	}
+	if got := NetChange([]float64{math.NaN(), 3, math.NaN(), 8, math.NaN()}); got != 5 {
+		t.Errorf("NetChange with NaNs = %v", got)
+	}
+}

@@ -1,0 +1,199 @@
+// Package epc simulates the EPCglobal Class-1 Generation-2 inventory
+// process (the air protocol RFIPad rides on, §I/§II-A). It decides
+// *when* each tag is read: the reader runs slotted-ALOHA rounds whose
+// slot count adapts via the Q-algorithm, tags pick random slots,
+// collisions waste time, and the resulting per-tag read timestamps are
+// non-uniform — exactly the sampling process the paper's segmenter has
+// to cope with (§III-C1) and the source of the undersampling that makes
+// fast hand motions hard (§VI "Low throughput", citing Blink).
+package epc
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Config sets the MAC timing. The defaults approximate an Impinj
+// Speedway R420 in a dense-reader profile: with 25 tags it yields an
+// aggregate read rate of roughly 400 reads/s, i.e. ~16 reads/s per tag.
+type Config struct {
+	// QInit is the initial Q exponent (slots per round = 2^Q).
+	QInit int
+	// QStep is the Q-algorithm's floating-point adjustment constant C
+	// (typical 0.1–0.5).
+	QStep float64
+	// TSuccess is the airtime of a successful singulation (Query/
+	// QueryRep + RN16 + ACK + PC/EPC/CRC16).
+	TSuccess time.Duration
+	// TCollision is the airtime wasted on a collided RN16.
+	TCollision time.Duration
+	// TEmpty is the airtime of an idle slot.
+	TEmpty time.Duration
+}
+
+// DefaultConfig returns the R420-like timing used throughout the
+// reproduction.
+func DefaultConfig() Config {
+	return Config{
+		QInit:      4,
+		QStep:      0.35,
+		TSuccess:   2 * time.Millisecond,
+		TCollision: 500 * time.Microsecond,
+		TEmpty:     150 * time.Microsecond,
+	}
+}
+
+// FastConfig returns the §VI "low throughput" mitigation: shorter tag
+// packets (FM0 instead of Miller-4 backscatter, truncated replies)
+// roughly double the aggregate read rate, trading link margin for
+// sampling density. The paper suggests exactly this — "reducing the
+// tag packet length" — to keep up with fast hand motion.
+func FastConfig() Config {
+	return Config{
+		QInit:      4,
+		QStep:      0.35,
+		TSuccess:   900 * time.Microsecond,
+		TCollision: 300 * time.Microsecond,
+		TEmpty:     100 * time.Microsecond,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.QInit <= 0 {
+		c.QInit = d.QInit
+	}
+	if c.QStep <= 0 {
+		c.QStep = d.QStep
+	}
+	if c.TSuccess <= 0 {
+		c.TSuccess = d.TSuccess
+	}
+	if c.TCollision <= 0 {
+		c.TCollision = d.TCollision
+	}
+	if c.TEmpty <= 0 {
+		c.TEmpty = d.TEmpty
+	}
+}
+
+// RespondsFunc reports whether tag i can respond at the given instant
+// (i.e. whether it harvests enough power — the forward-link limit).
+type RespondsFunc func(i int, now time.Duration) bool
+
+// EmitFunc receives each successful read: the tag index and the instant
+// the read completed.
+type EmitFunc func(i int, now time.Duration)
+
+// Simulator runs C1G2 inventory rounds over a fixed tag population.
+type Simulator struct {
+	cfg Config
+	rng *rand.Rand
+	qfp float64
+
+	// Stats accumulated across Run calls.
+	Slots      int // total slots elapsed
+	Successes  int // singulations
+	Collisions int // collided slots
+	Empties    int // idle slots
+}
+
+// NewSimulator builds a MAC simulator. rng drives slot selection and
+// must not be nil.
+func NewSimulator(cfg Config, rng *rand.Rand) *Simulator {
+	cfg.fillDefaults()
+	return &Simulator{cfg: cfg, rng: rng, qfp: float64(cfg.QInit)}
+}
+
+// Run simulates inventory rounds from start until the clock passes end,
+// over numTags tags. responds gates each tag's participation per round;
+// emit receives every successful read. The final clock value is
+// returned (≥ end unless numTags == 0).
+func (s *Simulator) Run(start, end time.Duration, numTags int, responds RespondsFunc, emit EmitFunc) time.Duration {
+	now := start
+	if numTags <= 0 {
+		return now
+	}
+	slots := make([]int, 0, numTags) // slot choice per participating tag
+	idx := make([]int, 0, numTags)   // tag index per participant
+	for now < end {
+		q := int(s.qfp + 0.5)
+		if q < 0 {
+			q = 0
+		} else if q > 15 {
+			q = 15
+		}
+		nSlots := 1 << uint(q)
+
+		// Tags that are powered at the start of the round pick slots.
+		slots = slots[:0]
+		idx = idx[:0]
+		for i := 0; i < numTags; i++ {
+			if responds(i, now) {
+				slots = append(slots, s.rng.Intn(nSlots))
+				idx = append(idx, i)
+			}
+		}
+
+		if len(idx) == 0 {
+			// Nothing can answer: the reader still cycles an empty
+			// round before re-querying.
+			now += time.Duration(nSlots) * s.cfg.TEmpty
+			s.Slots += nSlots
+			s.Empties += nSlots
+			s.qfp -= s.cfg.QStep * float64(nSlots)
+			if s.qfp < 0 {
+				s.qfp = 0
+			}
+			continue
+		}
+
+		for slot := 0; slot < nSlots && now < end; slot++ {
+			var count, who int
+			for j, sl := range slots {
+				if sl == slot {
+					count++
+					who = idx[j]
+				}
+			}
+			s.Slots++
+			switch {
+			case count == 0:
+				now += s.cfg.TEmpty
+				s.Empties++
+				s.qfp -= s.cfg.QStep
+				if s.qfp < 0 {
+					s.qfp = 0
+				}
+			case count == 1:
+				// The tag must still be powered when acknowledged;
+				// a hand loading it mid-round suppresses the read.
+				if responds(who, now) {
+					now += s.cfg.TSuccess
+					s.Successes++
+					emit(who, now)
+				} else {
+					now += s.cfg.TCollision
+					s.Collisions++
+				}
+			default:
+				now += s.cfg.TCollision
+				s.Collisions++
+				s.qfp += s.cfg.QStep
+				if s.qfp > 15 {
+					s.qfp = 15
+				}
+			}
+		}
+	}
+	return now
+}
+
+// ObservedRate returns the aggregate successful read rate (reads per
+// second) accumulated so far over the given elapsed simulated time.
+func (s *Simulator) ObservedRate(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Successes) / elapsed.Seconds()
+}

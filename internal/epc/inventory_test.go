@@ -1,0 +1,190 @@
+package epc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func alwaysOn(int, time.Duration) bool { return true }
+
+func TestAllPoweredTagsGetRead(t *testing.T) {
+	s := NewSimulator(Config{}, rand.New(rand.NewSource(1)))
+	counts := make([]int, 25)
+	s.Run(0, 2*time.Second, 25, alwaysOn, func(i int, _ time.Duration) { counts[i]++ })
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("tag %d never read in 2 s", i)
+		}
+	}
+}
+
+func TestAggregateReadRateRealistic(t *testing.T) {
+	// An R420-class reader with ~25 tags singulates a few hundred
+	// times per second.
+	s := NewSimulator(Config{}, rand.New(rand.NewSource(2)))
+	var reads int
+	s.Run(0, 5*time.Second, 25, alwaysOn, func(int, time.Duration) { reads++ })
+	rate := float64(reads) / 5
+	if rate < 200 || rate > 500 {
+		t.Errorf("aggregate rate = %v reads/s, want 200–500", rate)
+	}
+	if got := s.ObservedRate(5 * time.Second); got != rate {
+		t.Errorf("ObservedRate = %v, want %v", got, rate)
+	}
+	if s.ObservedRate(0) != 0 {
+		t.Error("ObservedRate with zero elapsed should be 0")
+	}
+}
+
+func TestPerTagSamplingNonUniform(t *testing.T) {
+	// The MAC produces jittered per-tag timestamps, not a fixed clock:
+	// consecutive gaps for one tag should vary.
+	s := NewSimulator(Config{}, rand.New(rand.NewSource(3)))
+	var times []time.Duration
+	s.Run(0, 3*time.Second, 25, alwaysOn, func(i int, now time.Duration) {
+		if i == 7 {
+			times = append(times, now)
+		}
+	})
+	if len(times) < 10 {
+		t.Fatalf("tag 7 read only %d times", len(times))
+	}
+	minGap, maxGap := time.Hour, time.Duration(0)
+	for i := 1; i < len(times); i++ {
+		g := times[i] - times[i-1]
+		if g < minGap {
+			minGap = g
+		}
+		if g > maxGap {
+			maxGap = g
+		}
+	}
+	if maxGap < minGap*2 {
+		t.Errorf("gaps suspiciously uniform: min %v max %v", minGap, maxGap)
+	}
+}
+
+func TestUnpoweredTagNeverRead(t *testing.T) {
+	s := NewSimulator(Config{}, rand.New(rand.NewSource(4)))
+	dead := 3
+	s.Run(0, time.Second, 10, func(i int, _ time.Duration) bool { return i != dead },
+		func(i int, _ time.Duration) {
+			if i == dead {
+				t.Fatal("unpowered tag was read")
+			}
+		})
+}
+
+func TestMidRoundPowerLossSuppressesRead(t *testing.T) {
+	// A tag powered at round start but unpowered at its slot (hand
+	// loading it) must not produce a read.
+	s := NewSimulator(Config{}, rand.New(rand.NewSource(5)))
+	cutoff := 500 * time.Millisecond
+	var after int
+	s.Run(0, time.Second, 5, func(i int, now time.Duration) bool {
+		return i != 0 || now < cutoff
+	}, func(i int, now time.Duration) {
+		if i == 0 && now > cutoff+10*time.Millisecond {
+			after++
+		}
+	})
+	if after > 0 {
+		t.Errorf("tag 0 read %d times after losing power", after)
+	}
+}
+
+func TestNoTagsNoProgressBeyondIdleRounds(t *testing.T) {
+	s := NewSimulator(Config{}, rand.New(rand.NewSource(6)))
+	end := s.Run(0, 100*time.Millisecond, 0, alwaysOn, func(int, time.Duration) {
+		t.Fatal("read emitted with zero tags")
+	})
+	if end != 0 {
+		t.Errorf("clock advanced with zero tags: %v", end)
+	}
+	// All tags present but none respond: clock still advances (idle
+	// rounds), no reads.
+	end = s.Run(0, 50*time.Millisecond, 4,
+		func(int, time.Duration) bool { return false },
+		func(int, time.Duration) { t.Fatal("read emitted with no responders") })
+	if end < 50*time.Millisecond {
+		t.Errorf("clock stuck at %v with silent tags", end)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		s := NewSimulator(Config{}, rand.New(rand.NewSource(seed)))
+		var times []time.Duration
+		s.Run(0, time.Second, 10, alwaysOn, func(_ int, now time.Duration) {
+			times = append(times, now)
+		})
+		return times
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different schedules")
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestQAdaptationKeepsCollisionsBounded(t *testing.T) {
+	// With 100 tags and QInit=0 the Q-algorithm must grow Q; the
+	// steady-state collision fraction should stay well below dominance.
+	s := NewSimulator(Config{QInit: 1}, rand.New(rand.NewSource(7)))
+	s.Run(0, 5*time.Second, 100, alwaysOn, func(int, time.Duration) {})
+	if s.Successes == 0 {
+		t.Fatal("no successes")
+	}
+	collFrac := float64(s.Collisions) / float64(s.Collisions+s.Successes)
+	if collFrac > 0.75 {
+		t.Errorf("collision fraction = %v, Q-adaptation ineffective", collFrac)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	c.fillDefaults()
+	if c != DefaultConfig() {
+		t.Errorf("fillDefaults = %+v, want %+v", c, DefaultConfig())
+	}
+	// Partial config keeps the explicit value.
+	c2 := Config{QInit: 6}
+	c2.fillDefaults()
+	if c2.QInit != 6 || c2.TSuccess != DefaultConfig().TSuccess {
+		t.Errorf("partial fill wrong: %+v", c2)
+	}
+}
+
+func TestFastConfigRaisesRate(t *testing.T) {
+	// §VI: shorter tag packets raise the aggregate read rate — the
+	// low-throughput mitigation for fast hand motion.
+	run := func(cfg Config, seed int64) float64 {
+		s := NewSimulator(cfg, rand.New(rand.NewSource(seed)))
+		var reads int
+		s.Run(0, 3*time.Second, 25, alwaysOn, func(int, time.Duration) { reads++ })
+		return float64(reads) / 3
+	}
+	def := run(DefaultConfig(), 1)
+	fast := run(FastConfig(), 1)
+	if fast < 1.6*def {
+		t.Errorf("fast MAC rate %v should be well above default %v", fast, def)
+	}
+}

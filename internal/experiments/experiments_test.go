@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns the smallest statistically-meaningful configuration so
+// the suite stays fast; shape assertions use generous margins.
+func tiny() Config {
+	return Config{
+		Seed:            1,
+		Trials:          2,
+		Groups:          2,
+		Parallelism:     8,
+		CalibrationTime: 3 * time.Second,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig02", "fig04", "fig05", "fig06", "fig07", "fig08",
+		"fig11", "fig12", "geometry",
+		"table1", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+		"fig22", "fig23", "fig24", "fig25",
+		"ablation-accumulator", "ablation-suppression", "ablation-segmentation",
+		"ablation-wholeletter", "ablation-fastmac", "ablation-hopping",
+		"confusion",
+	}
+	have := map[string]bool{}
+	for _, e := range List() {
+		have[e.Name] = true
+		if e.Description == "" {
+			t.Errorf("%s has no description", e.Name)
+		}
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Errorf("experiment %q not registered", name)
+		}
+	}
+	if len(have) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(have), len(want))
+	}
+	if _, ok := Run("nope", tiny()); ok {
+		t.Error("unknown experiment should not run")
+	}
+}
+
+func TestTable1NLOSBeatsLOS(t *testing.T) {
+	res := RunTable1(tiny())
+	if len(res.LOS) != 2 || len(res.NLOS) != 2 {
+		t.Fatalf("groups: LOS %d NLOS %d", len(res.LOS), len(res.NLOS))
+	}
+	if mean(res.NLOS) <= mean(res.LOS) {
+		t.Errorf("NLOS %.3f should beat LOS %.3f (Table I)", mean(res.NLOS), mean(res.LOS))
+	}
+	if mean(res.NLOS) < 0.85 {
+		t.Errorf("NLOS accuracy %.3f below the paper's band", mean(res.NLOS))
+	}
+	if s := res.String(); !strings.Contains(s, "NLOS") {
+		t.Error("table text missing NLOS row")
+	}
+}
+
+func TestFig16SuppressionHelpsAtLocation4(t *testing.T) {
+	res := RunFig16(tiny())
+	if len(res.With) != 4 || len(res.Without) != 4 {
+		t.Fatalf("locations = %d/%d", len(res.With), len(res.Without))
+	}
+	// Location #4 (index 3) shows the decisive gap.
+	if res.With[3] <= res.Without[3] {
+		t.Errorf("suppression should help at location 4: with %.3f vs without %.3f",
+			res.With[3], res.Without[3])
+	}
+	if res.With[3]-res.Without[3] < 0.05 {
+		t.Errorf("location-4 gap %.3f too small to be the Fig. 16 effect",
+			res.With[3]-res.Without[3])
+	}
+}
+
+func TestFig17ErrorsFallWithPower(t *testing.T) {
+	res := RunFig17(tiny())
+	if len(res.PowersDBm) != 5 {
+		t.Fatalf("powers = %d", len(res.PowersDBm))
+	}
+	lowErr := res.FPR[0] + res.FNR[0]
+	highErr := res.FPR[len(res.FPR)-1] + res.FNR[len(res.FNR)-1]
+	if lowErr < highErr {
+		t.Errorf("error at 15 dBm (%.3f) should exceed error at 32.5 dBm (%.3f)", lowErr, highErr)
+	}
+}
+
+func TestFig20FastUsersDegrade(t *testing.T) {
+	res := RunFig20(tiny())
+	if len(res.Users) != 10 {
+		t.Fatalf("users = %d", len(res.Users))
+	}
+	var slow, fast float64
+	var nSlow, nFast int
+	for i, acc := range res.Accuracies {
+		if i == 5 || i == 8 { // users #6 and #9
+			fast += acc
+			nFast++
+		} else {
+			slow += acc
+			nSlow++
+		}
+	}
+	if fast/float64(nFast) > slow/float64(nSlow) {
+		t.Errorf("fast writers (%.3f) should not beat the panel (%.3f)",
+			fast/float64(nFast), slow/float64(nSlow))
+	}
+}
+
+func TestFig21StrokeTimes(t *testing.T) {
+	res := RunFig21(tiny())
+	if res.P50 <= 0 || res.P90 < res.P50 {
+		t.Fatalf("quantiles: p50 %v p90 %v", res.P50, res.P90)
+	}
+	// The arcs are the slowest motions (§V-B7: "⊂ takes a longer time
+	// than others").
+	arcP90 := res.PerMotionP90[mArcFwd()]
+	clickP90 := res.PerMotionP90[mClick()]
+	if arcP90 <= clickP90 {
+		t.Errorf("⊂ p90 %v should exceed click p90 %v", arcP90, clickP90)
+	}
+}
+
+func TestFig22And23Letters(t *testing.T) {
+	res22 := RunFig22(tiny())
+	if len(res22.Letters) != 5 {
+		t.Fatalf("letters = %d", len(res22.Letters))
+	}
+	for i, ch := range res22.Letters {
+		if res22.LetterAccuracy[i] < 0.5 {
+			t.Errorf("letter %q accuracy %.2f implausibly low", ch, res22.LetterAccuracy[i])
+		}
+		if res22.UnderfillRate[i] > 0.3 {
+			t.Errorf("letter %q underfill %.2f too high", ch, res22.UnderfillRate[i])
+		}
+	}
+
+	res23 := RunFig23(tiny())
+	if res23.Overall < 0.8 {
+		t.Errorf("overall letter accuracy %.3f below the paper's band (~0.91)", res23.Overall)
+	}
+	if len(res23.PerLetter) != 26 {
+		t.Errorf("per-letter entries = %d", len(res23.PerLetter))
+	}
+}
+
+func TestChannelFigures(t *testing.T) {
+	cfg := tiny()
+	f2 := RunFig02(cfg)
+	if f2.MovingPhaseStd <= 3*f2.StaticPhaseStd {
+		t.Errorf("hand movement should dominate phase std: %v vs %v",
+			f2.MovingPhaseStd, f2.StaticPhaseStd)
+	}
+	if f2.MovingRSSStd <= 3*f2.StaticRSSStd {
+		t.Errorf("hand movement should dominate RSS std: %v vs %v",
+			f2.MovingRSSStd, f2.StaticRSSStd)
+	}
+	// Doppler stays noise-dominated (same order in both cases).
+	if f2.MovingDopplerStd > 10*f2.StaticDopplerStd {
+		t.Errorf("Doppler should stay noise-like: %v vs %v",
+			f2.MovingDopplerStd, f2.StaticDopplerStd)
+	}
+
+	f4 := RunFig04(cfg)
+	if len(f4.MeanPhase) != 25 || f4.Span < 3 {
+		t.Errorf("tag diversity span = %.2f over %d tags", f4.Span, len(f4.MeanPhase))
+	}
+
+	f5 := RunFig05(cfg)
+	if f5.MaxOverMin < 3 {
+		t.Errorf("deviation bias unevenness %.2f too small for location 4", f5.MaxOverMin)
+	}
+
+	f6 := RunFig06(cfg)
+	if f6.JumpsAfter != 0 {
+		t.Errorf("unwrap left %d jumps", f6.JumpsAfter)
+	}
+
+	f7 := RunFig07(cfg)
+	if !strings.Contains(f7.Binary, "#") {
+		t.Error("Fig. 7 binary image empty")
+	}
+
+	f8 := RunFig08(cfg)
+	if len(f8.Ratios) != 5 {
+		t.Fatalf("fig8 tags = %d", len(f8.Ratios))
+	}
+}
+
+func TestInterferenceFigures(t *testing.T) {
+	cfg := tiny()
+	f11 := RunFig11(cfg)
+	// Same-facing at 3 cm is the worst case; 15 cm is near baseline.
+	if f11.SameFacing[0] >= f11.BaselineDBm-5 {
+		t.Errorf("3 cm same-facing RSS %.1f should sit well below baseline %.1f",
+			f11.SameFacing[0], f11.BaselineDBm)
+	}
+	if f11.OppositeFacing[0] <= f11.SameFacing[0] {
+		t.Error("opposite facing should outperform same facing")
+	}
+	last := len(f11.SpacingsCM) - 1
+	if f11.SameFacing[last] < f11.BaselineDBm-1.5 {
+		t.Errorf("15 cm RSS %.1f should be near baseline %.1f", f11.SameFacing[last], f11.BaselineDBm)
+	}
+
+	f12 := RunFig12(cfg)
+	// TagD shadows most, TagB least (§IV-B2).
+	lastCfg := len(f12.RSS[0]) - 1
+	tagB, tagD := f12.RSS[1][lastCfg], f12.RSS[3][lastCfg]
+	if f12.BaselineDBm-tagB > 5 {
+		t.Errorf("TagB 5×3 loss %.1f dB should be small", f12.BaselineDBm-tagB)
+	}
+	if f12.BaselineDBm-tagD < 15 {
+		t.Errorf("TagD 5×3 loss %.1f dB should be ≈20", f12.BaselineDBm-tagD)
+	}
+
+	g := RunGeometry(cfg)
+	if g.PlaneLengthM < 0.45 || g.PlaneLengthM > 0.47 {
+		t.Errorf("plane length = %v, want ≈0.46", g.PlaneLengthM)
+	}
+	if g.MinDistanceM < 0.2 || g.MinDistanceM > 0.35 {
+		t.Errorf("min distance = %v", g.MinDistanceM)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := tiny()
+	acc := RunAblationAccumulator(cfg)
+	if acc.Accuracies[0] <= acc.Accuracies[1]+0.3 {
+		t.Errorf("total variation (%.3f) should crush the telescoped sum (%.3f)",
+			acc.Accuracies[0], acc.Accuracies[1])
+	}
+	sup := RunAblationSuppression(cfg)
+	if len(sup.Labels) != 4 {
+		t.Fatalf("suppression variants = %d", len(sup.Labels))
+	}
+	// The shipped subtractive form beats no suppression at location 4.
+	if sup.Accuracies[3] <= sup.Accuracies[0] {
+		t.Errorf("noise-rate subtraction (%.3f) should beat none (%.3f)",
+			sup.Accuracies[3], sup.Accuracies[0])
+	}
+	fastmac := RunAblationFastMAC(cfg)
+	if fastmac.Accuracies[1] <= fastmac.Accuracies[0] {
+		t.Errorf("short-packet MAC (%.3f) should beat the default (%.3f) for a fast writer",
+			fastmac.Accuracies[1], fastmac.Accuracies[0])
+	}
+	segr := RunAblationSegmentation(cfg)
+	// The paper's 100ms×5 setting performs at or near the best.
+	best := 0.0
+	for _, a := range segr.Accuracies {
+		if a > best {
+			best = a
+		}
+	}
+	if segr.Accuracies[2] < best-0.25 {
+		t.Errorf("paper setting %.3f far from best %.3f", segr.Accuracies[2], best)
+	}
+}
+
+func TestResultStringsNonEmpty(t *testing.T) {
+	cfg := tiny()
+	cfg.Trials, cfg.Groups = 1, 1
+	for _, e := range []string{"fig24", "fig25", "fig18", "fig19"} {
+		res, ok := Run(e, cfg)
+		if !ok {
+			t.Fatalf("missing %s", e)
+		}
+		if res.Name() != e {
+			t.Errorf("%s Name() = %q", e, res.Name())
+		}
+		if len(res.String()) < 20 {
+			t.Errorf("%s String too short: %q", e, res.String())
+		}
+	}
+}

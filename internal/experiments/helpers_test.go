@@ -1,0 +1,6 @@
+package experiments
+
+import "rfipad/internal/stroke"
+
+func mArcFwd() stroke.Motion { return stroke.M(stroke.ArcLeft, stroke.Forward) }
+func mClick() stroke.Motion  { return stroke.M(stroke.Click, 0) }

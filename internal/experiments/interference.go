@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"rfipad/internal/geo"
+	"rfipad/internal/rf"
+	"rfipad/internal/tagmodel"
+)
+
+func init() {
+	register("fig11", "Fig. 11: interference within a pair of tags", func(cfg Config) Result {
+		return RunFig11(cfg)
+	})
+	register("fig12", "Fig. 12: array shadowing for four tag designs", func(cfg Config) Result {
+		return RunFig12(cfg)
+	})
+	register("geometry", "§IV-B3: beam angle, minimum plane distance, read range", func(cfg Config) Result {
+		return RunGeometry(cfg)
+	})
+}
+
+// Fig11Result reproduces Fig. 11: the RSS of a target tag as a testing
+// tag approaches at different spacings and orientations.
+type Fig11Result struct {
+	BaselineDBm float64
+	SpacingsCM  []float64
+	// SameFacing / OppositeFacing hold the target's RSS per spacing.
+	SameFacing, OppositeFacing []float64
+}
+
+// Name implements Result.
+func (Fig11Result) Name() string { return "fig11" }
+
+// String renders the pair-interference table.
+func (r Fig11Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 11 — interference within a pair of tags (target RSS, dBm)\n")
+	fmt.Fprintf(&b, "baseline (alone): %.1f\n", r.BaselineDBm)
+	b.WriteString("spacing(cm)  same-facing  opposite\n")
+	for i, s := range r.SpacingsCM {
+		fmt.Fprintf(&b, "%11.0f  %11.1f  %8.1f\n", s, r.SameFacing[i], r.OppositeFacing[i])
+	}
+	return b.String()
+}
+
+// RunFig11 places a target tag 2 m from the antenna (§IV-B1: RSS
+// ≈ −41 dBm) and moves a testing tag alongside it.
+func RunFig11(cfg Config) Fig11Result {
+	cfg.fill()
+	antenna := rf.Antenna{Pos: geo.V(0, 0, 2), Boresight: geo.V(0, 0, -1), GainDBi: rf.DefaultAntennaGainDBi}
+	ch := rf.NewChannel(antenna)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	target := &tagmodel.Tag{
+		EPC: tagmodel.MakeEPC(1), Type: tagmodel.TagD,
+		Pos: geo.V(0, 0, 0), Facing: tagmodel.FacingPositive,
+		ThetaTag:       rng.Float64(),
+		SensitivityDBm: tagmodel.TagD.Props().SensitivityDBm,
+	}
+	baseline := ch.Observe(target.RFPoint(), nil, nil).RSSdBm
+
+	res := Fig11Result{
+		BaselineDBm: baseline,
+		SpacingsCM:  []float64{3, 6, 9, 12, 15},
+	}
+	for _, s := range res.SpacingsCM {
+		d := s / 100
+		for _, same := range []bool{true, false} {
+			loss := tagmodel.PairCouplingDB(tagmodel.TagD, d, same)
+			pt := target.RFPoint()
+			pt.ExtraLossDB = loss
+			rss := ch.Observe(pt, nil, nil).RSSdBm
+			if same {
+				res.SameFacing = append(res.SameFacing, rss)
+			} else {
+				res.OppositeFacing = append(res.OppositeFacing, rss)
+			}
+		}
+	}
+	return res
+}
+
+// Fig12Result reproduces Fig. 12: the RSS of a victim tag behind the
+// plane as rows and columns of each tag design are added in front.
+type Fig12Result struct {
+	Types       []tagmodel.TagType
+	BaselineDBm float64
+	// Rows (1..5, single column) then Columns (5 rows × 1..3 cols).
+	RowCounts, ColCounts []int
+	// RSS[t][k]: victim RSS for type t with RowCounts[k] rows (first
+	// len(RowCounts) entries) then ColCounts columns.
+	RSS [][]float64
+}
+
+// Name implements Result.
+func (Fig12Result) Name() string { return "fig12" }
+
+// String renders the array-shadowing table.
+func (r Fig12Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 12 — victim tag RSS behind the plane (dBm)\n")
+	fmt.Fprintf(&b, "baseline (empty plane): %.1f\n", r.BaselineDBm)
+	fmt.Fprintf(&b, "%-22s", "config")
+	for _, t := range r.Types {
+		fmt.Fprintf(&b, "%22v", t)
+	}
+	b.WriteByte('\n')
+	row := 0
+	for _, n := range r.RowCounts {
+		fmt.Fprintf(&b, "%d row(s) × 1 col      ", n)
+		for ti := range r.Types {
+			fmt.Fprintf(&b, "%22.1f", r.RSS[ti][row])
+		}
+		b.WriteByte('\n')
+		row++
+	}
+	for _, n := range r.ColCounts {
+		fmt.Fprintf(&b, "5 rows × %d col(s)     ", n)
+		for ti := range r.Types {
+			fmt.Fprintf(&b, "%22.1f", r.RSS[ti][row])
+		}
+		b.WriteByte('\n')
+		row++
+	}
+	return b.String()
+}
+
+// RunFig12 reproduces the §IV-B2 experiment: reader 50 cm in front of
+// the plane, victim tag directly behind it, 6 cm tag spacing.
+func RunFig12(cfg Config) Fig12Result {
+	cfg.fill()
+	antenna := rf.Antenna{Pos: geo.V(0, 0, 0.5), Boresight: geo.V(0, 0, -1), GainDBi: rf.DefaultAntennaGainDBi}
+	ch := rf.NewChannel(antenna)
+	victimPos := geo.V(0, 0, -0.03)
+
+	res := Fig12Result{
+		Types:     []tagmodel.TagType{tagmodel.TagA, tagmodel.TagB, tagmodel.TagC, tagmodel.TagD},
+		RowCounts: []int{1, 2, 3, 4, 5},
+		ColCounts: []int{2, 3},
+	}
+	victim := rf.TagPoint{
+		Pos: victimPos, GainDBi: 2, BackscatterLossDB: 15, SensitivityDBm: -18,
+	}
+	res.BaselineDBm = ch.Observe(victim, nil, nil).RSSdBm
+
+	build := func(ty tagmodel.TagType, rows, cols int) []*tagmodel.Tag {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		arr := tagmodel.NewArray(tagmodel.ArrayConfig{
+			Rows: rows, Cols: cols,
+			Spacing: 0.06,
+			Origin:  geo.V(-float64(cols-1)*0.03, -float64(rows-1)*0.03, 0),
+			Type:    ty,
+		}, rng)
+		return arr.Tags
+	}
+	for _, ty := range res.Types {
+		var rssRow []float64
+		measure := func(rows, cols int) {
+			loss := tagmodel.ShadowThroughArrayDB(antenna.Pos, victimPos, build(ty, rows, cols))
+			pt := victim
+			pt.ExtraLossDB = loss
+			rssRow = append(rssRow, ch.Observe(pt, nil, nil).RSSdBm)
+		}
+		for _, n := range res.RowCounts {
+			measure(n, 1)
+		}
+		for _, n := range res.ColCounts {
+			measure(5, n)
+		}
+		res.RSS = append(res.RSS, rssRow)
+	}
+	return res
+}
+
+// GeometryResult reproduces the §IV-B3 deployment arithmetic.
+type GeometryResult struct {
+	BeamAngleDeg     float64
+	PlaneLengthM     float64
+	MinDistanceM     float64
+	ReadRangeM       float64
+	PaperBeamAngle   float64 // the paper's rounded 72°
+	PaperMinDistance float64 // the paper's 31.7 cm
+}
+
+// Name implements Result.
+func (GeometryResult) Name() string { return "geometry" }
+
+// String renders the deployment numbers.
+func (r GeometryResult) String() string {
+	return fmt.Sprintf("§IV-B3 — deployment geometry\n"+
+		"beam angle: %.1f° (paper rounds to %.0f°)\n"+
+		"plane length: %.2f m\n"+
+		"min antenna–plane distance: %.3f m (paper: %.3f m)\n"+
+		"forward-link read range at 30 dBm: %.1f m\n",
+		r.BeamAngleDeg, r.PaperBeamAngle, r.PlaneLengthM, r.MinDistanceM, r.PaperMinDistance, r.ReadRangeM)
+}
+
+// RunGeometry evaluates Eq. 13/14 and the minimum-distance formula for
+// the default deployment.
+func RunGeometry(cfg Config) GeometryResult {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	arr := tagmodel.NewArray(tagmodel.DefaultArrayConfig(), rng)
+	ant := rf.Antenna{Pos: geo.V(0, 0, 0.32), Boresight: geo.V(0, 0, -1), GainDBi: rf.DefaultAntennaGainDBi}
+	return GeometryResult{
+		BeamAngleDeg:     ant.BeamAngleRad() * 180 / 3.141592653589793,
+		PlaneLengthM:     arr.PlaneLength(),
+		MinDistanceM:     ant.MinPlaneDistance(arr.PlaneLength()),
+		ReadRangeM:       ant.ReadRange(30, 2, -18, rf.Wavelength(rf.DefaultFrequencyHz)),
+		PaperBeamAngle:   72,
+		PaperMinDistance: 0.317,
+	}
+}

@@ -1,0 +1,226 @@
+package geo
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample is one timestamped point along a trajectory.
+type Sample struct {
+	T time.Duration // offset from the start of the trajectory
+	P Vec3
+}
+
+// Path is a time-parameterized 3-D trajectory, stored as timestamped
+// samples sorted by ascending T. The zero value is an empty path.
+type Path struct {
+	samples []Sample
+}
+
+// NewPath builds a Path from samples. The samples are copied and sorted
+// by time, so callers may reuse the input slice.
+func NewPath(samples []Sample) *Path {
+	cp := make([]Sample, len(samples))
+	copy(cp, samples)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].T < cp[j].T })
+	return &Path{samples: cp}
+}
+
+// Len returns the number of samples.
+func (p *Path) Len() int { return len(p.samples) }
+
+// Samples returns a copy of the underlying samples.
+func (p *Path) Samples() []Sample {
+	cp := make([]Sample, len(p.samples))
+	copy(cp, p.samples)
+	return cp
+}
+
+// Append adds a sample; t must be >= the last sample's time.
+func (p *Path) Append(t time.Duration, pos Vec3) {
+	p.samples = append(p.samples, Sample{T: t, P: pos})
+}
+
+// Duration returns the time span covered by the path.
+func (p *Path) Duration() time.Duration {
+	if len(p.samples) == 0 {
+		return 0
+	}
+	return p.samples[len(p.samples)-1].T - p.samples[0].T
+}
+
+// At returns the position at time t, linearly interpolating between
+// samples and clamping outside the covered span. ok is false only for an
+// empty path.
+func (p *Path) At(t time.Duration) (pos Vec3, ok bool) {
+	n := len(p.samples)
+	if n == 0 {
+		return Vec3{}, false
+	}
+	if t <= p.samples[0].T {
+		return p.samples[0].P, true
+	}
+	if t >= p.samples[n-1].T {
+		return p.samples[n-1].P, true
+	}
+	// Binary search for the first sample with T >= t.
+	i := sort.Search(n, func(i int) bool { return p.samples[i].T >= t })
+	a, b := p.samples[i-1], p.samples[i]
+	span := b.T - a.T
+	if span == 0 {
+		return b.P, true
+	}
+	u := float64(t-a.T) / float64(span)
+	return a.P.Lerp(b.P, u), true
+}
+
+// Start returns the first sample position (zero value for empty paths).
+func (p *Path) Start() Vec3 {
+	if len(p.samples) == 0 {
+		return Vec3{}
+	}
+	return p.samples[0].P
+}
+
+// End returns the last sample position (zero value for empty paths).
+func (p *Path) End() Vec3 {
+	if len(p.samples) == 0 {
+		return Vec3{}
+	}
+	return p.samples[len(p.samples)-1].P
+}
+
+// ArcLength returns the summed segment lengths of the sampled polyline.
+func (p *Path) ArcLength() float64 {
+	var total float64
+	for i := 1; i < len(p.samples); i++ {
+		total += p.samples[i].P.Dist(p.samples[i-1].P)
+	}
+	return total
+}
+
+// Shift returns a copy of the path translated by offset.
+func (p *Path) Shift(offset Vec3) *Path {
+	out := make([]Sample, len(p.samples))
+	for i, s := range p.samples {
+		out[i] = Sample{T: s.T, P: s.P.Add(offset)}
+	}
+	return &Path{samples: out}
+}
+
+// TimeShift returns a copy of the path with all timestamps moved by dt.
+func (p *Path) TimeShift(dt time.Duration) *Path {
+	out := make([]Sample, len(p.samples))
+	for i, s := range p.samples {
+		out[i] = Sample{T: s.T + dt, P: s.P}
+	}
+	return &Path{samples: out}
+}
+
+// Concat appends q's samples after p, offsetting q's timestamps so q
+// starts where p ends plus gap. Positions are left untouched.
+func (p *Path) Concat(q *Path, gap time.Duration) *Path {
+	out := make([]Sample, 0, len(p.samples)+q.Len())
+	out = append(out, p.samples...)
+	offset := p.Duration() + gap
+	if len(p.samples) > 0 {
+		offset = p.samples[len(p.samples)-1].T + gap
+	}
+	for _, s := range q.samples {
+		out = append(out, Sample{T: s.T + offset, P: s.P})
+	}
+	return &Path{samples: out}
+}
+
+// Resample returns a copy of the path sampled at a fixed period. The
+// result covers [first, last] inclusive of the final instant.
+func (p *Path) Resample(period time.Duration) *Path {
+	if len(p.samples) == 0 || period <= 0 {
+		return &Path{}
+	}
+	first := p.samples[0].T
+	last := p.samples[len(p.samples)-1].T
+	var out []Sample
+	for t := first; t <= last; t += period {
+		pos, _ := p.At(t)
+		out = append(out, Sample{T: t, P: pos})
+	}
+	if out[len(out)-1].T != last {
+		out = append(out, Sample{T: last, P: p.samples[len(p.samples)-1].P})
+	}
+	return &Path{samples: out}
+}
+
+// MinimumJerk returns the classic minimum-jerk position fraction for
+// normalized time u in [0,1]: 10u³ − 15u⁴ + 6u⁵. Human point-to-point
+// hand movements closely follow this profile, which is why the motion
+// synthesizer uses it. Values outside [0,1] are clamped.
+func MinimumJerk(u float64) float64 {
+	if u <= 0 {
+		return 0
+	}
+	if u >= 1 {
+		return 1
+	}
+	u3 := u * u * u
+	return 10*u3 - 15*u3*u + 6*u3*u*u
+}
+
+// PolylinePoint evaluates the point a fraction f (by arc length) along
+// the polyline defined by pts. f is clamped to [0,1]. An empty polyline
+// yields the zero vector; a single point is returned as-is.
+func PolylinePoint(pts []Vec3, f float64) Vec3 {
+	switch len(pts) {
+	case 0:
+		return Vec3{}
+	case 1:
+		return pts[0]
+	}
+	if f <= 0 {
+		return pts[0]
+	}
+	if f >= 1 {
+		return pts[len(pts)-1]
+	}
+	var total float64
+	segs := make([]float64, len(pts)-1)
+	for i := 1; i < len(pts); i++ {
+		segs[i-1] = pts[i].Dist(pts[i-1])
+		total += segs[i-1]
+	}
+	if total == 0 {
+		return pts[0]
+	}
+	target := f * total
+	for i, s := range segs {
+		if target <= s || i == len(segs)-1 {
+			if s == 0 {
+				return pts[i]
+			}
+			return pts[i].Lerp(pts[i+1], target/s)
+		}
+		target -= s
+	}
+	return pts[len(pts)-1]
+}
+
+// ArcPoints samples n points along a circular arc in the z=plane height
+// plane, centred at c with radius r, sweeping from angle a0 to a1
+// (radians, may wrap either direction).
+func ArcPoints(c Vec2, r float64, a0, a1 float64, n int, z float64) []Vec3 {
+	if n < 2 {
+		n = 2
+	}
+	pts := make([]Vec3, n)
+	for i := 0; i < n; i++ {
+		u := float64(i) / float64(n-1)
+		a := a0 + (a1-a0)*u
+		pts[i] = Vec3{
+			X: c.X + r*math.Cos(a),
+			Y: c.Y + r*math.Sin(a),
+			Z: z,
+		}
+	}
+	return pts
+}

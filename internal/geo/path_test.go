@@ -1,0 +1,216 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestPathAtInterpolates(t *testing.T) {
+	p := NewPath([]Sample{
+		{T: ms(0), P: V(0, 0, 0)},
+		{T: ms(100), P: V(1, 0, 0)},
+		{T: ms(300), P: V(1, 2, 0)},
+	})
+	tests := []struct {
+		name string
+		t    time.Duration
+		want Vec3
+	}{
+		{"before-start-clamps", ms(-50), V(0, 0, 0)},
+		{"at-start", ms(0), V(0, 0, 0)},
+		{"mid-first-seg", ms(50), V(0.5, 0, 0)},
+		{"at-knot", ms(100), V(1, 0, 0)},
+		{"mid-second-seg", ms(200), V(1, 1, 0)},
+		{"at-end", ms(300), V(1, 2, 0)},
+		{"after-end-clamps", ms(999), V(1, 2, 0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := p.At(tt.t)
+			if !ok {
+				t.Fatal("At returned !ok on non-empty path")
+			}
+			if !vecAlmostEq(got, tt.want, 1e-12) {
+				t.Errorf("At(%v) = %v, want %v", tt.t, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPathEmpty(t *testing.T) {
+	p := &Path{}
+	if _, ok := p.At(0); ok {
+		t.Error("At on empty path reported ok")
+	}
+	if p.Duration() != 0 {
+		t.Error("Duration of empty path nonzero")
+	}
+	if p.ArcLength() != 0 {
+		t.Error("ArcLength of empty path nonzero")
+	}
+	if p.Start() != (Vec3{}) || p.End() != (Vec3{}) {
+		t.Error("Start/End of empty path nonzero")
+	}
+}
+
+func TestPathSortsUnorderedInput(t *testing.T) {
+	p := NewPath([]Sample{
+		{T: ms(200), P: V(2, 0, 0)},
+		{T: ms(0), P: V(0, 0, 0)},
+		{T: ms(100), P: V(1, 0, 0)},
+	})
+	got, _ := p.At(ms(150))
+	if !vecAlmostEq(got, V(1.5, 0, 0), 1e-12) {
+		t.Errorf("At(150ms) = %v after sorting, want (1.5,0,0)", got)
+	}
+}
+
+func TestPathArcLengthAndDuration(t *testing.T) {
+	p := NewPath([]Sample{
+		{T: ms(0), P: V(0, 0, 0)},
+		{T: ms(100), P: V(3, 4, 0)},
+		{T: ms(200), P: V(3, 4, 12)},
+	})
+	if got := p.ArcLength(); !almostEq(got, 17, 1e-12) {
+		t.Errorf("ArcLength = %v, want 17", got)
+	}
+	if got := p.Duration(); got != ms(200) {
+		t.Errorf("Duration = %v, want 200ms", got)
+	}
+}
+
+func TestPathConcatAndShift(t *testing.T) {
+	a := NewPath([]Sample{{T: 0, P: V(0, 0, 0)}, {T: ms(100), P: V(1, 0, 0)}})
+	b := NewPath([]Sample{{T: 0, P: V(1, 0, 0)}, {T: ms(100), P: V(1, 1, 0)}})
+	c := a.Concat(b, ms(50))
+	if c.Len() != 4 {
+		t.Fatalf("Concat len = %d, want 4", c.Len())
+	}
+	s := c.Samples()
+	if s[2].T != ms(150) {
+		t.Errorf("first sample of b starts at %v, want 150ms", s[2].T)
+	}
+	if s[3].T != ms(250) {
+		t.Errorf("last sample at %v, want 250ms", s[3].T)
+	}
+
+	sh := a.Shift(V(0, 0, 5))
+	if got := sh.Start(); !vecAlmostEq(got, V(0, 0, 5), 1e-12) {
+		t.Errorf("Shift start = %v", got)
+	}
+	ts := a.TimeShift(ms(30))
+	if got := ts.Samples()[0].T; got != ms(30) {
+		t.Errorf("TimeShift start = %v", got)
+	}
+}
+
+func TestPathResample(t *testing.T) {
+	p := NewPath([]Sample{
+		{T: ms(0), P: V(0, 0, 0)},
+		{T: ms(100), P: V(10, 0, 0)},
+	})
+	r := p.Resample(ms(25))
+	if r.Len() != 5 {
+		t.Fatalf("Resample len = %d, want 5", r.Len())
+	}
+	got, _ := r.At(ms(25))
+	if !vecAlmostEq(got, V(2.5, 0, 0), 1e-12) {
+		t.Errorf("resampled At(25ms) = %v", got)
+	}
+	// Final instant is always included even when not on the grid.
+	r2 := p.Resample(ms(33))
+	last := r2.Samples()[r2.Len()-1]
+	if last.T != ms(100) {
+		t.Errorf("last resample at %v, want 100ms", last.T)
+	}
+	if (&Path{}).Resample(ms(10)).Len() != 0 {
+		t.Error("Resample of empty path non-empty")
+	}
+	if p.Resample(0).Len() != 0 {
+		t.Error("Resample with period 0 non-empty")
+	}
+}
+
+func TestMinimumJerk(t *testing.T) {
+	if got := MinimumJerk(0); got != 0 {
+		t.Errorf("MinimumJerk(0) = %v", got)
+	}
+	if got := MinimumJerk(1); got != 1 {
+		t.Errorf("MinimumJerk(1) = %v", got)
+	}
+	if got := MinimumJerk(0.5); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("MinimumJerk(0.5) = %v, want 0.5 (profile is symmetric)", got)
+	}
+	if got := MinimumJerk(-1); got != 0 {
+		t.Errorf("MinimumJerk(-1) = %v", got)
+	}
+	if got := MinimumJerk(2); got != 1 {
+		t.Errorf("MinimumJerk(2) = %v", got)
+	}
+	// Monotone non-decreasing on [0,1].
+	prev := 0.0
+	for u := 0.0; u <= 1.0; u += 0.01 {
+		v := MinimumJerk(u)
+		if v < prev-1e-12 {
+			t.Fatalf("MinimumJerk not monotone at u=%v", u)
+		}
+		prev = v
+	}
+}
+
+func TestPolylinePoint(t *testing.T) {
+	pts := []Vec3{V(0, 0, 0), V(1, 0, 0), V(1, 1, 0)}
+	tests := []struct {
+		f    float64
+		want Vec3
+	}{
+		{0, V(0, 0, 0)},
+		{0.25, V(0.5, 0, 0)},
+		{0.5, V(1, 0, 0)},
+		{0.75, V(1, 0.5, 0)},
+		{1, V(1, 1, 0)},
+		{-0.5, V(0, 0, 0)},
+		{1.5, V(1, 1, 0)},
+	}
+	for _, tt := range tests {
+		if got := PolylinePoint(pts, tt.f); !vecAlmostEq(got, tt.want, 1e-12) {
+			t.Errorf("PolylinePoint(%v) = %v, want %v", tt.f, got, tt.want)
+		}
+	}
+	if got := PolylinePoint(nil, 0.5); got != (Vec3{}) {
+		t.Errorf("empty polyline = %v", got)
+	}
+	if got := PolylinePoint([]Vec3{V(7, 7, 7)}, 0.3); got != V(7, 7, 7) {
+		t.Errorf("single-point polyline = %v", got)
+	}
+	// Degenerate zero-length polyline.
+	if got := PolylinePoint([]Vec3{V(1, 1, 1), V(1, 1, 1)}, 0.5); got != V(1, 1, 1) {
+		t.Errorf("zero-length polyline = %v", got)
+	}
+}
+
+func TestArcPoints(t *testing.T) {
+	pts := ArcPoints(V2(0, 0), 1, 0, math.Pi, 9, 0.05)
+	if len(pts) != 9 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if !vecAlmostEq(pts[0], V(1, 0, 0.05), 1e-12) {
+		t.Errorf("start = %v", pts[0])
+	}
+	if !vecAlmostEq(pts[8], V(-1, 0, 0.05), 1e-9) {
+		t.Errorf("end = %v", pts[8])
+	}
+	// Every point is on the circle.
+	for i, p := range pts {
+		r := math.Hypot(p.X, p.Y)
+		if !almostEq(r, 1, 1e-9) {
+			t.Errorf("point %d radius %v", i, r)
+		}
+	}
+	if got := ArcPoints(V2(0, 0), 1, 0, 1, 1, 0); len(got) != 2 {
+		t.Errorf("n<2 should clamp to 2, got %d", len(got))
+	}
+}

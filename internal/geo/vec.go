@@ -1,0 +1,168 @@
+// Package geo provides the small 3-D vector geometry kernel used by the
+// RF channel simulator, the hand-motion synthesizer, and the deployment
+// planner. All lengths are in metres unless stated otherwise.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a point or direction in 3-D space. The RFIPad convention is:
+// x runs along the tag-array rows (lateral), y along the columns
+// (lengthways), and z points away from the tag plane toward the user.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for constructing a Vec3.
+func V(x, y, z float64) Vec3 { return Vec3{X: x, Y: y, Z: z} }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Neg returns -v.
+func (v Vec3) Neg() Vec3 { return Vec3{-v.X, -v.Y, -v.Z} }
+
+// Dot returns the dot product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v×w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		X: v.Y*w.Z - v.Z*w.Y,
+		Y: v.Z*w.X - v.X*w.Z,
+		Z: v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// NormSq returns the squared Euclidean length of v.
+func (v Vec3) NormSq() float64 { return v.Dot(v) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Unit returns v normalized to unit length. The zero vector is returned
+// unchanged so callers never divide by zero.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Lerp linearly interpolates between v (t=0) and w (t=1).
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return v.Add(w.Sub(v).Scale(t))
+}
+
+// AngleTo returns the angle in radians between v and w, in [0, π].
+// It is 0 if either vector is zero.
+func (v Vec3) AngleTo(w Vec3) float64 {
+	nv, nw := v.Norm(), w.Norm()
+	if nv == 0 || nw == 0 {
+		return 0
+	}
+	c := v.Dot(w) / (nv * nw)
+	c = math.Max(-1, math.Min(1, c))
+	return math.Acos(c)
+}
+
+// RotateZ rotates v around the z axis by theta radians (right-handed).
+func (v Vec3) RotateZ(theta float64) Vec3 {
+	s, c := math.Sincos(theta)
+	return Vec3{
+		X: c*v.X - s*v.Y,
+		Y: s*v.X + c*v.Y,
+		Z: v.Z,
+	}
+}
+
+// RotateY rotates v around the y axis by theta radians (right-handed).
+func (v Vec3) RotateY(theta float64) Vec3 {
+	s, c := math.Sincos(theta)
+	return Vec3{
+		X: c*v.X + s*v.Z,
+		Y: v.Y,
+		Z: -s*v.X + c*v.Z,
+	}
+}
+
+// RotateX rotates v around the x axis by theta radians (right-handed).
+func (v Vec3) RotateX(theta float64) Vec3 {
+	s, c := math.Sincos(theta)
+	return Vec3{
+		X: v.X,
+		Y: c*v.Y - s*v.Z,
+		Z: s*v.Y + c*v.Z,
+	}
+}
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string {
+	return fmt.Sprintf("(%.4f, %.4f, %.4f)", v.X, v.Y, v.Z)
+}
+
+// Vec2 is a point in the tag-plane coordinate system (metres).
+type Vec2 struct {
+	X, Y float64
+}
+
+// V2 is shorthand for constructing a Vec2.
+func V2(x, y float64) Vec2 { return Vec2{X: x, Y: y} }
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v·w.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the z component of the 3-D cross product, i.e. the
+// signed area spanned by v and w.
+func (v Vec2) Cross(w Vec2) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Norm returns the Euclidean length of v.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec2) Dist(w Vec2) float64 { return v.Sub(w).Norm() }
+
+// Unit returns v normalized to unit length; the zero vector is returned
+// unchanged.
+func (v Vec2) Unit() Vec2 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Lerp linearly interpolates between v (t=0) and w (t=1).
+func (v Vec2) Lerp(w Vec2, t float64) Vec2 {
+	return v.Add(w.Sub(v).Scale(t))
+}
+
+// Angle returns the polar angle of v in radians, in (-π, π].
+func (v Vec2) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// In3D lifts v to a Vec3 at height z.
+func (v Vec2) In3D(z float64) Vec3 { return Vec3{X: v.X, Y: v.Y, Z: z} }
+
+// String implements fmt.Stringer.
+func (v Vec2) String() string { return fmt.Sprintf("(%.4f, %.4f)", v.X, v.Y) }

@@ -1,0 +1,163 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b Vec3, tol float64) bool {
+	return almostEq(a.X, b.X, tol) && almostEq(a.Y, b.Y, tol) && almostEq(a.Z, b.Z, tol)
+}
+
+func TestVec3Arithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Vec3
+		want Vec3
+	}{
+		{"add", V(1, 2, 3).Add(V(4, 5, 6)), V(5, 7, 9)},
+		{"sub", V(4, 5, 6).Sub(V(1, 2, 3)), V(3, 3, 3)},
+		{"scale", V(1, -2, 3).Scale(2), V(2, -4, 6)},
+		{"neg", V(1, -2, 3).Neg(), V(-1, 2, -3)},
+		{"cross-xy", V(1, 0, 0).Cross(V(0, 1, 0)), V(0, 0, 1)},
+		{"cross-yz", V(0, 1, 0).Cross(V(0, 0, 1)), V(1, 0, 0)},
+		{"lerp-mid", V(0, 0, 0).Lerp(V(2, 4, 6), 0.5), V(1, 2, 3)},
+		{"unit-zero", V(0, 0, 0).Unit(), V(0, 0, 0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !vecAlmostEq(tt.got, tt.want, eps) {
+				t.Errorf("got %v, want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVec3NormAndDist(t *testing.T) {
+	if got := V(3, 4, 0).Norm(); !almostEq(got, 5, eps) {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := V(1, 1, 1).NormSq(); !almostEq(got, 3, eps) {
+		t.Errorf("NormSq = %v, want 3", got)
+	}
+	if got := V(1, 2, 3).Dist(V(1, 2, 7)); !almostEq(got, 4, eps) {
+		t.Errorf("Dist = %v, want 4", got)
+	}
+}
+
+func TestVec3AngleTo(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Vec3
+		want float64
+	}{
+		{"orthogonal", V(1, 0, 0), V(0, 1, 0), math.Pi / 2},
+		{"parallel", V(1, 0, 0), V(5, 0, 0), 0},
+		{"opposite", V(1, 0, 0), V(-2, 0, 0), math.Pi},
+		{"zero-vec", V(0, 0, 0), V(1, 0, 0), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.AngleTo(tt.b); !almostEq(got, tt.want, 1e-9) {
+				t.Errorf("AngleTo = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVec3Rotations(t *testing.T) {
+	// Quarter turns map axes onto each other.
+	if got := V(1, 0, 0).RotateZ(math.Pi / 2); !vecAlmostEq(got, V(0, 1, 0), 1e-12) {
+		t.Errorf("RotateZ(π/2) of x̂ = %v, want ŷ", got)
+	}
+	if got := V(0, 0, 1).RotateY(math.Pi / 2); !vecAlmostEq(got, V(1, 0, 0), 1e-12) {
+		t.Errorf("RotateY(π/2) of ẑ = %v, want x̂", got)
+	}
+	if got := V(0, 1, 0).RotateX(math.Pi / 2); !vecAlmostEq(got, V(0, 0, 1), 1e-12) {
+		t.Errorf("RotateX(π/2) of ŷ = %v, want ẑ", got)
+	}
+}
+
+func TestRotationPreservesNormProperty(t *testing.T) {
+	f := func(x, y, z, theta float64) bool {
+		// Constrain inputs to a sane range to avoid overflow noise.
+		v := V(math.Mod(x, 1e6), math.Mod(y, 1e6), math.Mod(z, 1e6))
+		th := math.Mod(theta, 2*math.Pi)
+		n := v.Norm()
+		return almostEq(v.RotateZ(th).Norm(), n, 1e-6*(1+n)) &&
+			almostEq(v.RotateY(th).Norm(), n, 1e-6*(1+n)) &&
+			almostEq(v.RotateX(th).Norm(), n, 1e-6*(1+n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossOrthogonalProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := V(math.Mod(ax, 1e3), math.Mod(ay, 1e3), math.Mod(az, 1e3))
+		b := V(math.Mod(bx, 1e3), math.Mod(by, 1e3), math.Mod(bz, 1e3))
+		c := a.Cross(b)
+		scale := 1 + a.Norm()*b.Norm()
+		return math.Abs(c.Dot(a)) <= 1e-6*scale && math.Abs(c.Dot(b)) <= 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnitNormProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		v := V(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
+		if v.Norm() == 0 {
+			continue
+		}
+		if got := v.Unit().Norm(); !almostEq(got, 1, 1e-9) {
+			t.Fatalf("Unit().Norm() = %v for %v", got, v)
+		}
+	}
+}
+
+func TestVec2Basics(t *testing.T) {
+	a, b := V2(3, 4), V2(1, 1)
+	if got := a.Norm(); !almostEq(got, 5, eps) {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := a.Sub(b); got != V2(2, 3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Add(b); got != V2(4, 5) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := V2(1, 0).Cross(V2(0, 1)); !almostEq(got, 1, eps) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := V2(0, 2).Angle(); !almostEq(got, math.Pi/2, eps) {
+		t.Errorf("Angle = %v", got)
+	}
+	if got := V2(1, 2).In3D(3); got != V(1, 2, 3) {
+		t.Errorf("In3D = %v", got)
+	}
+	if got := V2(0, 0).Unit(); got != V2(0, 0) {
+		t.Errorf("Unit of zero = %v", got)
+	}
+	if got := V2(0, 0).Lerp(V2(2, 2), 0.25); got != V2(0.5, 0.5) {
+		t.Errorf("Lerp = %v", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if got := V(1, 2, 3).String(); got == "" {
+		t.Error("Vec3.String is empty")
+	}
+	if got := V2(1, 2).String(); got == "" {
+		t.Error("Vec2.String is empty")
+	}
+}

@@ -1,0 +1,225 @@
+package grammar
+
+import (
+	"testing"
+
+	"rfipad/internal/stroke"
+)
+
+func TestAlphabetComplete(t *testing.T) {
+	letters := Alphabet()
+	if len(letters) != 26 {
+		t.Fatalf("alphabet size = %d, want 26", len(letters))
+	}
+	seen := map[rune]bool{}
+	for _, l := range letters {
+		if l.Char < 'A' || l.Char > 'Z' {
+			t.Errorf("unexpected letter %q", l.Char)
+		}
+		if seen[l.Char] {
+			t.Errorf("duplicate letter %q", l.Char)
+		}
+		seen[l.Char] = true
+		if len(l.Strokes) < 1 || len(l.Strokes) > 4 {
+			t.Errorf("%q has %d strokes", l.Char, len(l.Strokes))
+		}
+		for i, p := range l.Strokes {
+			if p.Motion.Shape < stroke.Click || p.Motion.Shape > stroke.ArcRight {
+				t.Errorf("%q stroke %d has shape %v", l.Char, i, p.Motion.Shape)
+			}
+			if p.Motion.Shape == stroke.Click {
+				t.Errorf("%q uses click as a letter stroke", l.Char)
+			}
+			if p.Box.W() <= 0 || p.Box.H() <= 0 {
+				t.Errorf("%q stroke %d has empty box", l.Char, i)
+			}
+		}
+	}
+}
+
+func TestGroupsMatchPaper(t *testing.T) {
+	// §V-C / Fig. 23: group #1 {C,I}, #2 {D,J,L,O,P,S,T,V,X},
+	// #3 {A,B,F,G,H,K,N,Q,R,U,Y,Z}, #4 {E,M,W}.
+	wantGroups := map[int]string{
+		1: "CI",
+		2: "DJLOPSTVX",
+		3: "ABFGHKNQRUYZ",
+		4: "EMW",
+	}
+	got := map[int]string{}
+	for _, l := range Alphabet() {
+		got[l.Group()] += string(l.Char)
+	}
+	for g, want := range wantGroups {
+		if got[g] != want {
+			t.Errorf("group #%d = %q, want %q", g, got[g], want)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	h, ok := Lookup('H')
+	if !ok {
+		t.Fatal("H not found")
+	}
+	// The paper's example (§II-C): H is |, −, |.
+	wantShapes := []stroke.Shape{stroke.Vertical, stroke.Horizontal, stroke.Vertical}
+	for i, p := range h.Strokes {
+		if p.Motion.Shape != wantShapes[i] {
+			t.Errorf("H stroke %d = %v, want %v", i, p.Motion.Shape, wantShapes[i])
+		}
+	}
+	if _, ok := Lookup('h'); ok {
+		t.Error("lowercase lookup should fail")
+	}
+	if _, ok := Lookup('0'); ok {
+		t.Error("digit lookup should fail")
+	}
+}
+
+func TestPaperExampleT(t *testing.T) {
+	// §III-C2: "RFIPad observes two strokes '−' and '|' in sequence …
+	// identified as letter 'T'."
+	obs := []Observed{
+		{Motion: stroke.M(stroke.Horizontal, stroke.Forward), Box: stroke.R(0, 0.7, 1, 1)},
+		{Motion: stroke.M(stroke.Vertical, stroke.Forward), Box: stroke.R(0.35, 0, 0.65, 1)},
+	}
+	ch, ok := Deduce(obs)
+	if !ok || ch != 'T' {
+		t.Errorf("Deduce = %q,%v, want T", ch, ok)
+	}
+}
+
+func TestAmbiguousPairsContainDPAndOS(t *testing.T) {
+	pairs := AmbiguousPairs()
+	has := func(a, b rune) bool {
+		for _, g := range pairs {
+			foundA, foundB := false, false
+			for _, ch := range g {
+				foundA = foundA || ch == a
+				foundB = foundB || ch == b
+			}
+			if foundA && foundB {
+				return true
+			}
+		}
+		return false
+	}
+	if !has('D', 'P') {
+		t.Error("D and P should share a stroke sequence (§III-C2)")
+	}
+	if !has('O', 'S') {
+		t.Error("O and S should share a stroke sequence (§III-C2)")
+	}
+}
+
+func TestPositionDisambiguation(t *testing.T) {
+	// Same sequence | then ⊃ — a full-height bowl is a D, an upper
+	// bowl is a P (§III-C2's physical-position rule).
+	dObs := []Observed{
+		{Motion: stroke.M(stroke.Vertical, stroke.Forward), Box: stroke.R(0, 0, 0.3, 1)},
+		{Motion: stroke.M(stroke.ArcRight, stroke.Forward), Box: stroke.R(0.1, 0.05, 0.95, 0.95)},
+	}
+	pObs := []Observed{
+		{Motion: stroke.M(stroke.Vertical, stroke.Forward), Box: stroke.R(0, 0, 0.3, 1)},
+		{Motion: stroke.M(stroke.ArcRight, stroke.Forward), Box: stroke.R(0.1, 0.5, 0.95, 1)},
+	}
+	if ch, ok := Deduce(dObs); !ok || ch != 'D' {
+		t.Errorf("full-height bowl = %q,%v, want D", ch, ok)
+	}
+	if ch, ok := Deduce(pObs); !ok || ch != 'P' {
+		t.Errorf("upper bowl = %q,%v, want P", ch, ok)
+	}
+	// O vs S: side-by-side arcs are O, stacked arcs are S.
+	oObs := []Observed{
+		{Motion: stroke.M(stroke.ArcLeft, stroke.Forward), Box: stroke.R(0, 0, 0.55, 1)},
+		{Motion: stroke.M(stroke.ArcRight, stroke.Forward), Box: stroke.R(0.45, 0, 1, 1)},
+	}
+	sObs := []Observed{
+		{Motion: stroke.M(stroke.ArcLeft, stroke.Forward), Box: stroke.R(0, 0.5, 1, 1)},
+		{Motion: stroke.M(stroke.ArcRight, stroke.Forward), Box: stroke.R(0, 0, 1, 0.5)},
+	}
+	if ch, ok := Deduce(oObs); !ok || ch != 'O' {
+		t.Errorf("side-by-side arcs = %q,%v, want O", ch, ok)
+	}
+	if ch, ok := Deduce(sObs); !ok || ch != 'S' {
+		t.Errorf("stacked arcs = %q,%v, want S", ch, ok)
+	}
+}
+
+func TestEveryLetterSelfDeducible(t *testing.T) {
+	// Feeding a letter's own canonical strokes back must deduce it —
+	// position info resolves every ambiguity ("with no doubts",
+	// §III-C2).
+	for _, l := range Alphabet() {
+		obs := make([]Observed, len(l.Strokes))
+		for i, p := range l.Strokes {
+			obs[i] = Observed{Motion: p.Motion, Box: p.Box}
+		}
+		ch, ok := Deduce(obs)
+		if !ok {
+			t.Errorf("%q: no candidates for its own strokes", l.Char)
+			continue
+		}
+		if ch != l.Char {
+			t.Errorf("%q deduced as %q", l.Char, ch)
+		}
+	}
+}
+
+func TestCandidatesEmptyForUnknownSequence(t *testing.T) {
+	got := Candidates([]stroke.Motion{stroke.M(stroke.Click, 0)})
+	if len(got) != 0 {
+		t.Errorf("click sequence candidates = %v", got)
+	}
+	if _, ok := Deduce(nil); ok {
+		t.Error("empty observation should not deduce")
+	}
+}
+
+func TestDeduceFuzzy(t *testing.T) {
+	// A slightly corrupted H (wrong direction on the crossbar) still
+	// resolves to H via fuzzy matching.
+	obs := []Observed{
+		{Motion: stroke.M(stroke.Vertical, stroke.Forward), Box: stroke.R(0, 0, 0.3, 1)},
+		{Motion: stroke.M(stroke.Horizontal, stroke.Reverse), Box: stroke.R(0, 0.35, 1, 0.65)},
+		{Motion: stroke.M(stroke.Vertical, stroke.Forward), Box: stroke.R(0.7, 0, 1, 1)},
+	}
+	ch, ok := DeduceFuzzy(obs)
+	if !ok || ch != 'H' {
+		t.Errorf("fuzzy = %q,%v, want H", ch, ok)
+	}
+	// Exact matches pass through unchanged.
+	exact := []Observed{
+		{Motion: stroke.M(stroke.Horizontal, stroke.Forward), Box: stroke.R(0, 0.7, 1, 1)},
+		{Motion: stroke.M(stroke.Vertical, stroke.Forward), Box: stroke.R(0.35, 0, 0.65, 1)},
+	}
+	if ch, ok := DeduceFuzzy(exact); !ok || ch != 'T' {
+		t.Errorf("fuzzy exact = %q,%v, want T", ch, ok)
+	}
+	// A stroke count with no letters (>4) fails.
+	var five []Observed
+	for i := 0; i < 5; i++ {
+		five = append(five, Observed{Motion: stroke.M(stroke.Vertical, stroke.Forward), Box: stroke.Unit})
+	}
+	if _, ok := DeduceFuzzy(five); ok {
+		t.Error("five strokes should not deduce")
+	}
+}
+
+func TestLettersDistinguishableWithinGroups(t *testing.T) {
+	// Within each sequence-sharing group, canonical layouts must be
+	// separable: each member deduces to itself, not to its twin.
+	for _, group := range AmbiguousPairs() {
+		for _, ch := range group {
+			l, _ := Lookup(ch)
+			obs := make([]Observed, len(l.Strokes))
+			for i, p := range l.Strokes {
+				obs[i] = Observed{Motion: p.Motion, Box: p.Box}
+			}
+			if got, _ := Deduce(obs); got != ch {
+				t.Errorf("group %q: %q deduced as %q", string(group), ch, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package hand
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"rfipad/internal/geo"
+)
+
+// Kinect simulates the ground-truth collection of §V-A: a depth camera
+// behind the user samples the hand joint of its skeletal output at
+// 30 fps with a few millimetres of sensor noise.
+type Kinect struct {
+	// FrameRate is the skeletal stream rate in Hz (default 30).
+	FrameRate float64
+	// NoiseM is the per-axis positional noise σ in metres (default
+	// 4 mm, typical for Kinect skeletal joints at ~2 m).
+	NoiseM float64
+}
+
+// DefaultKinect returns the §V-A ground-truth configuration.
+func DefaultKinect() Kinect { return Kinect{FrameRate: 30, NoiseM: 0.004} }
+
+// Track samples the true trajectory as the Kinect would observe it.
+// rng may be nil for a noiseless track.
+func (k Kinect) Track(truth *geo.Path, rng *rand.Rand) *geo.Path {
+	fr := k.FrameRate
+	if fr <= 0 {
+		fr = 30
+	}
+	period := time.Duration(float64(time.Second) / fr)
+	sampled := truth.Resample(period)
+	if rng == nil || k.NoiseM <= 0 {
+		return sampled
+	}
+	noisy := make([]geo.Sample, 0, sampled.Len())
+	for _, s := range sampled.Samples() {
+		noisy = append(noisy, geo.Sample{
+			T: s.T,
+			P: s.P.Add(geo.V(
+				rng.NormFloat64()*k.NoiseM,
+				rng.NormFloat64()*k.NoiseM,
+				rng.NormFloat64()*k.NoiseM,
+			)),
+		})
+	}
+	return geo.NewPath(noisy)
+}
+
+// TrajectoryRMSE compares two trajectories over their overlapping time
+// span, sampling at the given period, and returns the root-mean-square
+// 3-D error in metres. It is the metric behind Fig. 25's visual
+// agreement. Empty paths give +Inf.
+func TrajectoryRMSE(a, b *geo.Path, period time.Duration) float64 {
+	if a.Len() == 0 || b.Len() == 0 || period <= 0 {
+		return math.Inf(1)
+	}
+	end := a.Duration()
+	if d := b.Duration(); d < end {
+		end = d
+	}
+	var ss float64
+	var n int
+	for t := time.Duration(0); t <= end; t += period {
+		pa, _ := a.At(t)
+		pb, _ := b.At(t)
+		d := pa.Dist(pb)
+		ss += d * d
+		n++
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(ss / float64(n))
+}

@@ -1,0 +1,79 @@
+package hand
+
+import (
+	"time"
+
+	"rfipad/internal/geo"
+	"rfipad/internal/rf"
+)
+
+// Scatterer parameters for the hand and forearm. The hand couples into
+// the tag near field (it is the sensing signal); the forearm mostly
+// matters as a line-of-sight blocker, which is what degrades the LOS
+// deployment in Table I.
+const (
+	handReflectivity    = 0.55
+	handProximityRadius = 0.07  // the hand is a near-field "virtual transmitter"
+	handCouplingRadius  = 0.052 // λ/2π: the near-field boundary §IV-B1
+	handCouplingLossDB  = 8
+	handHarvestRadius   = 0.04 // almost-touching detunes the IC's harvesting
+	handHarvestLossDB   = 25
+	handBlockRadius     = 0.05
+	handBlockLossDB     = 6
+
+	armReflectivity    = 0.25
+	armProximityRadius = 0.09 // higher and cloth-covered: weak near-field reach
+	armBlockRadius     = 0.07
+	armBlockLossDB     = 3.5
+	armHeightOffset    = 0.12 // forearm rides well above the hand
+	armBackFraction    = 0.35 // how far along hand→body the forearm centre sits
+)
+
+// Body is the writer's position relative to the canvas, used to place
+// the forearm scatterer trailing from the hand toward the body.
+type Body struct {
+	// ShoulderPos is the approximate shoulder position in world
+	// coordinates.
+	ShoulderPos geo.Vec3
+}
+
+// velEpsilon is the finite-difference step for velocity estimation.
+const velEpsilon = 10 * time.Millisecond
+
+// Scatterers returns the rf scatterers (hand + forearm) for the script
+// at time t. The slice is freshly allocated per call.
+func Scatterers(script *Script, body Body, t time.Duration) []rf.Scatterer {
+	pos, ok := script.Path.At(t)
+	if !ok {
+		return nil
+	}
+	before, _ := script.Path.At(t - velEpsilon)
+	after, _ := script.Path.At(t + velEpsilon)
+	vel := after.Sub(before).Scale(1 / (2 * velEpsilon.Seconds()))
+
+	handSc := rf.Scatterer{
+		Pos:             pos,
+		Vel:             vel,
+		Reflectivity:    handReflectivity,
+		ProximityRadius: handProximityRadius,
+		CouplingRadius:  handCouplingRadius,
+		CouplingLossDB:  handCouplingLossDB,
+		HarvestRadius:   handHarvestRadius,
+		HarvestLossDB:   handHarvestLossDB,
+		BlockRadius:     handBlockRadius,
+		BlockLossDB:     handBlockLossDB,
+	}
+
+	toBody := body.ShoulderPos.Sub(pos)
+	armPos := pos.Add(toBody.Scale(armBackFraction))
+	armPos.Z += armHeightOffset
+	armSc := rf.Scatterer{
+		Pos:             armPos,
+		Vel:             vel.Scale(0.6),
+		Reflectivity:    armReflectivity,
+		ProximityRadius: armProximityRadius,
+		BlockRadius:     armBlockRadius,
+		BlockLossDB:     armBlockLossDB,
+	}
+	return []rf.Scatterer{handSc, armSc}
+}

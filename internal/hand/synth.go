@@ -1,0 +1,260 @@
+package hand
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"rfipad/internal/geo"
+	"rfipad/internal/stroke"
+)
+
+// Canvas maps normalized writing coordinates onto the world: the
+// letter-box [0,1]² lands on a rectangle of the tag plane. x grows
+// along +x, y along +y, and the plane sits at z = Origin.Z.
+type Canvas struct {
+	// Origin is the world position of the letter-box corner (0,0).
+	Origin geo.Vec3
+	// Width and Height are the box dimensions in metres.
+	Width, Height float64
+}
+
+// Point maps normalized coordinates (u,v) plus a height above the plane
+// into world space.
+func (c Canvas) Point(u, v, height float64) geo.Vec3 {
+	return geo.V(c.Origin.X+u*c.Width, c.Origin.Y+v*c.Height, c.Origin.Z+height)
+}
+
+// Spec is one stroke to draw: a motion placed in a sub-box of the
+// canvas.
+type Spec struct {
+	Motion stroke.Motion
+	Box    stroke.Rect
+}
+
+// Segment is the ground truth for one drawn stroke within a Script.
+type Segment struct {
+	Motion     stroke.Motion
+	Box        stroke.Rect
+	Start, End time.Duration
+}
+
+// Script is a complete synthesized performance: the hand trajectory
+// plus the ground-truth stroke segments (the strokes are separated by
+// raised-hand adjustment intervals).
+type Script struct {
+	Path     *geo.Path
+	Segments []Segment
+}
+
+// Duration returns the total script duration.
+func (s *Script) Duration() time.Duration { return s.Path.Duration() }
+
+// sampleStep is the synthesis sampling period (100 Hz — far denser
+// than the MAC's read rate, so the channel sees a smooth trajectory).
+const sampleStep = 10 * time.Millisecond
+
+// clickDepth is how close to the plane a click push gets (m). Pushing
+// much closer detunes the pressed tag into unreadability at any power.
+const clickDepth = 0.02
+
+// unitWaypoints returns the normalized waypoints of a motion in [0,1]²
+// (y up), ordered in drawing order.
+func unitWaypoints(m stroke.Motion) []geo.Vec3 {
+	pts := stroke.Waypoints(m)
+	out := make([]geo.Vec3, len(pts))
+	for i, p := range pts {
+		out[i] = geo.V(p.X, p.Y, 0)
+	}
+	return out
+}
+
+// Synthesizer draws motions for one user on one canvas.
+type Synthesizer struct {
+	User   User
+	Canvas Canvas
+	rng    *rand.Rand
+}
+
+// NewSynthesizer builds a Synthesizer; rng drives the human variability
+// and must not be nil.
+func NewSynthesizer(u User, c Canvas, rng *rand.Rand) *Synthesizer {
+	return &Synthesizer{User: u, Canvas: c, rng: rng}
+}
+
+// boxCanvas returns the canvas restricted to a normalized sub-box.
+func (s *Synthesizer) boxCanvas(b stroke.Rect) Canvas {
+	return Canvas{
+		Origin: geo.V(s.Canvas.Origin.X+b.X0*s.Canvas.Width,
+			s.Canvas.Origin.Y+b.Y0*s.Canvas.Height,
+			s.Canvas.Origin.Z),
+		Width:  b.W() * s.Canvas.Width,
+		Height: b.H() * s.Canvas.Height,
+	}
+}
+
+// DrawMotion synthesizes one motion inside the normalized box. The
+// returned path starts at t=0.
+func (s *Synthesizer) DrawMotion(m stroke.Motion, box stroke.Rect) *geo.Path {
+	cv := s.boxCanvas(box)
+	if m.Shape == stroke.Click {
+		return s.drawClick(cv)
+	}
+
+	unit := unitWaypoints(m)
+	// Human imprecision: shift and lightly scale the stroke.
+	dx := s.rng.NormFloat64() * s.User.Wobble
+	dy := s.rng.NormFloat64() * s.User.Wobble
+	scale := 1 + s.rng.NormFloat64()*0.05
+
+	world := make([]geo.Vec3, len(unit))
+	for i, p := range unit {
+		u := 0.5 + (p.X-0.5)*scale
+		v := 0.5 + (p.Y-0.5)*scale
+		w := cv.Point(u, v, s.User.HoverHeight)
+		world[i] = w.Add(geo.V(dx, dy, 0))
+	}
+
+	// Arc length → duration with this execution's speed.
+	var length float64
+	for i := 1; i < len(world); i++ {
+		length += world[i].Dist(world[i-1])
+	}
+	speed := s.User.strokeSpeed(s.rng)
+	dur := time.Duration(length / speed * float64(time.Second))
+	if dur < 200*time.Millisecond {
+		dur = 200 * time.Millisecond
+	}
+
+	var samples []geo.Sample
+	for t := time.Duration(0); t <= dur; t += sampleStep {
+		u := float64(t) / float64(dur)
+		pos := geo.PolylinePoint(world, geo.MinimumJerk(u))
+		// Small per-sample tremor, mostly vertical.
+		pos = pos.Add(geo.V(
+			s.rng.NormFloat64()*s.User.Wobble*0.3,
+			s.rng.NormFloat64()*s.User.Wobble*0.3,
+			s.rng.NormFloat64()*s.User.Wobble*0.6,
+		))
+		samples = append(samples, geo.Sample{T: t, P: pos})
+	}
+	return geo.NewPath(samples)
+}
+
+// drawClick synthesizes the push motion: the hand descends from the
+// raised height toward the plane over the box centre and retracts.
+func (s *Synthesizer) drawClick(cv Canvas) *geo.Path {
+	top := s.User.RaiseHeight
+	dur := time.Duration((0.9 + s.rng.Float64()*0.4) * float64(time.Second))
+	cx := 0.5 + s.rng.NormFloat64()*s.User.Wobble/math.Max(cv.Width, 1e-6)
+	cy := 0.5 + s.rng.NormFloat64()*s.User.Wobble/math.Max(cv.Height, 1e-6)
+	var samples []geo.Sample
+	for t := time.Duration(0); t <= dur; t += sampleStep {
+		u := float64(t) / float64(dur)
+		// Bell-shaped descent: down and back up.
+		h := top - (top-clickDepth)*math.Sin(math.Pi*geo.MinimumJerk(u))
+		pos := cv.Point(cx, cy, h)
+		pos = pos.Add(geo.V(0, 0, s.rng.NormFloat64()*s.User.Wobble*0.5))
+		samples = append(samples, geo.Sample{T: t, P: pos})
+	}
+	return geo.NewPath(samples)
+}
+
+// transit synthesizes the adjustment interval between strokes
+// (§III-C1): the hand ascends from `from`, travels at the raised
+// height, holds above the next start while the writer re-orients, and
+// descends quickly onto `to`. Keeping the hold at the raised height is
+// what makes the interval radio-quiet — the behaviour the paper's
+// segmentation depends on (and the §V-C advice to "raise the arm when
+// adjusting").
+func (s *Synthesizer) transit(from, to geo.Vec3) *geo.Path {
+	raise := s.Canvas.Origin.Z + s.User.RaiseHeight
+	fromUp := from
+	fromUp.Z = raise
+	toUp := to
+	toUp.Z = raise
+	speed := s.User.strokeSpeed(s.rng) * 1.4 // repositioning is quicker
+
+	phase := func(a, b geo.Vec3, minDur time.Duration) []geo.Sample {
+		dur := time.Duration(a.Dist(b) / speed * float64(time.Second))
+		if dur < minDur {
+			dur = minDur
+		}
+		var out []geo.Sample
+		for t := time.Duration(0); t <= dur; t += sampleStep {
+			u := geo.MinimumJerk(float64(t) / float64(dur))
+			pos := a.Lerp(b, u)
+			pos = pos.Add(geo.V(
+				s.rng.NormFloat64()*s.User.Wobble*0.4,
+				s.rng.NormFloat64()*s.User.Wobble*0.4,
+				s.rng.NormFloat64()*s.User.Wobble*0.6,
+			))
+			out = append(out, geo.Sample{T: t, P: pos})
+		}
+		return out
+	}
+
+	path := geo.NewPath(phase(from, fromUp, 200*time.Millisecond))
+	path = path.Concat(geo.NewPath(phase(fromUp, toUp, 200*time.Millisecond)), sampleStep)
+	holdDur := time.Duration(s.User.pause(s.rng) * float64(time.Second))
+	path = path.Concat(geo.NewPath(phase(toUp, toUp, holdDur)), sampleStep)
+	path = path.Concat(geo.NewPath(phase(toUp, to, 250*time.Millisecond)), sampleStep)
+	return path
+}
+
+// Write synthesizes a sequence of strokes with adjustment intervals in
+// between, starting with a lead-in hold above the first stroke and
+// ending with a lead-out. The ground-truth segments cover exactly the
+// stroke portions.
+func (s *Synthesizer) Write(specs []Spec) *Script {
+	script := &Script{Path: &geo.Path{}}
+	if len(specs) == 0 {
+		return script
+	}
+
+	// Lead-in: hold raised above the first stroke's start.
+	first := s.DrawMotion(specs[0].Motion, specs[0].Box)
+	leadStart := first.Start()
+	leadStart.Z = s.Canvas.Origin.Z + s.User.RaiseHeight
+	lead := geo.NewPath([]geo.Sample{
+		{T: 0, P: leadStart},
+		{T: 400 * time.Millisecond, P: leadStart},
+	})
+	script.Path = lead
+
+	prevEnd := leadStart
+	for i, spec := range specs {
+		strokePath := s.DrawMotion(spec.Motion, spec.Box)
+		// Transit from wherever we are to the stroke start.
+		tr := s.transit(prevEnd, strokePath.Start())
+		script.Path = script.Path.Concat(tr, sampleStep)
+		start := script.Path.Samples()[script.Path.Len()-1].T + sampleStep
+		script.Path = script.Path.Concat(strokePath, sampleStep)
+		end := script.Path.Samples()[script.Path.Len()-1].T
+		script.Segments = append(script.Segments, Segment{
+			Motion: spec.Motion,
+			Box:    spec.Box,
+			Start:  start,
+			End:    end,
+		})
+		prevEnd = strokePath.End()
+		_ = i
+	}
+
+	// Lead-out: raise and hold.
+	out := prevEnd
+	out.Z = s.Canvas.Origin.Z + s.User.RaiseHeight
+	leadOut := geo.NewPath([]geo.Sample{
+		{T: 0, P: prevEnd.Lerp(out, 0.5)},
+		{T: 300 * time.Millisecond, P: out},
+		{T: 700 * time.Millisecond, P: out},
+	})
+	script.Path = script.Path.Concat(leadOut, sampleStep)
+	return script
+}
+
+// DrawOne is a convenience wrapper producing a Script with a single
+// stroke spanning the whole canvas.
+func (s *Synthesizer) DrawOne(m stroke.Motion) *Script {
+	return s.Write([]Spec{{Motion: m, Box: stroke.Unit}})
+}

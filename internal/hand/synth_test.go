@@ -1,0 +1,302 @@
+package hand
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rfipad/internal/geo"
+	"rfipad/internal/stroke"
+)
+
+func testCanvas() Canvas {
+	return Canvas{Origin: geo.V(-0.2, -0.2, 0), Width: 0.4, Height: 0.4}
+}
+
+func newSynth(seed int64) *Synthesizer {
+	return NewSynthesizer(DefaultUser(), testCanvas(), rand.New(rand.NewSource(seed)))
+}
+
+func TestVolunteersPanel(t *testing.T) {
+	users := Volunteers()
+	if len(users) != 10 {
+		t.Fatalf("panel size = %d, want 10", len(users))
+	}
+	// #6 and #9 are the fast writers of Fig. 20.
+	median := DefaultUser().Speed
+	if users[5].Speed < 1.5*median || users[8].Speed < 1.5*median {
+		t.Error("users #6/#9 should be markedly faster")
+	}
+	names := map[string]bool{}
+	for _, u := range users {
+		if names[u.Name] {
+			t.Fatalf("duplicate name %q", u.Name)
+		}
+		names[u.Name] = true
+		if u.HeightM < 1.5 || u.HeightM > 1.9 || u.ArmLengthM < 0.5 || u.ArmLengthM > 0.75 {
+			t.Errorf("%s physique out of the paper's ranges: %+v", u.Name, u)
+		}
+	}
+}
+
+func TestDrawMotionEndpoints(t *testing.T) {
+	s := newSynth(1)
+	tests := []struct {
+		name       string
+		m          stroke.Motion
+		start, end geo.Vec3 // expected normalized endpoints (x,y)
+	}{
+		{"horiz-fwd", stroke.M(stroke.Horizontal, stroke.Forward), geo.V(0, 0.5, 0), geo.V(1, 0.5, 0)},
+		{"horiz-rev", stroke.M(stroke.Horizontal, stroke.Reverse), geo.V(1, 0.5, 0), geo.V(0, 0.5, 0)},
+		{"vert-fwd", stroke.M(stroke.Vertical, stroke.Forward), geo.V(0.5, 1, 0), geo.V(0.5, 0, 0)},
+		{"slashup-fwd", stroke.M(stroke.SlashUp, stroke.Forward), geo.V(1, 1, 0), geo.V(0, 0, 0)},
+		{"slashdown-rev", stroke.M(stroke.SlashDown, stroke.Reverse), geo.V(1, 0, 0), geo.V(0, 1, 0)},
+	}
+	cv := testCanvas()
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := s.DrawMotion(tt.m, stroke.Unit)
+			if p.Len() < 10 {
+				t.Fatalf("too few samples: %d", p.Len())
+			}
+			wantStart := cv.Point(tt.start.X, tt.start.Y, s.User.HoverHeight)
+			wantEnd := cv.Point(tt.end.X, tt.end.Y, s.User.HoverHeight)
+			if d := p.Start().Dist(wantStart); d > 0.05 {
+				t.Errorf("start %v, want ≈%v (off %v m)", p.Start(), wantStart, d)
+			}
+			if d := p.End().Dist(wantEnd); d > 0.05 {
+				t.Errorf("end %v, want ≈%v (off %v m)", p.End(), wantEnd, d)
+			}
+		})
+	}
+}
+
+func TestDrawMotionArcsOpenCorrectly(t *testing.T) {
+	s := newSynth(2)
+	cv := testCanvas()
+	// ⊂ bulges left: min x well left of centre, and never crosses far
+	// right at mid-height. ⊃ mirrors it.
+	arcL := s.DrawMotion(stroke.M(stroke.ArcLeft, stroke.Forward), stroke.Unit)
+	arcR := s.DrawMotion(stroke.M(stroke.ArcRight, stroke.Forward), stroke.Unit)
+	minXL, maxXR := math.Inf(1), math.Inf(-1)
+	for _, sm := range arcL.Samples() {
+		minXL = math.Min(minXL, sm.P.X)
+	}
+	for _, sm := range arcR.Samples() {
+		maxXR = math.Max(maxXR, sm.P.X)
+	}
+	cx := cv.Origin.X + cv.Width/2
+	if minXL >= cx-0.1 {
+		t.Errorf("⊂ leftmost x = %v, want well left of centre %v", minXL, cx)
+	}
+	if maxXR <= cx+0.1 {
+		t.Errorf("⊃ rightmost x = %v, want well right of centre %v", maxXR, cx)
+	}
+	// Forward arcs start near the top and end near the bottom.
+	if arcL.Start().Y <= arcL.End().Y {
+		t.Error("⊂ forward should start above its end")
+	}
+	if arcR.Start().Y <= arcR.End().Y {
+		t.Error("⊃ forward should start above its end")
+	}
+}
+
+func TestDrawClickDipsTowardPlane(t *testing.T) {
+	s := newSynth(3)
+	p := s.DrawMotion(stroke.M(stroke.Click, 0), stroke.Unit)
+	minZ := math.Inf(1)
+	for _, sm := range p.Samples() {
+		minZ = math.Min(minZ, sm.P.Z)
+	}
+	if minZ > 0.03 {
+		t.Errorf("click lowest z = %v, want a push within ~2 cm of plane", minZ)
+	}
+	// Starts and ends raised.
+	if p.Start().Z < 0.08 || p.End().Z < 0.08 {
+		t.Errorf("click should start/end raised: start %v end %v", p.Start().Z, p.End().Z)
+	}
+	// Horizontal drift is tiny.
+	if dx := math.Abs(p.Start().X - p.End().X); dx > 0.02 {
+		t.Errorf("click drifted %v m in x", dx)
+	}
+}
+
+func TestStrokeDurationsHumanlike(t *testing.T) {
+	// Fig. 21: most strokes complete within ~2 s; arcs take longer
+	// than straight strokes (longer trail).
+	s := newSynth(4)
+	straight := s.DrawMotion(stroke.M(stroke.Vertical, stroke.Forward), stroke.Unit)
+	var arcTotal, strTotal time.Duration
+	for i := 0; i < 10; i++ {
+		arcTotal += s.DrawMotion(stroke.M(stroke.ArcLeft, stroke.Forward), stroke.Unit).Duration()
+		strTotal += s.DrawMotion(stroke.M(stroke.Vertical, stroke.Forward), stroke.Unit).Duration()
+	}
+	if straight.Duration() < 500*time.Millisecond || straight.Duration() > 4*time.Second {
+		t.Errorf("stroke duration = %v, want human-scale", straight.Duration())
+	}
+	if arcTotal <= strTotal {
+		t.Errorf("arcs (%v) should take longer than straight strokes (%v)", arcTotal, strTotal)
+	}
+}
+
+func TestFastUserIsFaster(t *testing.T) {
+	slow := NewSynthesizer(Volunteers()[0], testCanvas(), rand.New(rand.NewSource(5)))
+	fast := NewSynthesizer(Volunteers()[5], testCanvas(), rand.New(rand.NewSource(5)))
+	var slowTotal, fastTotal time.Duration
+	for i := 0; i < 10; i++ {
+		slowTotal += slow.DrawMotion(stroke.M(stroke.Horizontal, stroke.Forward), stroke.Unit).Duration()
+		fastTotal += fast.DrawMotion(stroke.M(stroke.Horizontal, stroke.Forward), stroke.Unit).Duration()
+	}
+	if fastTotal >= slowTotal {
+		t.Errorf("fast user total %v >= slow user %v", fastTotal, slowTotal)
+	}
+}
+
+func TestWriteScriptStructure(t *testing.T) {
+	s := newSynth(6)
+	// An "H": |, −, | (the paper's running example, Fig. 9).
+	specs := []Spec{
+		{Motion: stroke.M(stroke.Vertical, stroke.Forward), Box: stroke.R(0, 0, 0.3, 1)},
+		{Motion: stroke.M(stroke.Horizontal, stroke.Forward), Box: stroke.R(0, 0.35, 1, 0.65)},
+		{Motion: stroke.M(stroke.Vertical, stroke.Forward), Box: stroke.R(0.7, 0, 1, 1)},
+	}
+	script := s.Write(specs)
+	if len(script.Segments) != 3 {
+		t.Fatalf("segments = %d, want 3", len(script.Segments))
+	}
+	// Segments are ordered, non-overlapping, with gaps (the adjustment
+	// intervals) in between.
+	for i, seg := range script.Segments {
+		if seg.End <= seg.Start {
+			t.Errorf("segment %d empty: %v–%v", i, seg.Start, seg.End)
+		}
+		if i > 0 {
+			gap := seg.Start - script.Segments[i-1].End
+			if gap < 200*time.Millisecond {
+				t.Errorf("adjustment interval %d only %v", i, gap)
+			}
+		}
+		if seg.Motion != specs[i].Motion {
+			t.Errorf("segment %d motion %v, want %v", i, seg.Motion, specs[i].Motion)
+		}
+	}
+	// During adjustment intervals the hand is raised well above hover.
+	seg0, seg1 := script.Segments[0], script.Segments[1]
+	mid := seg0.End + (seg1.Start-seg0.End)/2
+	pos, _ := script.Path.At(mid)
+	if pos.Z < s.User.HoverHeight+0.02 {
+		t.Errorf("hand not raised during adjustment: z = %v", pos.Z)
+	}
+	// During strokes the hand is at hover height.
+	strokeMid := seg1.Start + (seg1.End-seg1.Start)/2
+	pos, _ = script.Path.At(strokeMid)
+	if math.Abs(pos.Z-s.User.HoverHeight) > 0.03 {
+		t.Errorf("hand not at hover height mid-stroke: z = %v", pos.Z)
+	}
+	if script.Duration() <= 0 {
+		t.Error("script has no duration")
+	}
+}
+
+func TestWriteEmpty(t *testing.T) {
+	s := newSynth(7)
+	script := s.Write(nil)
+	if len(script.Segments) != 0 || script.Path.Len() != 0 {
+		t.Error("empty spec list should produce empty script")
+	}
+}
+
+func TestDrawOne(t *testing.T) {
+	s := newSynth(8)
+	script := s.DrawOne(stroke.M(stroke.SlashUp, stroke.Forward))
+	if len(script.Segments) != 1 {
+		t.Fatalf("segments = %d", len(script.Segments))
+	}
+	if script.Segments[0].Box != stroke.Unit {
+		t.Error("DrawOne should span the unit box")
+	}
+}
+
+func TestScatterers(t *testing.T) {
+	s := newSynth(9)
+	script := s.DrawOne(stroke.M(stroke.Horizontal, stroke.Forward))
+	body := Body{ShoulderPos: geo.V(0, 0.6, 0.3)}
+	mid := script.Segments[0].Start + (script.Segments[0].End-script.Segments[0].Start)/2
+	scs := Scatterers(script, body, mid)
+	if len(scs) != 2 {
+		t.Fatalf("scatterers = %d, want hand+arm", len(scs))
+	}
+	handSc, armSc := scs[0], scs[1]
+	if handSc.CouplingRadius <= 0 || handSc.Reflectivity <= 0 {
+		t.Error("hand scatterer missing coupling")
+	}
+	// Mid-stroke the hand is moving horizontally.
+	if math.Abs(handSc.Vel.X) < 0.05 {
+		t.Errorf("hand velocity = %v, want horizontal motion", handSc.Vel)
+	}
+	// The arm trails from the hand toward the body, higher up.
+	if armSc.Pos.Y <= handSc.Pos.Y {
+		t.Error("arm should sit between hand and body (+y)")
+	}
+	if armSc.Pos.Z <= handSc.Pos.Z {
+		t.Error("arm should ride above the hand")
+	}
+	if Scatterers(&Script{Path: &geo.Path{}}, body, 0) != nil {
+		t.Error("empty script should give no scatterers")
+	}
+}
+
+func TestKinectTrack(t *testing.T) {
+	s := newSynth(10)
+	script := s.DrawOne(stroke.M(stroke.SlashDown, stroke.Forward))
+	k := DefaultKinect()
+	track := k.Track(script.Path, rand.New(rand.NewSource(11)))
+	// ~30 fps sampling.
+	wantN := int(script.Path.Duration()/(33*time.Millisecond)) + 1
+	if diff := track.Len() - wantN; diff < -3 || diff > 3 {
+		t.Errorf("track samples = %d, want ≈%d", track.Len(), wantN)
+	}
+	// The noisy track stays close to the truth.
+	rmse := TrajectoryRMSE(script.Path, track, 50*time.Millisecond)
+	if rmse > 0.02 {
+		t.Errorf("Kinect RMSE = %v m, want < 2 cm", rmse)
+	}
+	// Noiseless track is exact at sample instants.
+	clean := k.Track(script.Path, nil)
+	if r := TrajectoryRMSE(script.Path, clean, 33*time.Millisecond); r > 0.003 {
+		t.Errorf("noiseless RMSE = %v", r)
+	}
+}
+
+func TestTrajectoryRMSEEdgeCases(t *testing.T) {
+	empty := &geo.Path{}
+	p := geo.NewPath([]geo.Sample{{T: 0, P: geo.V(0, 0, 0)}, {T: time.Second, P: geo.V(1, 0, 0)}})
+	if !math.IsInf(TrajectoryRMSE(empty, p, time.Millisecond), 1) {
+		t.Error("empty path should give +Inf")
+	}
+	if !math.IsInf(TrajectoryRMSE(p, p, 0), 1) {
+		t.Error("zero period should give +Inf")
+	}
+	if got := TrajectoryRMSE(p, p, 100*time.Millisecond); got != 0 {
+		t.Errorf("self RMSE = %v", got)
+	}
+	q := p.Shift(geo.V(0, 0.3, 0))
+	if got := TrajectoryRMSE(p, q, 100*time.Millisecond); !(got > 0.29 && got < 0.31) {
+		t.Errorf("shifted RMSE = %v, want 0.3", got)
+	}
+}
+
+func TestSynthDeterministicBySeed(t *testing.T) {
+	a := newSynth(42).DrawOne(stroke.M(stroke.ArcRight, stroke.Reverse))
+	b := newSynth(42).DrawOne(stroke.M(stroke.ArcRight, stroke.Reverse))
+	if a.Path.Len() != b.Path.Len() {
+		t.Fatal("lengths differ for same seed")
+	}
+	as, bs := a.Path.Samples(), b.Path.Samples()
+	for i := range as {
+		if as[i] != bs[i] {
+			t.Fatal("same seed produced different trajectories")
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package hand synthesizes the in-air hand trajectories RFIPad senses:
+// the 13 basic motions drawn with a human-like minimum-jerk speed
+// profile, multi-stroke letters with the inter-stroke "adjustment
+// intervals" the segmenter keys on (§III-C1), per-user diversity
+// (§V-B6), and the Kinect ground-truth tracker (§V-A). It is the
+// simulation substitute for the paper's ten volunteers.
+package hand
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// User is a volunteer profile. The fields mirror the diversity the
+// paper balances across its ten volunteers (§V-B6): speed, physique,
+// and writing habits.
+type User struct {
+	// Name labels the volunteer (User #1 … #10 in Fig. 20).
+	Name string
+	// Speed is the typical stroke drawing speed in m/s. The paper
+	// finds its fast writers (#6, #9) lose a few accuracy points to
+	// undersampling.
+	Speed float64
+	// SpeedJitter is the per-stroke fractional speed variation.
+	SpeedJitter float64
+	// Wobble is the positional noise of the hand in metres (σ).
+	Wobble float64
+	// HoverHeight is how far above the tag plane the hand writes (m).
+	// The prototype works best within 5 cm (§VI).
+	HoverHeight float64
+	// RaiseHeight is the hand height during the adjustment interval
+	// between strokes, when the arm is raised (§III-C1, §V-C).
+	RaiseHeight float64
+	// PauseMean is the mean duration of the inter-stroke pause in
+	// seconds.
+	PauseMean float64
+	// ArmLengthM is the forearm length (m), used to place the arm
+	// scatterer.
+	ArmLengthM float64
+	// HeightM and WeightKg are recorded for completeness (they scale
+	// the body scatterer slightly).
+	HeightM  float64
+	WeightKg float64
+}
+
+// DefaultUser returns a median volunteer.
+func DefaultUser() User {
+	return User{
+		Name:        "default",
+		Speed:       0.35,
+		SpeedJitter: 0.15,
+		Wobble:      0.004,
+		HoverHeight: 0.035,
+		RaiseHeight: 0.13,
+		PauseMean:   0.6,
+		ArmLengthM:  0.62,
+		HeightM:     1.70,
+		WeightKg:    62,
+	}
+}
+
+// Volunteers returns the ten-user panel of §V-B6: 6 males and 4
+// females, heights 158–183 cm, weights 45–80 kg, arm lengths 56–70 cm.
+// Users #6 and #9 move noticeably faster than the rest, which is the
+// behaviour behind their accuracy dip in Fig. 20.
+func Volunteers() []User {
+	base := DefaultUser()
+	specs := []struct {
+		speed, wobble, hover float64
+		height, weight, arm  float64
+	}{
+		{0.31, 0.004, 0.030, 1.72, 65, 0.63}, // #1
+		{0.37, 0.004, 0.035, 1.80, 75, 0.68}, // #2
+		{0.34, 0.005, 0.032, 1.58, 45, 0.56}, // #3
+		{0.29, 0.003, 0.038, 1.66, 55, 0.60}, // #4
+		{0.38, 0.005, 0.035, 1.83, 80, 0.70}, // #5
+		{0.65, 0.006, 0.040, 1.76, 70, 0.66}, // #6 — fast writer
+		{0.32, 0.004, 0.030, 1.62, 50, 0.58}, // #7
+		{0.35, 0.004, 0.034, 1.74, 68, 0.64}, // #8
+		{0.62, 0.007, 0.042, 1.69, 60, 0.62}, // #9 — fast writer
+		{0.33, 0.005, 0.033, 1.64, 52, 0.59}, // #10
+	}
+	users := make([]User, len(specs))
+	for i, s := range specs {
+		u := base
+		u.Name = fmt.Sprintf("user#%d", i+1)
+		u.Speed = s.speed
+		u.Wobble = s.wobble
+		u.HoverHeight = s.hover
+		u.HeightM = s.height
+		u.WeightKg = s.weight
+		u.ArmLengthM = s.arm
+		users[i] = u
+	}
+	return users
+}
+
+// strokeSpeed draws this stroke's speed for one execution.
+func (u User) strokeSpeed(rng *rand.Rand) float64 {
+	s := u.Speed
+	if rng != nil && u.SpeedJitter > 0 {
+		s *= 1 + rng.NormFloat64()*u.SpeedJitter
+	}
+	if s < 0.05 {
+		s = 0.05
+	}
+	return s
+}
+
+// pause draws one adjustment-interval duration in seconds.
+func (u User) pause(rng *rand.Rand) float64 {
+	p := u.PauseMean
+	if rng != nil {
+		p *= 1 + rng.NormFloat64()*0.2
+	}
+	if p < 0.35 {
+		p = 0.35
+	}
+	return p
+}

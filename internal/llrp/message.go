@@ -1,0 +1,222 @@
+// Package llrp implements a compact binary reader protocol in the
+// spirit of EPCglobal's Low Level Reader Protocol (LLRP) [12], which
+// the paper's software stack uses to talk to the Impinj reader
+// (§IV-A). A backend connects to the reader daemon over TCP, starts a
+// reader operation (ROSpec), and receives a stream of tag-report
+// batches carrying EPC, phase, RSS, Doppler, and a microsecond
+// timestamp — the exact record the recognition pipeline consumes.
+//
+// Wire format (all big-endian):
+//
+//	frame  := magic(u16) version(u8) type(u8) length(u32) payload
+//	report := count(u16) entry*
+//	entry  := epc(12B) antenna(u16) phase(u16) rssi(i16) doppler(i16) ts(u64)
+//
+// Phase is encoded as rad/2π × 65536 (the native resolution of Impinj
+// readers is far coarser); RSSI and Doppler are centi-units; the
+// timestamp is microseconds since reader start.
+package llrp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"rfipad/internal/tagmodel"
+)
+
+// Protocol constants.
+const (
+	Magic   uint16 = 0xA55A
+	Version uint8  = 1
+
+	// headerLen is the fixed frame header size in bytes.
+	headerLen = 8
+	// entryLen is the wire size of one tag report entry.
+	entryLen = 12 + 2 + 2 + 2 + 2 + 8
+	// MaxPayload caps a frame's payload to keep a malicious or corrupt
+	// peer from forcing huge allocations.
+	MaxPayload = 1 << 20
+)
+
+// MsgType identifies a frame's meaning.
+type MsgType uint8
+
+// Message types.
+const (
+	// MsgStartROSpec asks the reader to begin inventorying and
+	// streaming reports.
+	MsgStartROSpec MsgType = iota + 1
+	// MsgStopROSpec asks the reader to stop.
+	MsgStopROSpec
+	// MsgROAccessReport carries a batch of tag reports.
+	MsgROAccessReport
+	// MsgKeepalive is a liveness probe (either direction).
+	MsgKeepalive
+	// MsgReaderEvent carries a UTF-8 status string from the reader.
+	MsgReaderEvent
+	// MsgError carries a UTF-8 error string.
+	MsgError
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgStartROSpec:
+		return "StartROSpec"
+	case MsgStopROSpec:
+		return "StopROSpec"
+	case MsgROAccessReport:
+		return "ROAccessReport"
+	case MsgKeepalive:
+		return "Keepalive"
+	case MsgReaderEvent:
+		return "ReaderEvent"
+	case MsgError:
+		return "Error"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Message is one decoded frame.
+type Message struct {
+	Type    MsgType
+	Payload []byte
+}
+
+// Protocol errors.
+var (
+	ErrBadMagic    = errors.New("llrp: bad magic")
+	ErrBadVersion  = errors.New("llrp: unsupported version")
+	ErrOversized   = errors.New("llrp: oversized payload")
+	ErrShortReport = errors.New("llrp: truncated tag report")
+)
+
+// WriteMessage frames and writes a message.
+func WriteMessage(w io.Writer, m Message) error {
+	if len(m.Payload) > MaxPayload {
+		return ErrOversized
+	}
+	hdr := make([]byte, headerLen)
+	binary.BigEndian.PutUint16(hdr[0:2], Magic)
+	hdr[2] = Version
+	hdr[3] = uint8(m.Type)
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(m.Payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("llrp: write header: %w", err)
+	}
+	if len(m.Payload) > 0 {
+		if _, err := w.Write(m.Payload); err != nil {
+			return fmt.Errorf("llrp: write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadMessage reads and validates one frame.
+func ReadMessage(r io.Reader) (Message, error) {
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return Message{}, err
+	}
+	if binary.BigEndian.Uint16(hdr[0:2]) != Magic {
+		return Message{}, ErrBadMagic
+	}
+	if hdr[2] != Version {
+		return Message{}, ErrBadVersion
+	}
+	length := binary.BigEndian.Uint32(hdr[4:8])
+	if length > MaxPayload {
+		return Message{}, ErrOversized
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Message{}, fmt.Errorf("llrp: read payload: %w", err)
+	}
+	return Message{Type: MsgType(hdr[3]), Payload: payload}, nil
+}
+
+// TagReport is one tag observation on the wire.
+type TagReport struct {
+	EPC       tagmodel.EPC
+	AntennaID uint16
+	// PhaseRad is the reported phase in [0, 2π).
+	PhaseRad float64
+	// RSSdBm is the reported signal strength.
+	RSSdBm float64
+	// DopplerHz is the reported Doppler shift.
+	DopplerHz float64
+	// Timestamp is the reader-relative time of the read.
+	Timestamp time.Duration
+}
+
+// EncodeReports builds a MsgROAccessReport payload.
+func EncodeReports(reports []TagReport) ([]byte, error) {
+	if len(reports) > math.MaxUint16 {
+		return nil, fmt.Errorf("llrp: too many reports in one frame: %d", len(reports))
+	}
+	buf := make([]byte, 2+entryLen*len(reports))
+	binary.BigEndian.PutUint16(buf[0:2], uint16(len(reports)))
+	off := 2
+	for _, rep := range reports {
+		copy(buf[off:off+12], rep.EPC[:])
+		off += 12
+		binary.BigEndian.PutUint16(buf[off:], rep.AntennaID)
+		off += 2
+		phase := rep.PhaseRad / (2 * math.Pi)
+		phase -= math.Floor(phase)
+		binary.BigEndian.PutUint16(buf[off:], uint16(phase*65536))
+		off += 2
+		binary.BigEndian.PutUint16(buf[off:], uint16(int16(clampI16(rep.RSSdBm*100))))
+		off += 2
+		binary.BigEndian.PutUint16(buf[off:], uint16(int16(clampI16(rep.DopplerHz*100))))
+		off += 2
+		binary.BigEndian.PutUint64(buf[off:], uint64(rep.Timestamp/time.Microsecond))
+		off += 8
+	}
+	return buf, nil
+}
+
+// DecodeReports parses a MsgROAccessReport payload.
+func DecodeReports(payload []byte) ([]TagReport, error) {
+	if len(payload) < 2 {
+		return nil, ErrShortReport
+	}
+	count := int(binary.BigEndian.Uint16(payload[0:2]))
+	if len(payload) != 2+count*entryLen {
+		return nil, ErrShortReport
+	}
+	out := make([]TagReport, count)
+	off := 2
+	for i := range out {
+		var rep TagReport
+		copy(rep.EPC[:], payload[off:off+12])
+		off += 12
+		rep.AntennaID = binary.BigEndian.Uint16(payload[off:])
+		off += 2
+		rep.PhaseRad = float64(binary.BigEndian.Uint16(payload[off:])) / 65536 * 2 * math.Pi
+		off += 2
+		rep.RSSdBm = float64(int16(binary.BigEndian.Uint16(payload[off:]))) / 100
+		off += 2
+		rep.DopplerHz = float64(int16(binary.BigEndian.Uint16(payload[off:]))) / 100
+		off += 2
+		rep.Timestamp = time.Duration(binary.BigEndian.Uint64(payload[off:])) * time.Microsecond
+		off += 8
+		out[i] = rep
+	}
+	return out, nil
+}
+
+func clampI16(v float64) float64 {
+	if v > math.MaxInt16 {
+		return math.MaxInt16
+	}
+	if v < math.MinInt16 {
+		return math.MinInt16
+	}
+	return math.Round(v)
+}

@@ -1,0 +1,186 @@
+package llrp
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rfipad/internal/tagmodel"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	tests := []Message{
+		{Type: MsgStartROSpec},
+		{Type: MsgKeepalive, Payload: []byte{}},
+		{Type: MsgReaderEvent, Payload: []byte("hello")},
+		{Type: MsgROAccessReport, Payload: bytes.Repeat([]byte{0xAB}, 500)},
+	}
+	for _, m := range tests {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("write %v: %v", m.Type, err)
+		}
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("read %v: %v", m.Type, err)
+		}
+		if got.Type != m.Type || !bytes.Equal(got.Payload, m.Payload) {
+			t.Errorf("round trip %v mismatch", m.Type)
+		}
+	}
+}
+
+func TestMessageValidation(t *testing.T) {
+	// Bad magic.
+	raw := []byte{0x00, 0x00, Version, byte(MsgKeepalive), 0, 0, 0, 0}
+	if _, err := ReadMessage(bytes.NewReader(raw)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Bad version.
+	raw = []byte{0xA5, 0x5A, 99, byte(MsgKeepalive), 0, 0, 0, 0}
+	if _, err := ReadMessage(bytes.NewReader(raw)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+	// Oversized length field.
+	raw = []byte{0xA5, 0x5A, Version, byte(MsgKeepalive), 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadMessage(bytes.NewReader(raw)); !errors.Is(err, ErrOversized) {
+		t.Errorf("oversized: %v", err)
+	}
+	// Truncated payload.
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, Message{Type: MsgReaderEvent, Payload: []byte("abcdef")}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadMessage(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated payload should error")
+	}
+	// Oversized write refused.
+	if err := WriteMessage(&bytes.Buffer{}, Message{Type: MsgReaderEvent, Payload: make([]byte, MaxPayload+1)}); !errors.Is(err, ErrOversized) {
+		t.Errorf("oversized write: %v", err)
+	}
+}
+
+func TestReportsRoundTrip(t *testing.T) {
+	reports := []TagReport{
+		{
+			EPC:       tagmodel.MakeEPC(7),
+			AntennaID: 1,
+			PhaseRad:  1.2345,
+			RSSdBm:    -41.5,
+			DopplerHz: -0.73,
+			Timestamp: 1234567 * time.Microsecond,
+		},
+		{
+			EPC:       tagmodel.MakeEPC(8),
+			AntennaID: 2,
+			PhaseRad:  6.28,
+			RSSdBm:    -63.25,
+			DopplerHz: 2.4,
+			Timestamp: time.Hour,
+		},
+	}
+	payload, err := EncodeReports(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReports(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reports) {
+		t.Fatalf("count = %d", len(got))
+	}
+	for i := range got {
+		want := reports[i]
+		if got[i].EPC != want.EPC || got[i].AntennaID != want.AntennaID {
+			t.Errorf("report %d identity mismatch", i)
+		}
+		if math.Abs(got[i].PhaseRad-math.Mod(want.PhaseRad, 2*math.Pi)) > 2*math.Pi/65536+1e-9 {
+			t.Errorf("report %d phase %v vs %v", i, got[i].PhaseRad, want.PhaseRad)
+		}
+		if math.Abs(got[i].RSSdBm-want.RSSdBm) > 0.005+1e-9 {
+			t.Errorf("report %d rss %v vs %v", i, got[i].RSSdBm, want.RSSdBm)
+		}
+		if math.Abs(got[i].DopplerHz-want.DopplerHz) > 0.005+1e-9 {
+			t.Errorf("report %d doppler %v vs %v", i, got[i].DopplerHz, want.DopplerHz)
+		}
+		if got[i].Timestamp != want.Timestamp {
+			t.Errorf("report %d ts %v vs %v", i, got[i].Timestamp, want.Timestamp)
+		}
+	}
+	// Empty batch round-trips too.
+	empty, err := EncodeReports(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeReports(empty); err != nil || len(got) != 0 {
+		t.Errorf("empty batch: %v %v", got, err)
+	}
+}
+
+func TestReportsRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	f := func(n uint8) bool {
+		reports := make([]TagReport, int(n)%20)
+		for i := range reports {
+			reports[i] = TagReport{
+				EPC:       tagmodel.MakeEPC(rng.Intn(1000)),
+				AntennaID: uint16(rng.Intn(4)),
+				PhaseRad:  rng.Float64() * 2 * math.Pi,
+				RSSdBm:    -80 + rng.Float64()*70,
+				DopplerHz: -10 + rng.Float64()*20,
+				Timestamp: time.Duration(rng.Int63n(1e12)) * time.Microsecond,
+			}
+		}
+		payload, err := EncodeReports(reports)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeReports(payload)
+		if err != nil || len(got) != len(reports) {
+			return false
+		}
+		for i := range got {
+			if got[i].EPC != reports[i].EPC ||
+				math.Abs(got[i].PhaseRad-reports[i].PhaseRad) > 1e-4 ||
+				math.Abs(got[i].RSSdBm-reports[i].RSSdBm) > 0.006 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeReportsMalformed(t *testing.T) {
+	if _, err := DecodeReports(nil); !errors.Is(err, ErrShortReport) {
+		t.Errorf("nil payload: %v", err)
+	}
+	if _, err := DecodeReports([]byte{0, 2, 1, 2, 3}); !errors.Is(err, ErrShortReport) {
+		t.Errorf("short payload: %v", err)
+	}
+	// Count mismatching length.
+	payload, _ := EncodeReports([]TagReport{{EPC: tagmodel.MakeEPC(1)}})
+	payload[1] = 9
+	if _, err := DecodeReports(payload); !errors.Is(err, ErrShortReport) {
+		t.Errorf("count mismatch: %v", err)
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for mt := MsgStartROSpec; mt <= MsgError; mt++ {
+		if mt.String() == "" {
+			t.Errorf("empty string for %d", mt)
+		}
+	}
+	if MsgType(99).String() == "" {
+		t.Error("fallback string empty")
+	}
+}

@@ -1,0 +1,278 @@
+package llrp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// ReportSource supplies tag-report batches to stream to a client. Next
+// blocks until a batch is available and returns ok=false when the
+// source is exhausted (which ends the ROSpec).
+type ReportSource interface {
+	Next() (batch []TagReport, ok bool)
+}
+
+// SourceFactory builds a fresh ReportSource per started ROSpec.
+type SourceFactory func() ReportSource
+
+// Server is the reader daemon: it accepts backend connections and
+// streams tag reports while an ROSpec is active. One ROSpec per
+// connection.
+type Server struct {
+	factory SourceFactory
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer builds a server that draws reports from factory.
+func NewServer(factory SourceFactory) *Server {
+	return &Server{
+		factory: factory,
+		conns:   map[net.Conn]struct{}{},
+	}
+}
+
+// Serve accepts connections on l until Close is called. It always
+// returns a non-nil error (net.ErrClosed after Close).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// handle runs one connection. A single goroutine owns the reader
+// (feeding msgs) and this goroutine owns the writer, so there is no
+// shared I/O state.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	if err := writeFlush(w, Message{Type: MsgReaderEvent, Payload: []byte("reader ready")}); err != nil {
+		return
+	}
+
+	msgs := make(chan Message)
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(msgs)
+		for {
+			msg, err := ReadMessage(r)
+			if err != nil {
+				readErr <- err
+				return
+			}
+			msgs <- msg
+		}
+	}()
+
+	var src ReportSource
+	dispatch := func(msg Message) error {
+		switch msg.Type {
+		case MsgKeepalive:
+			return writeFlush(w, Message{Type: MsgKeepalive})
+		case MsgStartROSpec:
+			if src == nil {
+				src = s.factory()
+			}
+			return nil
+		case MsgStopROSpec:
+			if src == nil {
+				return writeFlush(w, Message{Type: MsgReaderEvent, Payload: []byte("no rospec")})
+			}
+			src = nil
+			return writeFlush(w, Message{Type: MsgReaderEvent, Payload: []byte("rospec stopped")})
+		default:
+			return writeFlush(w, Message{Type: MsgError,
+				Payload: []byte(fmt.Sprintf("unexpected %v", msg.Type))})
+		}
+	}
+
+	for {
+		if src == nil {
+			// Idle: block on commands.
+			select {
+			case msg, ok := <-msgs:
+				if !ok {
+					return
+				}
+				if err := dispatch(msg); err != nil {
+					return
+				}
+			case <-readErr:
+				return
+			}
+			continue
+		}
+		// Streaming: drain any pending command, then push a batch.
+		select {
+		case msg, ok := <-msgs:
+			if !ok {
+				return
+			}
+			if err := dispatch(msg); err != nil {
+				return
+			}
+			continue
+		case <-readErr:
+			return
+		default:
+		}
+		batch, ok := src.Next()
+		if !ok {
+			src = nil
+			if err := writeFlush(w, Message{Type: MsgReaderEvent, Payload: []byte("rospec complete")}); err != nil {
+				return
+			}
+			continue
+		}
+		payload, err := EncodeReports(batch)
+		if err != nil {
+			return
+		}
+		if err := writeFlush(w, Message{Type: MsgROAccessReport, Payload: payload}); err != nil {
+			return
+		}
+	}
+}
+
+func writeFlush(w *bufio.Writer, m Message) error {
+	if err := WriteMessage(w, m); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// Client is the backend side of the protocol.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a reader daemon and waits for its ready event.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("llrp: dial: %w", err)
+	}
+	c := NewClient(conn)
+	msg, err := ReadMessage(c.r)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("llrp: handshake: %w", err)
+	}
+	if msg.Type != MsgReaderEvent {
+		conn.Close()
+		return nil, fmt.Errorf("llrp: handshake: unexpected %v", msg.Type)
+	}
+	return c, nil
+}
+
+// NewClient wraps an established connection (it does not consume the
+// ready event; Dial does).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+}
+
+// Start begins the reader operation.
+func (c *Client) Start() error {
+	if err := WriteMessage(c.w, Message{Type: MsgStartROSpec}); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Stop asks the reader to end the operation.
+func (c *Client) Stop() error {
+	if err := WriteMessage(c.w, Message{Type: MsgStopROSpec}); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// ErrStreamEnded reports a clean end of the report stream.
+var ErrStreamEnded = errors.New("llrp: stream ended")
+
+// NextReports blocks for the next report batch. It returns
+// ErrStreamEnded when the reader signals the ROSpec is complete or
+// stopped, and the underlying error on connection problems.
+func (c *Client) NextReports() ([]TagReport, error) {
+	for {
+		msg, err := ReadMessage(c.r)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, ErrStreamEnded
+			}
+			return nil, err
+		}
+		switch msg.Type {
+		case MsgROAccessReport:
+			return DecodeReports(msg.Payload)
+		case MsgReaderEvent:
+			return nil, ErrStreamEnded
+		case MsgKeepalive:
+			continue
+		case MsgError:
+			return nil, fmt.Errorf("llrp: reader error: %s", msg.Payload)
+		default:
+			return nil, fmt.Errorf("llrp: unexpected %v", msg.Type)
+		}
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

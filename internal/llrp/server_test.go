@@ -1,0 +1,211 @@
+package llrp
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rfipad/internal/tagmodel"
+)
+
+// sliceSource replays fixed batches.
+type sliceSource struct {
+	mu      sync.Mutex
+	batches [][]TagReport
+}
+
+func (s *sliceSource) Next() ([]TagReport, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.batches) == 0 {
+		return nil, false
+	}
+	b := s.batches[0]
+	s.batches = s.batches[1:]
+	return b, true
+}
+
+// blockSource streams forever until closed.
+type blockSource struct {
+	stop chan struct{}
+}
+
+func (s *blockSource) Next() ([]TagReport, bool) {
+	select {
+	case <-s.stop:
+		return nil, false
+	case <-time.After(time.Millisecond):
+		return []TagReport{{EPC: tagmodel.MakeEPC(1)}}, true
+	}
+}
+
+func startServer(t *testing.T, factory SourceFactory) (*Server, string) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(factory)
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return srv, l.Addr().String()
+}
+
+func TestClientStreamsAllBatches(t *testing.T) {
+	batches := [][]TagReport{
+		{{EPC: tagmodel.MakeEPC(1), PhaseRad: 1, RSSdBm: -40, Timestamp: time.Millisecond}},
+		{{EPC: tagmodel.MakeEPC(2), PhaseRad: 2, RSSdBm: -45, Timestamp: 2 * time.Millisecond},
+			{EPC: tagmodel.MakeEPC(3), PhaseRad: 3, RSSdBm: -50, Timestamp: 3 * time.Millisecond}},
+	}
+	_, addr := startServer(t, func() ReportSource {
+		return &sliceSource{batches: append([][]TagReport(nil), batches...)}
+	})
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var got []TagReport
+	for {
+		batch, err := c.NextReports()
+		if errors.Is(err, ErrStreamEnded) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, batch...)
+	}
+	if len(got) != 3 {
+		t.Fatalf("reports = %d, want 3", len(got))
+	}
+	if got[0].EPC != tagmodel.MakeEPC(1) || got[2].EPC != tagmodel.MakeEPC(3) {
+		t.Error("report order/content wrong")
+	}
+}
+
+func TestClientStopEndsStream(t *testing.T) {
+	src := &blockSource{stop: make(chan struct{})}
+	t.Cleanup(func() { close(src.stop) })
+	_, addr := startServer(t, func() ReportSource { return src })
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Take a few batches, then stop.
+	for i := 0; i < 3; i++ {
+		if _, err := c.NextReports(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// Eventually the stream ends (pending batches may still arrive).
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("stream did not end after Stop")
+		default:
+		}
+		_, err := c.NextReports()
+		if errors.Is(err, ErrStreamEnded) {
+			return
+		}
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+}
+
+func TestServerKeepalive(t *testing.T) {
+	_, addr := startServer(t, func() ReportSource { return &sliceSource{} })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := WriteMessage(c.w, Message{Type: MsgKeepalive}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ReadMessage(c.r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != MsgKeepalive {
+		t.Errorf("reply = %v, want keepalive", msg.Type)
+	}
+}
+
+func TestServerRejectsUnknownMessage(t *testing.T) {
+	_, addr := startServer(t, func() ReportSource { return &sliceSource{} })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := WriteMessage(c.w, Message{Type: MsgType(42)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ReadMessage(c.r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != MsgError {
+		t.Errorf("reply = %v, want error", msg.Type)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	src := &blockSource{stop: make(chan struct{})}
+	t.Cleanup(func() { close(src.stop) })
+	srv, addr := startServer(t, func() ReportSource { return src })
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NextReports(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		for {
+			if _, err := c.NextReports(); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	if err := srv.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case <-done:
+		// Any error is fine: the connection was torn down.
+	case <-time.After(5 * time.Second):
+		t.Fatal("client still blocked after server close")
+	}
+}

@@ -1,0 +1,211 @@
+// Package metrics implements the evaluation metrics of §V: motion
+// detection accuracy, false positive/negative rates, per-label
+// confusion, and the segmentation-quality rates (insertion, underfill)
+// of §V-C.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// MotionTally accumulates trial outcomes for motion detection. One
+// trial is one performed motion; the recognizer may detect it
+// correctly, detect something else, miss it, or report extra motions.
+type MotionTally struct {
+	// Trials is the number of motions performed.
+	Trials int
+	// Correct counts trials whose single detection matched.
+	Correct int
+	// Wrong counts trials detected as a different motion.
+	Wrong int
+	// Missed counts trials with no detection at all.
+	Missed int
+	// Spurious counts detections beyond one per trial (and any
+	// detection during a no-motion trial).
+	Spurious int
+}
+
+// Add merges another tally.
+func (t *MotionTally) Add(o MotionTally) {
+	t.Trials += o.Trials
+	t.Correct += o.Correct
+	t.Wrong += o.Wrong
+	t.Missed += o.Missed
+	t.Spurious += o.Spurious
+}
+
+// Accuracy is the fraction of trials recognized correctly (the metric
+// of Table I, Fig. 16, 18, 20). NaN with zero trials.
+func (t MotionTally) Accuracy() float64 {
+	if t.Trials == 0 {
+		return math.NaN()
+	}
+	return float64(t.Correct) / float64(t.Trials)
+}
+
+// FPR is the fraction of falsely detected motions among all detections
+// (§V-A: "the percentage of falsely detected motions"): wrong and
+// spurious detections over total detections.
+func (t MotionTally) FPR() float64 {
+	detections := t.Correct + t.Wrong + t.Spurious
+	if detections == 0 {
+		return math.NaN()
+	}
+	return float64(t.Wrong+t.Spurious) / float64(detections)
+}
+
+// FNR is the fraction of performed motions that went undetected
+// (§V-A: "the percentage of undetected motions").
+func (t MotionTally) FNR() float64 {
+	if t.Trials == 0 {
+		return math.NaN()
+	}
+	return float64(t.Missed) / float64(t.Trials)
+}
+
+// String implements fmt.Stringer.
+func (t MotionTally) String() string {
+	return fmt.Sprintf("acc=%.3f fpr=%.3f fnr=%.3f (n=%d)", t.Accuracy(), t.FPR(), t.FNR(), t.Trials)
+}
+
+// Confusion is a label-by-label confusion matrix.
+type Confusion struct {
+	counts map[string]map[string]int
+	labels map[string]bool
+}
+
+// NewConfusion returns an empty confusion matrix.
+func NewConfusion() *Confusion {
+	return &Confusion{
+		counts: map[string]map[string]int{},
+		labels: map[string]bool{},
+	}
+}
+
+// Observe records one (truth, predicted) pair.
+func (c *Confusion) Observe(truth, predicted string) {
+	m := c.counts[truth]
+	if m == nil {
+		m = map[string]int{}
+		c.counts[truth] = m
+	}
+	m[predicted]++
+	c.labels[truth] = true
+	c.labels[predicted] = true
+}
+
+// Labels returns the sorted label set.
+func (c *Confusion) Labels() []string {
+	out := make([]string, 0, len(c.labels))
+	for l := range c.labels {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns the number of (truth, predicted) observations.
+func (c *Confusion) Count(truth, predicted string) int {
+	return c.counts[truth][predicted]
+}
+
+// Accuracy returns overall accuracy; NaN when empty.
+func (c *Confusion) Accuracy() float64 {
+	var correct, total int
+	for truth, row := range c.counts {
+		for pred, n := range row {
+			total += n
+			if truth == pred {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(correct) / float64(total)
+}
+
+// LabelAccuracy returns the recall of one truth label; NaN when unseen.
+func (c *Confusion) LabelAccuracy(truth string) float64 {
+	row := c.counts[truth]
+	var total int
+	for _, n := range row {
+		total += n
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(row[truth]) / float64(total)
+}
+
+// String renders the matrix with truth labels as rows.
+func (c *Confusion) String() string {
+	labels := c.Labels()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "truth\\pred")
+	for _, l := range labels {
+		fmt.Fprintf(&b, "%8s", clip(l, 7))
+	}
+	b.WriteByte('\n')
+	for _, truth := range labels {
+		fmt.Fprintf(&b, "%-10s", clip(truth, 9))
+		for _, pred := range labels {
+			fmt.Fprintf(&b, "%8d", c.Count(truth, pred))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func clip(s string, n int) string {
+	r := []rune(s)
+	if len(r) <= n {
+		return s
+	}
+	return string(r[:n])
+}
+
+// SegmentationTally accumulates the stroke-segmentation quality metrics
+// of §V-C.
+type SegmentationTally struct {
+	// Strokes is the number of ground-truth strokes performed.
+	Strokes int
+	// Insertions counts detections inside repositioning periods (the
+	// numerator of the insertion rate).
+	Insertions int
+	// Underfills counts segmented strokes that failed to cover the
+	// full ground-truth stroke extent.
+	Underfills int
+	// Detected counts ground-truth strokes matched by some detection.
+	Detected int
+}
+
+// Add merges another tally.
+func (s *SegmentationTally) Add(o SegmentationTally) {
+	s.Strokes += o.Strokes
+	s.Insertions += o.Insertions
+	s.Underfills += o.Underfills
+	s.Detected += o.Detected
+}
+
+// InsertionRate is the proportion of cases in which a stroke was
+// detected within a repositioning period.
+func (s SegmentationTally) InsertionRate() float64 {
+	if s.Strokes == 0 {
+		return math.NaN()
+	}
+	return float64(s.Insertions) / float64(s.Strokes)
+}
+
+// UnderfillRate is the proportion of segmented strokes that are
+// incomplete.
+func (s SegmentationTally) UnderfillRate() float64 {
+	if s.Detected == 0 {
+		return math.NaN()
+	}
+	return float64(s.Underfills) / float64(s.Detected)
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMotionTally(t *testing.T) {
+	tally := MotionTally{Trials: 20, Correct: 17, Wrong: 2, Missed: 1, Spurious: 1}
+	if got := tally.Accuracy(); got != 0.85 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if got := tally.FNR(); got != 0.05 {
+		t.Errorf("FNR = %v", got)
+	}
+	if got := tally.FPR(); got != 3.0/20 {
+		t.Errorf("FPR = %v", got)
+	}
+	if s := tally.String(); !strings.Contains(s, "acc=0.850") {
+		t.Errorf("String = %q", s)
+	}
+
+	var other MotionTally
+	other.Add(tally)
+	other.Add(tally)
+	if other.Trials != 40 || other.Correct != 34 {
+		t.Errorf("Add = %+v", other)
+	}
+
+	var empty MotionTally
+	if !math.IsNaN(empty.Accuracy()) || !math.IsNaN(empty.FPR()) || !math.IsNaN(empty.FNR()) {
+		t.Error("empty tally metrics should be NaN")
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	c := NewConfusion()
+	c.Observe("a", "a")
+	c.Observe("a", "a")
+	c.Observe("a", "b")
+	c.Observe("b", "b")
+	if got := c.Accuracy(); got != 0.75 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if got := c.LabelAccuracy("a"); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("LabelAccuracy(a) = %v", got)
+	}
+	if got := c.LabelAccuracy("b"); got != 1 {
+		t.Errorf("LabelAccuracy(b) = %v", got)
+	}
+	if !math.IsNaN(c.LabelAccuracy("zz")) {
+		t.Error("unseen label should be NaN")
+	}
+	if got := c.Count("a", "b"); got != 1 {
+		t.Errorf("Count = %v", got)
+	}
+	labels := c.Labels()
+	if len(labels) != 2 || labels[0] != "a" || labels[1] != "b" {
+		t.Errorf("Labels = %v", labels)
+	}
+	s := c.String()
+	if !strings.Contains(s, "truth") || len(strings.Split(s, "\n")) < 3 {
+		t.Errorf("String = %q", s)
+	}
+	if !math.IsNaN(NewConfusion().Accuracy()) {
+		t.Error("empty confusion accuracy should be NaN")
+	}
+}
+
+func TestSegmentationTally(t *testing.T) {
+	s := SegmentationTally{Strokes: 50, Insertions: 5, Underfills: 3, Detected: 48}
+	if got := s.InsertionRate(); got != 0.1 {
+		t.Errorf("InsertionRate = %v", got)
+	}
+	if got := s.UnderfillRate(); got != 3.0/48 {
+		t.Errorf("UnderfillRate = %v", got)
+	}
+	var sum SegmentationTally
+	sum.Add(s)
+	sum.Add(s)
+	if sum.Strokes != 100 || sum.Insertions != 10 {
+		t.Errorf("Add = %+v", sum)
+	}
+	var empty SegmentationTally
+	if !math.IsNaN(empty.InsertionRate()) || !math.IsNaN(empty.UnderfillRate()) {
+		t.Error("empty rates should be NaN")
+	}
+}
+
+func TestClip(t *testing.T) {
+	if got := clip("abcdef", 3); got != "abc" {
+		t.Errorf("clip = %q", got)
+	}
+	if got := clip("ab", 3); got != "ab" {
+		t.Errorf("clip = %q", got)
+	}
+	if got := clip("⊂⊃⊂⊃", 2); got != "⊂⊃" {
+		t.Errorf("clip unicode = %q", got)
+	}
+}

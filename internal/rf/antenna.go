@@ -1,0 +1,75 @@
+package rf
+
+import (
+	"math"
+
+	"rfipad/internal/geo"
+)
+
+// Antenna is an idealized directional reader antenna (§IV-B3 of the
+// paper). The radiation pattern is the solid-angle approximation the
+// paper uses: a gain G antenna concentrates its power into a beam of
+// angle θ_beam ≈ √(4π/G) (Eq. 14); within the pattern we use a Gaussian
+// roll-off whose −3 dB width matches θ_beam.
+type Antenna struct {
+	// Pos is the phase centre of the antenna.
+	Pos geo.Vec3
+	// Boresight is the direction of maximum gain (normalized on use).
+	Boresight geo.Vec3
+	// GainDBi is the peak gain over isotropic. The paper's Laird
+	// A9028R30NF panel is 8 dBi.
+	GainDBi float64
+}
+
+// DefaultAntennaGainDBi matches the paper's Laird A9028R30NF panel.
+const DefaultAntennaGainDBi = 8
+
+// BeamAngleRad returns the full beam angle θ_beam ≈ √(4π/G) (Eq. 14),
+// in radians. For the 8 dBi prototype antenna this is ≈ 72°.
+func (a Antenna) BeamAngleRad() float64 {
+	g := DBToLinear(a.GainDBi)
+	return math.Sqrt(4 * math.Pi / g)
+}
+
+// GainTowards returns the linear power gain of the antenna in the
+// direction of point p. The pattern is G·exp(−k·θ²) with k chosen so
+// the gain is −3 dB at θ_beam/2 from boresight.
+func (a Antenna) GainTowards(p geo.Vec3) float64 {
+	dir := p.Sub(a.Pos)
+	theta := dir.AngleTo(a.Boresight)
+	half := a.BeamAngleRad() / 2
+	if half <= 0 {
+		return DBToLinear(a.GainDBi)
+	}
+	// exp(−k·half²) = 10^(−0.3) → k = 0.3·ln10 / half².
+	k := 0.3 * math.Ln10 / (half * half)
+	return DBToLinear(a.GainDBi) * math.Exp(-k*theta*theta)
+}
+
+// MinPlaneDistance returns the minimum distance between the antenna
+// panel and a square tag plane of side planeLen so that the whole plane
+// sits inside the 3 dB beam (§IV-B3: d = (l/2)/tan(θ_beam/2); with the
+// 72° beam, tan 36°, giving ≈ 31.7 cm for the 46 cm prototype plane).
+func (a Antenna) MinPlaneDistance(planeLen float64) float64 {
+	half := a.BeamAngleRad() / 2
+	t := math.Tan(half)
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	return planeLen / 2 / t
+}
+
+// ReadRange returns the maximum forward-link distance R_max at which a
+// tag with the given sensitivity (dBm) and gain (dBi) can still power
+// up, along the boresight, for a transmit power txDBm and wavelength
+// lambda. Passive RFID systems are forward-link limited (§IV-B3), so
+// this bounds the read zone.
+func (a Antenna) ReadRange(txDBm, tagGainDBi, tagSensitivityDBm, lambda float64) float64 {
+	// P_tag = P_tx + G_r + G_t − FSPL(d) ≥ sensitivity.
+	budget := txDBm + a.GainDBi + tagGainDBi - tagSensitivityDBm
+	if budget <= 0 {
+		return 0
+	}
+	// FSPL(d) = 20·log10(4πd/λ) → d = λ/(4π)·10^(budget/20).
+	return lambda / (4 * math.Pi) * math.Pow(10, budget/20)
+}

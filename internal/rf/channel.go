@@ -1,0 +1,492 @@
+package rf
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"time"
+
+	"rfipad/internal/geo"
+)
+
+// TagPoint is the RF-relevant view of one tag the channel needs to
+// compute an observation. The tag-model package fills it in from the
+// deployment (position, per-type gain, coupling losses, hardware phase
+// offset).
+type TagPoint struct {
+	// Pos is the tag's antenna centre.
+	Pos geo.Vec3
+	// GainDBi is the tag antenna gain (≈ 2 dBi for a typical dipole).
+	GainDBi float64
+	// ThetaTag is the phase rotation introduced by the tag's reflection
+	// characteristic — the per-tag hardware diversity term of Eq. 6/7.
+	ThetaTag float64
+	// ExtraLossDB is additional one-way power loss from tag-to-tag
+	// coupling/shadowing in the array (Fig. 11/12), in dB (≥ 0).
+	ExtraLossDB float64
+	// BackscatterLossDB is the modulation + RCS loss between the power
+	// incident on the tag and the power it re-radiates, in dB (≥ 0).
+	BackscatterLossDB float64
+	// SensitivityDBm is the minimum incident power that turns the IC on.
+	SensitivityDBm float64
+}
+
+// Scatterer is a moving object (hand, arm) that perturbs the channel.
+type Scatterer struct {
+	// Pos is the scatterer's current position.
+	Pos geo.Vec3
+	// Vel is its velocity (m/s), used for the Doppler estimate.
+	Vel geo.Vec3
+	// Reflectivity is the relative field reflection strength (0..1).
+	// A hand is ≈ 0.5–0.7 at UHF.
+	Reflectivity float64
+	// ProximityRadius concentrates the reflected contribution onto
+	// nearby tags: the reflection amplitude is scaled by
+	// exp(−(d/R)²) with d the scatterer–tag distance. This captures
+	// the paper's premise that the hand acts as a "powerful virtual
+	// transmitter" only for the tags it is near (§III-A1); zero
+	// disables the concentration.
+	ProximityRadius float64
+	// CouplingRadius is the distance scale (m) over which the scatterer
+	// detunes a tag's antenna by near-field loading; λ/2π ≈ 5.2 cm for
+	// the hand, matching the paper's "within 5 cm" working range.
+	CouplingRadius float64
+	// CouplingLossDB is the maximum extra backscatter loss (dB,
+	// one-way) the loading causes when the scatterer touches the tag —
+	// the RSS trough of §III-B.
+	CouplingLossDB float64
+	// HarvestRadius and HarvestLossDB model the harsher effect of the
+	// detuning on power harvesting: a hand almost touching the tag
+	// shifts its resonance enough to stop the IC powering up even
+	// though the incident field barely changed. Only relevant within a
+	// few centimetres.
+	HarvestRadius float64
+	HarvestLossDB float64
+	// BlockRadius is the radius (m) around the scatterer's centre that
+	// shadows a line-of-sight path passing through it.
+	BlockRadius float64
+	// BlockLossDB is the maximum attenuation (dB, one-way field) of a
+	// blocked path.
+	BlockLossDB float64
+}
+
+// Reflector is a static multipath source (wall, table, cabinet). Its
+// contribution is constant in a truly static environment, but ambient
+// activity (people walking by, doors, fans) slowly modulates the
+// reflected energy, which is how "location diversity" (Fig. 5/16)
+// enters the model. The modulation is an Ornstein–Uhlenbeck process:
+// temporally correlated on JitterTau scales, so it looks like slow
+// wander rather than white measurement noise.
+type Reflector struct {
+	// Pos is the reflection point.
+	Pos geo.Vec3
+	// Reflectivity is the relative field reflection strength (0..1).
+	Reflectivity float64
+	// Jitter is the stationary std-dev of the fractional amplitude
+	// fluctuation (0..1).
+	Jitter float64
+	// JitterTau is the fluctuation correlation time; 0 selects
+	// DefaultJitterTau.
+	JitterTau time.Duration
+	// FastJitter is the std-dev of an additional per-read white
+	// fluctuation (fast fading near the reflector), 0..1.
+	FastJitter float64
+	// ProximityRadius, when positive, localizes the reflector's
+	// influence to nearby tags (contribution × exp(−(d/R)²) with d the
+	// reflector–tag distance). This models near-field clutter — a
+	// metal table edge or wall right next to part of the plate — whose
+	// effect is strong for the closest tags and negligible elsewhere,
+	// the heterogeneity behind the paper's "location diversity".
+	ProximityRadius float64
+}
+
+// DefaultJitterTau is the ambient-activity correlation time scale.
+const DefaultJitterTau = 400 * time.Millisecond
+
+// Observation is what the reader reports for one successful tag read —
+// the exact quantity set of an Impinj Speedway tag report (§II-B).
+type Observation struct {
+	// PhaseRad is the reported phase in [0, 2π), quantized to
+	// PhaseResolution.
+	PhaseRad float64
+	// RSSdBm is the received signal strength, quantized to
+	// RSSResolution.
+	RSSdBm float64
+	// DopplerHz is the reported Doppler frequency shift.
+	DopplerHz float64
+	// ForwardPowerDBm is the power incident on the tag (not reported by
+	// real readers; the MAC simulator uses it for the power-up check).
+	ForwardPowerDBm float64
+	// PoweredUp is whether the incident power exceeded the tag's
+	// sensitivity; if false, the tag cannot respond at all.
+	PoweredUp bool
+}
+
+// Reader-reporting quantization (§III-A: phase resolution 0.0015 rad;
+// Impinj reports RSS in 0.5 dBm steps).
+const (
+	PhaseResolution = 0.0015
+	RSSResolution   = 0.5
+)
+
+// QuantizePhase snaps a phase (radians) to the reader's reporting
+// resolution, wrapped onto [0, 2π).
+func QuantizePhase(theta float64) float64 {
+	t := math.Mod(theta, 2*math.Pi)
+	if t < 0 {
+		t += 2 * math.Pi
+	}
+	return math.Round(t/PhaseResolution) * PhaseResolution
+}
+
+// QuantizeRSS snaps an RSS (dBm) to the reader's reporting resolution.
+func QuantizeRSS(dbm float64) float64 {
+	return math.Round(dbm/RSSResolution) * RSSResolution
+}
+
+// Channel computes tag observations for a fixed deployment. The zero
+// value is not usable; construct with NewChannel.
+type Channel struct {
+	antenna    Antenna
+	freqHz     float64
+	lambda     float64
+	txDBm      float64
+	reflectors []Reflector
+	// cableLossDB is the fixed loss between reader port and antenna.
+	cableLossDB float64
+	// thetaTR is the phase rotation of the reader's TX+RX circuits
+	// (θ_T + θ_R of Eq. 6/7) — constant for a given reader.
+	thetaTR float64
+	// noiseFloorDBm is the effective interference-plus-noise floor at
+	// the receiver; it sets the phase/RSS measurement noise via SNR.
+	noiseFloorDBm float64
+	// jitter holds the per-reflector Ornstein–Uhlenbeck fluctuation
+	// state. A Channel is therefore NOT safe for concurrent use; give
+	// each goroutine its own Channel.
+	jitter []ouState
+	// hopCarriers, when non-empty, frequency-hops the carrier across
+	// this list every hopDwell.
+	hopCarriers []float64
+	hopDwell    time.Duration
+}
+
+// carrierAt resolves the active carrier frequency and wavelength for a
+// stream time.
+func (c *Channel) carrierAt(at time.Duration) (freqHz, lambda float64) {
+	if len(c.hopCarriers) == 0 || c.hopDwell <= 0 {
+		return c.freqHz, c.lambda
+	}
+	slot := int(at/c.hopDwell) % len(c.hopCarriers)
+	if slot < 0 {
+		slot += len(c.hopCarriers)
+	}
+	f := c.hopCarriers[slot]
+	return f, Wavelength(f)
+}
+
+// ouState is one reflector's fluctuation process.
+type ouState struct {
+	at          time.Duration
+	x           float64
+	initialized bool
+}
+
+// jitterValue advances reflector r's OU process to time at and returns
+// the fractional amplitude offset. With a nil rng the process is frozen
+// at zero (deterministic observations).
+func (c *Channel) jitterValue(r int, at time.Duration, rng *rand.Rand) float64 {
+	refl := c.reflectors[r]
+	if rng == nil || refl.Jitter <= 0 {
+		return 0
+	}
+	tau := refl.JitterTau
+	if tau <= 0 {
+		tau = DefaultJitterTau
+	}
+	st := &c.jitter[r]
+	if !st.initialized {
+		st.x = rng.NormFloat64() * refl.Jitter
+		st.at = at
+		st.initialized = true
+		return st.x
+	}
+	dt := at - st.at
+	if dt < 0 {
+		dt = 0
+	}
+	a := math.Exp(-dt.Seconds() / tau.Seconds())
+	st.x = st.x*a + rng.NormFloat64()*refl.Jitter*math.Sqrt(1-a*a)
+	st.at = at
+	return st.x
+}
+
+// ChannelOption configures a Channel.
+type ChannelOption func(*Channel)
+
+// WithFrequency sets the carrier frequency in Hz (default 922.38 MHz).
+func WithFrequency(hz float64) ChannelOption {
+	return func(c *Channel) {
+		c.freqHz = hz
+		c.lambda = Wavelength(hz)
+	}
+}
+
+// WithHopping makes the channel frequency-hop across the given carrier
+// list with the given dwell time, as an FCC-regime reader must (the
+// paper sidesteps this by operating on the fixed 922.38 MHz China-band
+// carrier — §IV-A). Hopping changes λ every dwell, so each tag's phase
+// centre jumps between channels; the ablation-hopping experiment
+// quantifies what that does to a pipeline calibrated for one carrier.
+func WithHopping(carriersHz []float64, dwell time.Duration) ChannelOption {
+	return func(c *Channel) {
+		c.hopCarriers = append([]float64(nil), carriersHz...)
+		c.hopDwell = dwell
+	}
+}
+
+// WithTxPower sets the reader transmit power in dBm (default 30, the
+// paper's default; the legal maximum is 32.5).
+func WithTxPower(dbm float64) ChannelOption {
+	return func(c *Channel) { c.txDBm = dbm }
+}
+
+// WithReflectors sets the static multipath environment.
+func WithReflectors(rs []Reflector) ChannelOption {
+	return func(c *Channel) {
+		c.reflectors = make([]Reflector, len(rs))
+		copy(c.reflectors, rs)
+		c.jitter = make([]ouState, len(rs))
+	}
+}
+
+// WithNoiseFloor sets the effective interference-plus-noise floor in
+// dBm (default −65.5, calibrated so the static phase std-dev matches
+// Fig. 5).
+func WithNoiseFloor(dbm float64) ChannelOption {
+	return func(c *Channel) { c.noiseFloorDBm = dbm }
+}
+
+// WithReaderPhaseOffset sets θ_T+θ_R, the reader circuit phase rotation.
+func WithReaderPhaseOffset(theta float64) ChannelOption {
+	return func(c *Channel) { c.thetaTR = theta }
+}
+
+// WithCableLoss sets the fixed antenna cable loss in dB.
+func WithCableLoss(db float64) ChannelOption {
+	return func(c *Channel) { c.cableLossDB = db }
+}
+
+// NewChannel builds a channel model for one reader antenna.
+func NewChannel(antenna Antenna, opts ...ChannelOption) *Channel {
+	c := &Channel{
+		antenna:       antenna,
+		freqHz:        DefaultFrequencyHz,
+		lambda:        Wavelength(DefaultFrequencyHz),
+		txDBm:         30,
+		thetaTR:       1.234, // arbitrary fixed circuit rotation
+		noiseFloorDBm: -65.5,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// TxPowerDBm returns the configured transmit power.
+func (c *Channel) TxPowerDBm() float64 { return c.txDBm }
+
+// Lambda returns the carrier wavelength in metres.
+func (c *Channel) Lambda() float64 { return c.lambda }
+
+// Antenna returns the reader antenna this channel uses.
+func (c *Channel) Antenna() Antenna { return c.antenna }
+
+// pathBlockage returns the linear one-way field attenuation (0..1] of
+// the a→b path caused by the scatterers' bodies.
+func pathBlockage(a, b geo.Vec3, scs []Scatterer) float64 {
+	att := 1.0
+	ab := b.Sub(a)
+	l2 := ab.NormSq()
+	for _, s := range scs {
+		if s.BlockRadius <= 0 || s.BlockLossDB <= 0 {
+			continue
+		}
+		// Distance from the scatterer to the segment a–b.
+		var d float64
+		if l2 == 0 {
+			d = s.Pos.Dist(a)
+		} else {
+			t := s.Pos.Sub(a).Dot(ab) / l2
+			if t < 0 {
+				t = 0
+			} else if t > 1 {
+				t = 1
+			}
+			d = s.Pos.Dist(a.Add(ab.Scale(t)))
+		}
+		x := d / s.BlockRadius
+		lossDB := s.BlockLossDB * math.Exp(-x*x)
+		att *= math.Pow(10, -lossDB/20)
+	}
+	return att
+}
+
+// forwardField returns the complex field amplitude arriving at the tag,
+// normalized so that |E|² is the incident power in milliwatts, plus the
+// dominant moving-scatterer path length (for Doppler).
+func (c *Channel) forwardField(tag TagPoint, scs []Scatterer, rng *rand.Rand, at time.Duration) (e complex128, movingPath float64, movingVel float64) {
+	freq, lambda := c.carrierAt(at)
+	k := Wavenumber(freq)
+	gr := c.antenna.GainTowards(tag.Pos)
+	gt := DBToLinear(tag.GainDBi)
+	ptx := DBmToMilliwatt(c.txDBm - c.cableLossDB)
+
+	d := c.antenna.Pos.Dist(tag.Pos)
+	directAmp := math.Sqrt(ptx * gr * gt * FreeSpacePathGain(d, lambda))
+	directAmp *= pathBlockage(c.antenna.Pos, tag.Pos, scs)
+	e = complex(directAmp, 0) * cmplx.Exp(complex(0, -k*d))
+
+	// Static multipath: reader → reflector → tag, with the ambient
+	// slow fluctuation of each reflector applied.
+	for ri, r := range c.reflectors {
+		d1 := c.antenna.Pos.Dist(r.Pos)
+		d2 := r.Pos.Dist(tag.Pos)
+		amp := math.Sqrt(ptx*c.antenna.GainTowards(r.Pos)*gt) *
+			r.Reflectivity * math.Sqrt(FreeSpacePathGain(d1+d2, lambda))
+		if r.ProximityRadius > 0 {
+			x := d2 / r.ProximityRadius
+			amp *= math.Exp(-x * x)
+		}
+		fluct := 1 + c.jitterValue(ri, at, rng)
+		if rng != nil && r.FastJitter > 0 {
+			fluct += rng.NormFloat64() * r.FastJitter
+		}
+		amp *= fluct
+		e += complex(amp, 0) * cmplx.Exp(complex(0, -k*(d1+d2)))
+	}
+
+	// Moving scatterers: reader → scatterer → tag reflection path.
+	for _, s := range scs {
+		if s.Reflectivity <= 0 {
+			continue
+		}
+		d1 := c.antenna.Pos.Dist(s.Pos)
+		d2 := s.Pos.Dist(tag.Pos)
+		amp := math.Sqrt(ptx*c.antenna.GainTowards(s.Pos)*gt) *
+			s.Reflectivity * math.Sqrt(FreeSpacePathGain(d1+d2, lambda))
+		if s.ProximityRadius > 0 {
+			x := d2 / s.ProximityRadius
+			amp *= math.Exp(-x * x)
+		}
+		e += complex(amp, 0) * cmplx.Exp(complex(0, -k*(d1+d2)))
+		if pl := d1 + d2; pl > 0 {
+			// Radial velocity along the reflected path.
+			u1 := s.Pos.Sub(c.antenna.Pos).Unit()
+			u2 := s.Pos.Sub(tag.Pos).Unit()
+			movingPath = pl
+			movingVel = s.Vel.Dot(u1) + s.Vel.Dot(u2)
+		}
+	}
+	return e, movingPath, movingVel
+}
+
+// nearFieldLossDB returns the extra one-way backscatter loss (dB)
+// caused by scatterers detuning the tag antenna when very close (the
+// loading that produces the reliable RSS trough of §III-B and the
+// ≤5 cm working range of §VI).
+func nearFieldLossDB(tag TagPoint, scs []Scatterer) float64 {
+	var loss float64
+	for _, s := range scs {
+		if s.CouplingRadius <= 0 || s.CouplingLossDB <= 0 {
+			continue
+		}
+		x := s.Pos.Dist(tag.Pos) / s.CouplingRadius
+		loss += s.CouplingLossDB * math.Exp(-x*x)
+	}
+	return loss
+}
+
+// harvestLossDB returns the additional power-harvesting loss (dB) from
+// resonance detuning — it can stop the IC from powering up even when
+// the incident field is strong.
+func harvestLossDB(tag TagPoint, scs []Scatterer) float64 {
+	var loss float64
+	for _, s := range scs {
+		if s.HarvestRadius <= 0 || s.HarvestLossDB <= 0 {
+			continue
+		}
+		x := s.Pos.Dist(tag.Pos) / s.HarvestRadius
+		loss += s.HarvestLossDB * math.Exp(-x*x)
+	}
+	return loss
+}
+
+// Observe computes one read at stream time zero; see ObserveAt.
+func (c *Channel) Observe(tag TagPoint, scs []Scatterer, rng *rand.Rand) Observation {
+	return c.ObserveAt(tag, scs, rng, 0)
+}
+
+// ObserveAt computes one read of the given tag with the given moving
+// scatterers present, at the given stream time (which drives the
+// ambient multipath fluctuation processes). rng supplies the
+// measurement noise and jitter; passing nil yields the noiseless
+// expected observation (useful for tests and for the
+// theoretical-analysis benchmarks).
+func (c *Channel) ObserveAt(tag TagPoint, scs []Scatterer, rng *rand.Rand, at time.Duration) Observation {
+	eFwd, movPath, movVel := c.forwardField(tag, scs, rng, at)
+
+	// Near-field loading reduces both the harvested power and the
+	// re-radiated power.
+	loadDB := nearFieldLossDB(tag, scs)
+	couplingDB := tag.ExtraLossDB + loadDB
+
+	fwdPowerDBm := MilliwattToDBm(real(eFwd)*real(eFwd)+imag(eFwd)*imag(eFwd)) - couplingDB - harvestLossDB(tag, scs)
+	powered := fwdPowerDBm >= tag.SensitivityDBm
+
+	// Reverse link: by reciprocity the tag→reader one-way channel g
+	// equals E_fwd/√P_tx, so the measured baseband power is
+	// |g|²·P_fwd = |E_fwd|⁴/P_tx, with the backscatter, coupling, and
+	// tag/circuit phase rotations applied.
+	ptx := DBmToMilliwatt(c.txDBm - c.cableLossDB)
+	h := eFwd * eFwd / complex(math.Sqrt(ptx), 0)
+	lossDB := tag.BackscatterLossDB + 2*couplingDB
+	h *= complex(math.Pow(10, -lossDB/20), 0)
+	h *= cmplx.Exp(complex(0, -(tag.ThetaTag + c.thetaTR)))
+
+	rssMw := real(h)*real(h) + imag(h)*imag(h)
+	rssDBm := MilliwattToDBm(rssMw)
+
+	// Measurement noise: complex AWGN at the receiver with the
+	// configured floor; phase noise σ ≈ 1/√(2·SNR), RSS noise from the
+	// same SNR.
+	phase := -cmplx.Phase(h) // reader measures the conjugate rotation
+	snr := DBToLinear(rssDBm - c.noiseFloorDBm)
+	if rng != nil && snr > 0 {
+		sigmaPhase := 1 / math.Sqrt(2*snr)
+		if sigmaPhase > math.Pi {
+			sigmaPhase = math.Pi
+		}
+		phase += rng.NormFloat64() * sigmaPhase
+		// RSS estimate error ≈ 10/ln10 · relative power error.
+		sigmaRSS := 10 / math.Ln10 / math.Sqrt(snr)
+		rssDBm += rng.NormFloat64() * sigmaRSS
+	}
+
+	doppler := 0.0
+	if movPath > 0 {
+		_, lambda := c.carrierAt(at)
+		doppler = -movVel / lambda
+	}
+	if rng != nil {
+		// The paper observes Doppler is dominated by noise (Fig. 2a).
+		doppler += rng.NormFloat64() * 0.7
+	}
+
+	return Observation{
+		PhaseRad:        QuantizePhase(phase),
+		RSSdBm:          QuantizeRSS(rssDBm),
+		DopplerHz:       doppler,
+		ForwardPowerDBm: fwdPowerDBm,
+		PoweredUp:       powered,
+	}
+}

@@ -1,0 +1,302 @@
+package rf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rfipad/internal/dsp"
+	"rfipad/internal/geo"
+)
+
+func testTag(pos geo.Vec3) TagPoint {
+	return TagPoint{
+		Pos:               pos,
+		GainDBi:           2,
+		ThetaTag:          0.7,
+		BackscatterLossDB: 15,
+		SensitivityDBm:    -14,
+	}
+}
+
+func handAt(pos geo.Vec3) Scatterer {
+	return Scatterer{
+		Pos:             pos,
+		Reflectivity:    0.6,
+		ProximityRadius: 0.07,
+		CouplingRadius:  0.052,
+		CouplingLossDB:  8,
+		BlockRadius:     0.05,
+		BlockLossDB:     10,
+	}
+}
+
+func TestLinkBudgetAnchor(t *testing.T) {
+	// §IV-B1: a single tag 2 m from the antenna reads ≈ −41 dBm.
+	ch := NewChannel(testAntenna())
+	tag := testTag(geo.V(0, 0, -1.5)) // 2 m from antenna at z=0.5
+	obs := ch.Observe(tag, nil, nil)
+	if !almostEq(obs.RSSdBm, -41, 3) {
+		t.Errorf("RSS at 2 m = %v dBm, want ≈ −41", obs.RSSdBm)
+	}
+	if !obs.PoweredUp {
+		t.Error("tag at 2 m should power up at 30 dBm")
+	}
+}
+
+func TestObserveNoiselessDeterministic(t *testing.T) {
+	ch := NewChannel(testAntenna())
+	tag := testTag(geo.V(0.05, 0.05, 0))
+	a := ch.Observe(tag, nil, nil)
+	b := ch.Observe(tag, nil, nil)
+	if a != b {
+		t.Errorf("noiseless observations differ: %+v vs %+v", a, b)
+	}
+	if a.PhaseRad < 0 || a.PhaseRad >= 2*math.Pi+PhaseResolution {
+		t.Errorf("phase out of range: %v", a.PhaseRad)
+	}
+}
+
+func TestPhaseTracksPathLength(t *testing.T) {
+	// Moving the tag λ/2 farther adds 2π to the round-trip phase:
+	// the observation is unchanged (mod quantization).
+	ch := NewChannel(testAntenna())
+	lambda := ch.Lambda()
+	t1 := testTag(geo.V(0, 0, -0.5)) // 1 m below antenna, on boresight
+	t2 := testTag(geo.V(0, 0, -0.5-lambda/2))
+	o1 := ch.Observe(t1, nil, nil)
+	o2 := ch.Observe(t2, nil, nil)
+	dp := math.Abs(dsp.WrapSigned(o1.PhaseRad - o2.PhaseRad))
+	if dp > 0.01 {
+		t.Errorf("phase differs by %v after λ/2 shift, want ≈0", dp)
+	}
+	// A λ/8 shift gives π/2 phase change.
+	t3 := testTag(geo.V(0, 0, -0.5-lambda/8))
+	o3 := ch.Observe(t3, nil, nil)
+	dp3 := math.Abs(dsp.WrapSigned(o3.PhaseRad - o1.PhaseRad))
+	if !almostEq(dp3, math.Pi/2, 0.05) {
+		t.Errorf("phase change for λ/8 = %v, want π/2", dp3)
+	}
+}
+
+func TestTagDiversityShiftsPhase(t *testing.T) {
+	// Two tags at the same location with different θ_tag report
+	// different phases — the hardware diversity of Eq. 6/7.
+	ch := NewChannel(testAntenna())
+	a := testTag(geo.V(0, 0, 0))
+	b := a
+	b.ThetaTag = a.ThetaTag + 1.0
+	oa := ch.Observe(a, nil, nil)
+	ob := ch.Observe(b, nil, nil)
+	dp := math.Abs(dsp.WrapSigned(ob.PhaseRad - oa.PhaseRad))
+	if !almostEq(dp, 1.0, 0.01) {
+		t.Errorf("θ_tag shift = %v, want 1.0", dp)
+	}
+}
+
+func TestHandCausesRSSTrough(t *testing.T) {
+	// As the hand sweeps over a tag, RSS dips exactly when overhead
+	// (§III-B: "always a distinct trough").
+	ch := NewChannel(testAntenna())
+	tag := testTag(geo.V(0, 0, 0))
+	baseline := ch.Observe(tag, nil, nil).RSSdBm
+
+	minRSS := math.Inf(1)
+	minX := math.NaN()
+	for x := -0.3; x <= 0.3; x += 0.01 {
+		h := handAt(geo.V(x, 0, 0.03))
+		rss := ch.Observe(tag, []Scatterer{h}, nil).RSSdBm
+		if rss < minRSS {
+			minRSS, minX = rss, x
+		}
+	}
+	if math.Abs(minX) > 0.05 {
+		t.Errorf("RSS trough at x=%v, want ≈0 (over the tag)", minX)
+	}
+	if baseline-minRSS < 5 {
+		t.Errorf("trough depth = %v dB, want > 5", baseline-minRSS)
+	}
+}
+
+func TestHandPhaseDisturbanceStrongestAtNearestTag(t *testing.T) {
+	// Eq. 1–5: sweeping over tag T1 accumulates more phase variation at
+	// T1 than at a tag T2 sitting off the trajectory (two columns away,
+	// as in Fig. 3's y-axis argument).
+	ch := NewChannel(testAntenna())
+	t1 := testTag(geo.V(0, 0, 0))
+	t2 := testTag(geo.V(0, 0.12, 0))
+	t2.ThetaTag = 2.2
+
+	var p1, p2 []float64
+	for x := -0.15; x <= 0.15; x += 0.004 {
+		h := handAt(geo.V(x, 0, 0.04))
+		h.Pos.Y = 0
+		p1 = append(p1, ch.Observe(t1, []Scatterer{h}, nil).PhaseRad)
+		p2 = append(p2, ch.Observe(t2, []Scatterer{h}, nil).PhaseRad)
+	}
+	tv1 := dsp.TotalVariation(dsp.Unwrap(p1))
+	tv2 := dsp.TotalVariation(dsp.Unwrap(p2))
+	if tv1 <= tv2 {
+		t.Errorf("accumulated phase: near tag %v <= far tag %v", tv1, tv2)
+	}
+}
+
+func TestNearFieldLoadingCanKillPowerUp(t *testing.T) {
+	ch := NewChannel(testAntenna(), WithTxPower(15))
+	tag := testTag(geo.V(0, 0, 0))
+	tag.SensitivityDBm = -5
+	tag.ExtraLossDB = 3 // array shadowing
+	clear := ch.Observe(tag, nil, nil)
+	h := handAt(geo.V(0, 0, 0.01)) // hand almost touching
+	loaded := ch.Observe(tag, []Scatterer{h}, nil)
+	if !clear.PoweredUp {
+		t.Fatal("tag should power up without the hand")
+	}
+	if loaded.PoweredUp {
+		t.Error("heavy near-field loading at low TX power should cut power-up")
+	}
+}
+
+func TestBlockageAttenuatesLOSPath(t *testing.T) {
+	ch := NewChannel(testAntenna())
+	tag := testTag(geo.V(0, 0, 0))
+	// Arm square in the middle of the antenna→tag segment.
+	arm := Scatterer{
+		Pos:         geo.V(0, 0, 0.25),
+		BlockRadius: 0.06,
+		BlockLossDB: 10,
+	}
+	clear := ch.Observe(tag, nil, nil)
+	blocked := ch.Observe(tag, []Scatterer{arm}, nil)
+	if clear.RSSdBm-blocked.RSSdBm < 10 {
+		t.Errorf("blockage reduced RSS by only %v dB", clear.RSSdBm-blocked.RSSdBm)
+	}
+}
+
+func TestNoiseSeedsReproducible(t *testing.T) {
+	ch := NewChannel(testAntenna())
+	tag := testTag(geo.V(0.05, 0, 0))
+	o1 := ch.Observe(tag, nil, rand.New(rand.NewSource(9)))
+	o2 := ch.Observe(tag, nil, rand.New(rand.NewSource(9)))
+	if o1 != o2 {
+		t.Error("same seed produced different observations")
+	}
+	o3 := ch.Observe(tag, nil, rand.New(rand.NewSource(10)))
+	if o1 == o3 {
+		t.Error("different seeds produced identical noisy observations")
+	}
+}
+
+func TestStaticPhaseStdSmall(t *testing.T) {
+	// Static scenario: phase jitter should be small (Fig. 5 shows
+	// σ ≈ 0.02–0.1 rad depending on location).
+	ch := NewChannel(testAntenna())
+	tag := testTag(geo.V(0.05, 0.05, 0))
+	rng := rand.New(rand.NewSource(1))
+	var phases []float64
+	for i := 0; i < 200; i++ {
+		phases = append(phases, ch.Observe(tag, nil, rng).PhaseRad)
+	}
+	sd := dsp.CircularStd(phases)
+	if sd <= 0 || sd > 0.15 {
+		t.Errorf("static phase std = %v rad, want small but nonzero", sd)
+	}
+}
+
+func TestReflectorsRaiseJitter(t *testing.T) {
+	// Location diversity: a strong jittery reflector near the tag
+	// raises its static phase std-dev (Fig. 5's deviation bias).
+	quiet := NewChannel(testAntenna())
+	noisy := NewChannel(testAntenna(), WithReflectors([]Reflector{{
+		Pos:          geo.V(0.4, 0.2, 0.1),
+		Reflectivity: 0.5,
+		Jitter:       0.15,
+	}}))
+	tag := testTag(geo.V(0.05, 0.05, 0))
+	measure := func(ch *Channel, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		var phases []float64
+		for i := 0; i < 300; i++ {
+			at := time.Duration(i) * 60 * time.Millisecond
+			phases = append(phases, ch.ObserveAt(tag, nil, rng, at).PhaseRad)
+		}
+		return dsp.CircularStd(phases)
+	}
+	if sq, sn := measure(quiet, 3), measure(noisy, 3); sn <= sq {
+		t.Errorf("reflector jitter did not raise phase std: %v <= %v", sn, sq)
+	}
+}
+
+func TestQuantizers(t *testing.T) {
+	if got := QuantizePhase(0.00149); !almostEq(got, 0.0015, 1e-12) {
+		t.Errorf("QuantizePhase = %v", got)
+	}
+	if got := QuantizePhase(-0.001); got < 0 || got >= 2*math.Pi {
+		t.Errorf("QuantizePhase range = %v", got)
+	}
+	if got := QuantizeRSS(-41.26); !almostEq(got, -41.5, 1e-12) {
+		t.Errorf("QuantizeRSS = %v", got)
+	}
+	if got := QuantizeRSS(-41.24); !almostEq(got, -41.0, 1e-12) {
+		t.Errorf("QuantizeRSS = %v", got)
+	}
+}
+
+func TestChannelOptions(t *testing.T) {
+	ch := NewChannel(testAntenna(),
+		WithTxPower(20),
+		WithFrequency(915e6),
+		WithNoiseFloor(-70),
+		WithCableLoss(1.5),
+		WithReaderPhaseOffset(0.3),
+	)
+	if ch.TxPowerDBm() != 20 {
+		t.Errorf("TxPowerDBm = %v", ch.TxPowerDBm())
+	}
+	if !almostEq(ch.Lambda(), Wavelength(915e6), 1e-12) {
+		t.Errorf("Lambda = %v", ch.Lambda())
+	}
+	if got := ch.Antenna().GainDBi; got != DefaultAntennaGainDBi {
+		t.Errorf("Antenna gain = %v", got)
+	}
+}
+
+func TestLowerTxPowerLowersRSSAndForwardPower(t *testing.T) {
+	tag := testTag(geo.V(0, 0, 0))
+	hi := NewChannel(testAntenna(), WithTxPower(32.5)).Observe(tag, nil, nil)
+	lo := NewChannel(testAntenna(), WithTxPower(15)).Observe(tag, nil, nil)
+	if !almostEq(hi.RSSdBm-lo.RSSdBm, 17.5, 1) {
+		// RSS scales 1:1 with TX power in a backscatter link (the tag
+		// re-radiates a fixed fraction of what it receives).
+		t.Errorf("RSS delta = %v dB, want ≈17.5", hi.RSSdBm-lo.RSSdBm)
+	}
+	if !almostEq(hi.ForwardPowerDBm-lo.ForwardPowerDBm, 17.5, 0.1) {
+		t.Errorf("forward delta = %v dB, want 17.5", hi.ForwardPowerDBm-lo.ForwardPowerDBm)
+	}
+}
+
+func TestHoppingChangesPhaseAcrossDwells(t *testing.T) {
+	// Frequency hopping changes λ, so a tag's reported phase jumps
+	// between dwells even though nothing moved — the §IV-A reason the
+	// paper fixes the carrier.
+	carriers := []float64{902.75e6, 915.25e6, 927.25e6}
+	ch := NewChannel(testAntenna(), WithHopping(carriers, 200*time.Millisecond))
+	tag := testTag(geo.V(0.05, 0.05, 0))
+	o1 := ch.ObserveAt(tag, nil, nil, 0)
+	o2 := ch.ObserveAt(tag, nil, nil, 210*time.Millisecond)
+	o3 := ch.ObserveAt(tag, nil, nil, 620*time.Millisecond) // back to carrier 0
+	if d := math.Abs(dsp.WrapSigned(o1.PhaseRad - o2.PhaseRad)); d < 0.1 {
+		t.Errorf("phase barely moved across a hop: %v", d)
+	}
+	if d := math.Abs(dsp.WrapSigned(o1.PhaseRad - o3.PhaseRad)); d > 0.02 {
+		t.Errorf("same carrier should reproduce the phase: %v", d)
+	}
+	// Without hopping the phase is dwell-independent.
+	fixed := NewChannel(testAntenna())
+	f1 := fixed.ObserveAt(tag, nil, nil, 0)
+	f2 := fixed.ObserveAt(tag, nil, nil, 210*time.Millisecond)
+	if f1.PhaseRad != f2.PhaseRad {
+		t.Error("fixed carrier phase changed over time")
+	}
+}

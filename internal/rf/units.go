@@ -1,0 +1,69 @@
+// Package rf models the UHF backscatter radio channel RFIPad operates
+// over: the forward (reader→tag) and reverse (tag→reader) link budgets,
+// an idealized directional reader antenna, environment multipath, the
+// moving hand as a scatterer, receiver noise, and the phase/RSS
+// quantization of a commodity reader (Impinj Speedway class).
+//
+// The paper's prototype is real hardware; this package is the simulation
+// substitute (see DESIGN.md §2). Its constants are calibrated so the
+// static-scenario statistics (Fig. 2, 4, 5) and link budget anchors
+// (≈ −41 dBm tag RSS at 2 m, §IV-B1) match the paper.
+package rf
+
+import "math"
+
+// SpeedOfLight is the propagation speed used for wavelength conversion
+// (m/s).
+const SpeedOfLight = 2.99792458e8
+
+// DefaultFrequencyHz is the carrier RFIPad operates on (§IV-A).
+const DefaultFrequencyHz = 922.38e6
+
+// Wavelength returns the carrier wavelength in metres for a frequency in
+// hertz.
+func Wavelength(freqHz float64) float64 { return SpeedOfLight / freqHz }
+
+// Wavenumber returns 2π/λ for a frequency in hertz.
+func Wavenumber(freqHz float64) float64 { return 2 * math.Pi / Wavelength(freqHz) }
+
+// DBmToMilliwatt converts a power level in dBm to milliwatts.
+func DBmToMilliwatt(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// MilliwattToDBm converts a power level in milliwatts to dBm.
+// Non-positive powers map to -Inf.
+func MilliwattToDBm(mw float64) float64 {
+	if mw <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(mw)
+}
+
+// DBToLinear converts a power ratio in dB to a linear power ratio.
+func DBToLinear(db float64) float64 { return math.Pow(10, db/10) }
+
+// LinearToDB converts a linear power ratio to dB; non-positive ratios
+// map to -Inf.
+func LinearToDB(lin float64) float64 {
+	if lin <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(lin)
+}
+
+// FreeSpacePathGain returns the one-way free-space power gain
+// (λ/4πd)² as a linear ratio. d and λ in metres; d is clamped to a
+// quarter wavelength to keep the near field finite.
+func FreeSpacePathGain(d, lambda float64) float64 {
+	min := lambda / 4
+	if d < min {
+		d = min
+	}
+	r := lambda / (4 * math.Pi * d)
+	return r * r
+}
+
+// FreeSpacePathLossDB returns the one-way free-space path loss in dB
+// (a positive number for d > λ/4π).
+func FreeSpacePathLossDB(d, lambda float64) float64 {
+	return -LinearToDB(FreeSpacePathGain(d, lambda))
+}

@@ -1,0 +1,77 @@
+package rf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWavelength(t *testing.T) {
+	// 922.38 MHz → ≈ 32.5 cm (§III-A quotes 320 mm).
+	got := Wavelength(DefaultFrequencyHz)
+	if !almostEq(got, 0.325, 0.001) {
+		t.Errorf("Wavelength = %v m, want ≈0.325", got)
+	}
+	if got := Wavenumber(DefaultFrequencyHz); !almostEq(got, 2*math.Pi/0.325, 0.1) {
+		t.Errorf("Wavenumber = %v", got)
+	}
+}
+
+func TestPowerConversions(t *testing.T) {
+	tests := []struct {
+		dbm, mw float64
+	}{
+		{0, 1},
+		{30, 1000},
+		{-30, 0.001},
+		{3, 1.9952623149688795},
+	}
+	for _, tt := range tests {
+		if got := DBmToMilliwatt(tt.dbm); !almostEq(got, tt.mw, 1e-9*tt.mw) {
+			t.Errorf("DBmToMilliwatt(%v) = %v, want %v", tt.dbm, got, tt.mw)
+		}
+		if got := MilliwattToDBm(tt.mw); !almostEq(got, tt.dbm, 1e-9) {
+			t.Errorf("MilliwattToDBm(%v) = %v, want %v", tt.mw, got, tt.dbm)
+		}
+	}
+	if !math.IsInf(MilliwattToDBm(0), -1) {
+		t.Error("MilliwattToDBm(0) should be -Inf")
+	}
+	if !math.IsInf(LinearToDB(-1), -1) {
+		t.Error("LinearToDB(-1) should be -Inf")
+	}
+}
+
+func TestPowerRoundTripProperty(t *testing.T) {
+	f := func(dbm float64) bool {
+		dbm = math.Mod(dbm, 200)
+		return almostEq(MilliwattToDBm(DBmToMilliwatt(dbm)), dbm, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreeSpacePathLoss(t *testing.T) {
+	lambda := Wavelength(DefaultFrequencyHz)
+	// At 1 m and 915-ish MHz, FSPL ≈ 31.7 dB.
+	got := FreeSpacePathLossDB(1, lambda)
+	if !almostEq(got, 31.7, 0.3) {
+		t.Errorf("FSPL(1m) = %v dB, want ≈31.7", got)
+	}
+	// Doubling distance adds 6 dB.
+	d2 := FreeSpacePathLossDB(2, lambda)
+	if !almostEq(d2-got, 6.02, 0.05) {
+		t.Errorf("FSPL slope = %v dB per octave, want ≈6.02", d2-got)
+	}
+	// Near-field clamp keeps the gain finite and ≤ the clamp value.
+	g0 := FreeSpacePathGain(0, lambda)
+	if math.IsInf(g0, 1) || math.IsNaN(g0) {
+		t.Error("path gain at d=0 not clamped")
+	}
+	if g0 != FreeSpacePathGain(lambda/8, lambda) {
+		t.Error("distances below λ/4 should clamp to the same gain")
+	}
+}

@@ -1,0 +1,128 @@
+package scene
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rfipad/internal/tagmodel"
+)
+
+func TestNewAppliesPaperDefaults(t *testing.T) {
+	d := New(Config{}, rand.New(rand.NewSource(1)))
+	if d.Placement != NLOS {
+		t.Errorf("default placement = %v, want NLOS", d.Placement)
+	}
+	if d.Location != Location1 {
+		t.Errorf("default location = %v", d.Location)
+	}
+	if d.Channel.TxPowerDBm() != 30 {
+		t.Errorf("default TX = %v", d.Channel.TxPowerDBm())
+	}
+	// NLOS antenna sits 32 cm behind the plane, boresight +z.
+	ant := d.Channel.Antenna()
+	center := d.Array.Center()
+	if got := center.Z - ant.Pos.Z; math.Abs(got-0.32) > 1e-9 {
+		t.Errorf("NLOS distance = %v, want 0.32", got)
+	}
+	if ant.Boresight.Z <= 0 {
+		t.Error("NLOS boresight should face the plane (+z)")
+	}
+	// Canvas spans the grid.
+	if math.Abs(d.Canvas.Width-4*d.Array.Spacing) > 1e-9 {
+		t.Errorf("canvas width = %v", d.Canvas.Width)
+	}
+	if d.Canvas.Origin != d.Array.Origin {
+		t.Error("canvas origin should be the array origin")
+	}
+	// Body stands beyond the +y edge, above the plane.
+	if d.Body.ShoulderPos.Y <= center.Y || d.Body.ShoulderPos.Z <= 0 {
+		t.Errorf("body at %v", d.Body.ShoulderPos)
+	}
+}
+
+func TestLOSPlacement(t *testing.T) {
+	d := New(Config{Placement: LOS, LOSDistance: 1.2}, rand.New(rand.NewSource(2)))
+	ant := d.Channel.Antenna()
+	if got := ant.Pos.Z - d.Array.Center().Z; math.Abs(got-1.2) > 1e-9 {
+		t.Errorf("LOS height = %v, want 1.2", got)
+	}
+	if ant.Boresight.Z >= 0 {
+		t.Error("LOS boresight should face down")
+	}
+}
+
+func TestAngleTiltsBoresight(t *testing.T) {
+	d0 := New(Config{}, rand.New(rand.NewSource(3)))
+	d45 := New(Config{AngleDeg: 45}, rand.New(rand.NewSource(3)))
+	b0, b45 := d0.Channel.Antenna().Boresight, d45.Channel.Antenna().Boresight
+	angle := b0.AngleTo(b45) * 180 / math.Pi
+	if math.Abs(angle-45) > 1e-6 {
+		t.Errorf("tilt = %v°, want 45", angle)
+	}
+	// Tilting reduces the gain toward the plane centre.
+	center := d0.Array.Center()
+	g0 := d0.Channel.Antenna().GainTowards(center)
+	g45 := d45.Channel.Antenna().GainTowards(center)
+	if g45 >= g0 {
+		t.Errorf("tilted gain %v >= straight gain %v", g45, g0)
+	}
+}
+
+func TestLocationsHaveEscalatingMultipath(t *testing.T) {
+	if got := len(Locations()); got != 4 {
+		t.Fatalf("Locations = %d", got)
+	}
+	// Location #4's reflectors are stronger and jitterier than #1's
+	// (Fig. 15/16: strongest multipath from nearby walls and tables).
+	sum := func(loc Location) (refl, jit float64) {
+		for _, s := range locationReflectors(loc) {
+			refl += s.Reflectivity
+			jit += s.Jitter
+		}
+		return
+	}
+	r1, j1 := sum(Location1)
+	r4, j4 := sum(Location4)
+	if r4 <= r1 || j4 <= j1 {
+		t.Errorf("location 4 (refl %v, jitter %v) should exceed location 1 (%v, %v)", r4, j4, r1, j1)
+	}
+	if locationReflectors(Location(99)) != nil {
+		t.Error("unknown location should have no reflectors")
+	}
+}
+
+func TestCustomArrayConfig(t *testing.T) {
+	cfg := tagmodel.DefaultArrayConfig()
+	cfg.Rows, cfg.Cols = 3, 7
+	d := New(Config{Array: &cfg}, rand.New(rand.NewSource(4)))
+	if d.Array.Rows != 3 || d.Array.Cols != 7 {
+		t.Errorf("array = %d×%d", d.Array.Rows, d.Array.Cols)
+	}
+	if math.Abs(d.Canvas.Width-6*d.Array.Spacing) > 1e-9 {
+		t.Errorf("canvas width = %v", d.Canvas.Width)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if NLOS.String() != "NLOS" || LOS.String() != "LOS" {
+		t.Error("placement strings")
+	}
+	if Placement(9).String() == "" || Location1.String() == "" {
+		t.Error("fallback strings")
+	}
+}
+
+func TestTagsReadableInDefaultDeployment(t *testing.T) {
+	// Every tag powers up and reports sane RSS in the default scene.
+	d := New(Config{}, rand.New(rand.NewSource(5)))
+	for _, tag := range d.Array.Tags {
+		obs := d.Channel.Observe(tag.RFPoint(), nil, nil)
+		if !obs.PoweredUp {
+			t.Errorf("tag (%d,%d) not powered: fwd %v dBm", tag.Row, tag.Col, obs.ForwardPowerDBm)
+		}
+		if obs.RSSdBm > 0 || obs.RSSdBm < -80 {
+			t.Errorf("tag (%d,%d) RSS = %v dBm", tag.Row, tag.Col, obs.RSSdBm)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"time"
+
+	"rfipad/internal/core"
+	"rfipad/internal/epc"
+	"rfipad/internal/hand"
+	"rfipad/internal/rf"
+	"rfipad/internal/scene"
+)
+
+// MultiPlate models the paper's headline cost-efficiency claim (§I,
+// §IV-B3): one reader carries several antennas, each facing its own
+// RFIPad plate, and time-multiplexes inventory across them the way an
+// Impinj reader cycles its antenna ports. Each plate keeps its own
+// calibration and pipeline; the price of sharing the reader is that
+// every plate sees only a slice of the aggregate read rate.
+type MultiPlate struct {
+	// Plates are the deployments sharing the reader.
+	Plates []*System
+	// SwitchDwell is how long the reader stays on one antenna before
+	// cycling (Impinj readers default to ~0.2–0.5 s per port).
+	SwitchDwell time.Duration
+}
+
+// NewMultiPlate wires systems onto one shared reader. All systems must
+// already be built (their RNGs stay independent so plate A's noise does
+// not perturb plate B's reproducibility).
+func NewMultiPlate(plates []*System, dwell time.Duration) *MultiPlate {
+	if dwell <= 0 {
+		dwell = 250 * time.Millisecond
+	}
+	return &MultiPlate{Plates: plates, SwitchDwell: dwell}
+}
+
+// plateScript pairs a plate with the hand script performed above it
+// (nil for an idle plate).
+type plateScript struct {
+	script *hand.Script
+	end    time.Duration
+}
+
+// Run simulates the shared reader from t=0 until every script has
+// finished plus a trailing quiet second, returning one reading stream
+// per plate. Plates without a script stay idle but keep consuming
+// their antenna dwells — exactly the cost a deployment pays for
+// parking an RFIPad on a busy reader.
+func (m *MultiPlate) Run(scripts []*hand.Script) [][]core.Reading {
+	out := make([][]core.Reading, len(m.Plates))
+	ps := make([]plateScript, len(m.Plates))
+	var end time.Duration
+	for i := range m.Plates {
+		var s *hand.Script
+		if i < len(scripts) {
+			s = scripts[i]
+		}
+		ps[i] = plateScript{script: s}
+		if s != nil {
+			ps[i].end = s.Duration()
+			if ps[i].end > end {
+				end = ps[i].end
+			}
+		}
+	}
+	end += time.Second
+
+	// One MAC simulator per plate (the reader re-arbitrates when it
+	// switches ports), advanced dwell by dwell in round-robin.
+	macs := make([]*epc.Simulator, len(m.Plates))
+	for i, p := range m.Plates {
+		macs[i] = epc.NewSimulator(p.macCfg, p.rng)
+	}
+
+	now := time.Duration(0)
+	for now < end {
+		for i, p := range m.Plates {
+			if now >= end {
+				break
+			}
+			plate := p
+			sp := ps[i]
+			scatter := func(t time.Duration) []rf.Scatterer {
+				if sp.script == nil || t > sp.end {
+					return nil
+				}
+				return hand.Scatterers(sp.script, plate.Dep.Body, t)
+			}
+			dwellEnd := now + m.SwitchDwell
+			if dwellEnd > end {
+				dwellEnd = end
+			}
+			tags := plate.Dep.Array.Tags
+			macs[i].Run(now, dwellEnd, len(tags),
+				func(ti int, t time.Duration) bool {
+					return plate.Dep.Channel.ObserveAt(tags[ti].RFPoint(), scatter(t), nil, t).PoweredUp
+				},
+				func(ti int, t time.Duration) {
+					obs := plate.Dep.Channel.ObserveAt(tags[ti].RFPoint(), scatter(t), plate.rng, t)
+					out[i] = append(out[i], core.Reading{
+						TagIndex: ti,
+						EPC:      tags[ti].EPC,
+						Time:     t,
+						Phase:    obs.PhaseRad,
+						RSS:      obs.RSSdBm,
+						Doppler:  obs.DopplerHz,
+					})
+				})
+			now = dwellEnd
+		}
+	}
+	return out
+}
+
+// CalibrateAll runs the static capture on every plate (the reader
+// cycles antennas during calibration too, so each plate's capture is
+// proportionally thinner).
+func (m *MultiPlate) CalibrateAll(dur time.Duration) ([]*core.Calibration, error) {
+	streams := m.runStatic(dur)
+	cals := make([]*core.Calibration, len(m.Plates))
+	for i, readings := range streams {
+		cal, err := core.Calibrate(readings, m.Plates[i].Grid.NumTags())
+		if err != nil {
+			return nil, err
+		}
+		cals[i] = cal
+	}
+	return cals, nil
+}
+
+// runStatic is Run with no scripts and a fixed duration.
+func (m *MultiPlate) runStatic(dur time.Duration) [][]core.Reading {
+	out := make([][]core.Reading, len(m.Plates))
+	macs := make([]*epc.Simulator, len(m.Plates))
+	for i, p := range m.Plates {
+		macs[i] = epc.NewSimulator(p.macCfg, p.rng)
+	}
+	now := time.Duration(0)
+	for now < dur {
+		for i, p := range m.Plates {
+			if now >= dur {
+				break
+			}
+			plate := p
+			dwellEnd := now + m.SwitchDwell
+			if dwellEnd > dur {
+				dwellEnd = dur
+			}
+			tags := plate.Dep.Array.Tags
+			macs[i].Run(now, dwellEnd, len(tags),
+				func(ti int, t time.Duration) bool {
+					return plate.Dep.Channel.ObserveAt(tags[ti].RFPoint(), nil, nil, t).PoweredUp
+				},
+				func(ti int, t time.Duration) {
+					obs := plate.Dep.Channel.ObserveAt(tags[ti].RFPoint(), nil, plate.rng, t)
+					out[i] = append(out[i], core.Reading{
+						TagIndex: ti, EPC: tags[ti].EPC, Time: t,
+						Phase: obs.PhaseRad, RSS: obs.RSSdBm, Doppler: obs.DopplerHz,
+					})
+				})
+			now = dwellEnd
+		}
+	}
+	return out
+}
+
+// NewPlateSystem is a convenience constructor for plates that share a
+// reader: each plate gets its own scene and RNG seed.
+func NewPlateSystem(cfg scene.Config, seed int64) *System {
+	rng := newSeededRand(seed)
+	dep := scene.New(cfg, rng)
+	return New(dep, rng)
+}

@@ -1,0 +1,123 @@
+// Package sim orchestrates full-system simulations: it drives the EPC
+// Gen2 MAC over a deployed tag array while a synthesized hand moves
+// above it, producing the timestamped reading stream a real reader
+// would deliver. It is the glue between the substrates (scene, hand,
+// epc, rf) and the recognition pipeline (core).
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"rfipad/internal/core"
+	"rfipad/internal/epc"
+	"rfipad/internal/hand"
+	"rfipad/internal/rf"
+	"rfipad/internal/scene"
+)
+
+// System is one deployed RFIPad with its reader MAC.
+type System struct {
+	Dep  *scene.Deployment
+	Grid core.Grid
+
+	macCfg epc.Config
+	rng    *rand.Rand
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithMACConfig overrides the EPC MAC timing.
+func WithMACConfig(cfg epc.Config) Option {
+	return func(s *System) { s.macCfg = cfg }
+}
+
+// New builds a System over a deployment. rng drives the MAC slot
+// choices and the channel measurement noise; it must not be nil.
+func New(dep *scene.Deployment, rng *rand.Rand, opts ...Option) *System {
+	s := &System{
+		Dep:    dep,
+		Grid:   core.Grid{Rows: dep.Array.Rows, Cols: dep.Array.Cols},
+		macCfg: epc.DefaultConfig(),
+		rng:    rng,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// scattererFn yields the moving scatterers at a given instant; nil for
+// a static scene.
+type scattererFn func(t time.Duration) []rf.Scatterer
+
+// collect runs the MAC from start to end and converts each successful
+// singulation into a Reading.
+func (s *System) collect(start, end time.Duration, scs scattererFn) []core.Reading {
+	mac := epc.NewSimulator(s.macCfg, s.rng)
+	tags := s.Dep.Array.Tags
+	var out []core.Reading
+
+	responds := func(i int, now time.Duration) bool {
+		var moving []rf.Scatterer
+		if scs != nil {
+			moving = scs(now)
+		}
+		// The power-up check is noiseless: it is a threshold on
+		// harvested energy, not a measurement.
+		obs := s.Dep.Channel.ObserveAt(tags[i].RFPoint(), moving, nil, now)
+		return obs.PoweredUp
+	}
+	emit := func(i int, now time.Duration) {
+		var moving []rf.Scatterer
+		if scs != nil {
+			moving = scs(now)
+		}
+		obs := s.Dep.Channel.ObserveAt(tags[i].RFPoint(), moving, s.rng, now)
+		out = append(out, core.Reading{
+			TagIndex: i,
+			EPC:      tags[i].EPC,
+			Time:     now,
+			Phase:    obs.PhaseRad,
+			RSS:      obs.RSSdBm,
+			Doppler:  obs.DopplerHz,
+		})
+	}
+	mac.Run(start, end, len(tags), responds, emit)
+	return out
+}
+
+// CollectStatic gathers readings with no hand present — the static
+// capture used for calibration and the Fig. 2/4/5 baselines.
+func (s *System) CollectStatic(dur time.Duration) []core.Reading {
+	return s.collect(0, dur, nil)
+}
+
+// Calibrate performs the deployment-time static capture and computes
+// the diversity-suppression statistics.
+func (s *System) Calibrate(dur time.Duration) (*core.Calibration, error) {
+	return core.Calibrate(s.CollectStatic(dur), s.Grid.NumTags())
+}
+
+// RunScript simulates the MAC while the hand performs the script,
+// returning the reading stream from t=0 to the script end plus a
+// trailing quiet second (so segmentation can close the final stroke).
+func (s *System) RunScript(script *hand.Script) []core.Reading {
+	end := script.Duration() + time.Second
+	return s.collect(0, end, func(t time.Duration) []rf.Scatterer {
+		if t > script.Duration() {
+			return nil
+		}
+		return hand.Scatterers(script, s.Dep.Body, t)
+	})
+}
+
+// Synthesizer builds a hand synthesizer for this deployment's canvas.
+func (s *System) Synthesizer(u hand.User, rng *rand.Rand) *hand.Synthesizer {
+	return hand.NewSynthesizer(u, s.Dep.Canvas, rng)
+}
+
+// newSeededRand builds a deterministic RNG (small helper shared by the
+// multi-plate constructor).
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rfipad/internal/geo"
+	"rfipad/internal/hand"
+)
+
+// InterLetterGap is the pause a writer leaves between letters — longer
+// than any intra-letter adjustment interval, so the online recognizer
+// can close each letter. Recognizing a succession of letters is the
+// future work §III-C2 defers; this is our implementation of it.
+const InterLetterGap = 3 * time.Second
+
+// LetterSpan records which portion of a word script belongs to one
+// letter.
+type LetterSpan struct {
+	Letter     rune
+	Start, End time.Duration
+}
+
+// WordScript is a whole word synthesized as one continuous session.
+type WordScript struct {
+	Script      *hand.Script
+	LetterSpans []LetterSpan
+}
+
+// WriteWord builds the script for a word written letter by letter on
+// the same plate. rng is unused today but reserved for per-word
+// variability hooks; the synthesizer's own rng drives the strokes.
+func WriteWord(synth *hand.Synthesizer, word string, rng *rand.Rand) (*WordScript, error) {
+	_ = rng
+	out := &WordScript{Script: &hand.Script{Path: &geo.Path{}}}
+	for _, ch := range word {
+		specs, err := LetterSpecs(ch)
+		if err != nil {
+			return nil, fmt.Errorf("sim: word %q: %w", word, err)
+		}
+		letter := synth.Write(specs)
+
+		gap := time.Duration(0)
+		offset := time.Duration(0)
+		if out.Script.Path.Len() > 0 {
+			gap = InterLetterGap
+			offset = out.Script.Path.Samples()[out.Script.Path.Len()-1].T + gap
+		}
+		out.Script.Path = out.Script.Path.Concat(letter.Path, gap)
+		for _, seg := range letter.Segments {
+			out.Script.Segments = append(out.Script.Segments, hand.Segment{
+				Motion: seg.Motion,
+				Box:    seg.Box,
+				Start:  seg.Start + offset,
+				End:    seg.End + offset,
+			})
+		}
+		out.LetterSpans = append(out.LetterSpans, LetterSpan{
+			Letter: ch,
+			Start:  offset,
+			End:    offset + letter.Duration(),
+		})
+	}
+	return out, nil
+}

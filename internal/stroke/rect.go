@@ -1,0 +1,41 @@
+package stroke
+
+// Rect is an axis-aligned box in normalized letter coordinates:
+// x grows rightward, y grows upward, and the full letter occupies the
+// unit square [0,1]×[0,1].
+type Rect struct {
+	X0, Y0, X1, Y1 float64
+}
+
+// Unit is the whole letter box.
+var Unit = Rect{0, 0, 1, 1}
+
+// R builds a Rect.
+func R(x0, y0, x1, y1 float64) Rect { return Rect{x0, y0, x1, y1} }
+
+// W returns the rectangle width.
+func (r Rect) W() float64 { return r.X1 - r.X0 }
+
+// H returns the rectangle height.
+func (r Rect) H() float64 { return r.Y1 - r.Y0 }
+
+// CenterX returns the x midpoint.
+func (r Rect) CenterX() float64 { return (r.X0 + r.X1) / 2 }
+
+// CenterY returns the y midpoint.
+func (r Rect) CenterY() float64 { return (r.Y0 + r.Y1) / 2 }
+
+// Map converts a point (u,v) in [0,1]² to the rectangle's coordinates.
+func (r Rect) Map(u, v float64) (x, y float64) {
+	return r.X0 + u*r.W(), r.Y0 + v*r.H()
+}
+
+// Dist2 returns the squared distance between the centres of r and s —
+// the box-centre variant of the position metric (the letter composer
+// prefers intensity-weighted centroids when the recognizer provides
+// them).
+func (r Rect) Dist2(s Rect) float64 {
+	dx := r.CenterX() - s.CenterX()
+	dy := r.CenterY() - s.CenterY()
+	return dx*dx + dy*dy
+}

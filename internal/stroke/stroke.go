@@ -1,0 +1,126 @@
+// Package stroke defines the motion vocabulary of RFIPad (§II-C): the
+// seven basic hand motions — click "●", "−", "|", "/", "\", "⊂", "⊃" —
+// and their direction variants, 13 motions in total (motions #2–#7 each
+// carry two directions). The hand synthesizer draws them, the core
+// recognizer emits them, and the letter grammar consumes them.
+package stroke
+
+import "fmt"
+
+// Shape is one of the seven basic stroke shapes, numbered as in the
+// paper (#1 click … #7 "⊃").
+type Shape int
+
+// The seven shapes of §II-C.
+const (
+	// Click is a push toward a tag ("●", motion #1) — the touch-screen
+	// click.
+	Click Shape = iota + 1
+	// Horizontal is "−" (motion #2): supports page swiping (← →).
+	Horizontal
+	// Vertical is "|" (motion #3): supports scroll bars (↑ ↓).
+	Vertical
+	// SlashUp is "/" (motion #4), connecting bottom-left and top-right.
+	SlashUp
+	// SlashDown is "\" (motion #5), connecting top-left and
+	// bottom-right.
+	SlashDown
+	// ArcLeft is "⊂" (motion #6), the left half-circle (opens right).
+	ArcLeft
+	// ArcRight is "⊃" (motion #7), the right half-circle (opens left).
+	ArcRight
+)
+
+// NumShapes is the size of the shape vocabulary.
+const NumShapes = 7
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case Click:
+		return "click"
+	case Horizontal:
+		return "-"
+	case Vertical:
+		return "|"
+	case SlashUp:
+		return "/"
+	case SlashDown:
+		return "\\"
+	case ArcLeft:
+		return "⊂"
+	case ArcRight:
+		return "⊃"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// Direction distinguishes the two ways a non-click shape can be drawn.
+type Direction int
+
+// Directions. Forward is the canonical pen direction:
+//
+//	Horizontal → (left to right)   Vertical ↓ (top to bottom)
+//	SlashUp: top-right → bottom-left; SlashDown: top-left → bottom-right
+//	ArcLeft/ArcRight: drawn from their top end to their bottom end.
+const (
+	Forward Direction = iota + 1
+	Reverse
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Forward:
+		return "fwd"
+	case Reverse:
+		return "rev"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Motion is one recognizable hand motion: a shape plus a direction.
+// Click has no direction (Direction 0 by convention).
+type Motion struct {
+	Shape Shape
+	Dir   Direction
+}
+
+// M builds a Motion; the direction of a Click is normalized away.
+func M(s Shape, d Direction) Motion {
+	if s == Click {
+		return Motion{Shape: Click}
+	}
+	return Motion{Shape: s, Dir: d}
+}
+
+// String implements fmt.Stringer.
+func (m Motion) String() string {
+	if m.Shape == Click {
+		return "click"
+	}
+	return fmt.Sprintf("%v(%v)", m.Shape, m.Dir)
+}
+
+// All returns the 13 motions of the paper's evaluation: the click plus
+// shapes #2–#7 in both directions.
+func All() []Motion {
+	out := []Motion{{Shape: Click}}
+	for s := Horizontal; s <= ArcRight; s++ {
+		out = append(out, Motion{Shape: s, Dir: Forward}, Motion{Shape: s, Dir: Reverse})
+	}
+	return out
+}
+
+// Opposite returns the same shape drawn the other way.
+func (m Motion) Opposite() Motion {
+	if m.Shape == Click {
+		return m
+	}
+	if m.Dir == Forward {
+		return Motion{Shape: m.Shape, Dir: Reverse}
+	}
+	return Motion{Shape: m.Shape, Dir: Forward}
+}

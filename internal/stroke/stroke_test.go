@@ -1,0 +1,158 @@
+package stroke
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-12 }
+
+func TestAllReturns13Motions(t *testing.T) {
+	// §V-B1: "13 strokes (stroke 2∼7 with two directions)" plus click.
+	all := All()
+	if len(all) != 13 {
+		t.Fatalf("All() = %d motions, want 13", len(all))
+	}
+	seen := map[Motion]bool{}
+	for _, m := range all {
+		if seen[m] {
+			t.Fatalf("duplicate motion %v", m)
+		}
+		seen[m] = true
+	}
+	if !seen[Motion{Shape: Click}] {
+		t.Error("click missing")
+	}
+	for s := Horizontal; s <= ArcRight; s++ {
+		if !seen[Motion{Shape: s, Dir: Forward}] || !seen[Motion{Shape: s, Dir: Reverse}] {
+			t.Errorf("missing directions for %v", s)
+		}
+	}
+}
+
+func TestMNormalizesClickDirection(t *testing.T) {
+	if got := M(Click, Reverse); got != (Motion{Shape: Click}) {
+		t.Errorf("M(Click, Reverse) = %v", got)
+	}
+	if got := M(Vertical, Reverse); got.Dir != Reverse {
+		t.Errorf("M dropped direction: %v", got)
+	}
+}
+
+func TestOpposite(t *testing.T) {
+	m := M(Horizontal, Forward)
+	if got := m.Opposite(); got.Dir != Reverse || got.Shape != Horizontal {
+		t.Errorf("Opposite = %v", got)
+	}
+	if got := m.Opposite().Opposite(); got != m {
+		t.Errorf("double Opposite = %v", got)
+	}
+	c := M(Click, Forward)
+	if got := c.Opposite(); got != c {
+		t.Errorf("click Opposite = %v", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for _, m := range All() {
+		if m.String() == "" || m.Shape.String() == "" {
+			t.Errorf("empty string for %#v", m)
+		}
+	}
+	if Shape(99).String() == "" || Direction(99).String() == "" {
+		t.Error("fallback strings empty")
+	}
+	if (Motion{Shape: Click}).String() != "click" {
+		t.Error("click string")
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := R(0.2, 0.4, 0.6, 1.0)
+	if !approx(r.W(), 0.4) || !approx(r.H(), 0.6) {
+		t.Errorf("W/H = %v/%v", r.W(), r.H())
+	}
+	if !approx(r.CenterX(), 0.4) || !approx(r.CenterY(), 0.7) {
+		t.Errorf("center = %v,%v", r.CenterX(), r.CenterY())
+	}
+	x, y := r.Map(0.5, 0.5)
+	if !approx(x, 0.4) || !approx(y, 0.7) {
+		t.Errorf("Map = %v,%v", x, y)
+	}
+	x, y = r.Map(0, 1)
+	if !approx(x, 0.2) || !approx(y, 1.0) {
+		t.Errorf("Map(0,1) = %v,%v", x, y)
+	}
+	if Unit.Dist2(Unit) != 0 {
+		t.Error("Dist2 self nonzero")
+	}
+	if got := R(0, 0, 0, 0).Dist2(R(1, 0, 1, 0)); got != 1 {
+		t.Errorf("Dist2 = %v", got)
+	}
+}
+
+func TestWaypoints(t *testing.T) {
+	// Endpoints and orientation of every shape's drawing path.
+	endpoints := func(m Motion) (Point, Point) {
+		pts := Waypoints(m)
+		return pts[0], pts[len(pts)-1]
+	}
+	a, b := endpoints(M(Horizontal, Forward))
+	if a.X != 0 || b.X != 1 || a.Y != 0.5 {
+		t.Errorf("horizontal fwd: %v → %v", a, b)
+	}
+	a, b = endpoints(M(Vertical, Forward))
+	if a.Y != 1 || b.Y != 0 {
+		t.Errorf("vertical fwd: %v → %v", a, b)
+	}
+	// Reverse flips the path.
+	fa, fb := endpoints(M(SlashUp, Forward))
+	ra, rb := endpoints(M(SlashUp, Reverse))
+	if fa != rb || fb != ra {
+		t.Errorf("reverse should flip: fwd %v→%v rev %v→%v", fa, fb, ra, rb)
+	}
+	// Arcs bulge to their side and run top to bottom when forward.
+	for _, tc := range []struct {
+		m        Motion
+		wantLeft bool
+	}{
+		{M(ArcLeft, Forward), true},
+		{M(ArcRight, Forward), false},
+	} {
+		pts := Waypoints(tc.m)
+		if len(pts) < 10 {
+			t.Fatalf("%v: too few waypoints", tc.m)
+		}
+		if pts[0].Y <= pts[len(pts)-1].Y {
+			t.Errorf("%v: forward arc should start above its end", tc.m)
+		}
+		minX, maxX := 2.0, -1.0
+		for _, p := range pts {
+			if p.X < minX {
+				minX = p.X
+			}
+			if p.X > maxX {
+				maxX = p.X
+			}
+		}
+		if tc.wantLeft && minX > 0.1 {
+			t.Errorf("%v: should reach the left edge, minX=%v", tc.m, minX)
+		}
+		if !tc.wantLeft && maxX < 0.9 {
+			t.Errorf("%v: should reach the right edge, maxX=%v", tc.m, maxX)
+		}
+		// All waypoints inside the unit box.
+		for _, p := range pts {
+			if p.X < -1e-9 || p.X > 1+1e-9 || p.Y < -1e-9 || p.Y > 1+1e-9 {
+				t.Fatalf("%v: waypoint %v outside unit box", tc.m, p)
+			}
+		}
+	}
+	// Click is the single centre point; unknown shapes fall back to it.
+	if pts := Waypoints(M(Click, 0)); len(pts) != 1 || pts[0] != (Point{0.5, 0.5}) {
+		t.Errorf("click waypoints = %v", pts)
+	}
+	if pts := Waypoints(Motion{Shape: Shape(99)}); len(pts) != 1 {
+		t.Errorf("unknown shape waypoints = %v", pts)
+	}
+}

@@ -1,0 +1,55 @@
+package stroke
+
+import "math"
+
+// Point is a 2-D point in normalized stroke coordinates (x right,
+// y up, unit square).
+type Point struct{ X, Y float64 }
+
+// arcPoints is the sampling resolution of the half-circle shapes.
+const arcPoints = 24
+
+// Waypoints returns the normalized drawing path of a motion in the
+// unit square, ordered in drawing order. Click returns the single
+// centre point. The hand synthesizer maps these onto the plate and the
+// whole-letter template rasterizer splats them onto the tag grid.
+func Waypoints(m Motion) []Point {
+	line := func(x0, y0, x1, y1 float64) []Point {
+		return []Point{{x0, y0}, {x1, y1}}
+	}
+	arc := func(a0, a1 float64) []Point {
+		pts := make([]Point, arcPoints)
+		for i := range pts {
+			u := float64(i) / float64(arcPoints-1)
+			a := a0 + (a1-a0)*u
+			pts[i] = Point{0.5 + 0.5*math.Cos(a), 0.5 + 0.5*math.Sin(a)}
+		}
+		return pts
+	}
+	deg := math.Pi / 180
+	var pts []Point
+	switch m.Shape {
+	case Click:
+		pts = []Point{{0.5, 0.5}}
+	case Horizontal:
+		pts = line(0, 0.5, 1, 0.5) // forward: →
+	case Vertical:
+		pts = line(0.5, 1, 0.5, 0) // forward: ↓
+	case SlashUp:
+		pts = line(1, 1, 0, 0) // forward: from the top end down
+	case SlashDown:
+		pts = line(0, 1, 1, 0)
+	case ArcLeft: // ⊂: top-right, around the left, bottom-right
+		pts = arc(75*deg, 285*deg)
+	case ArcRight: // ⊃: top-left, around the right, bottom-left
+		pts = arc(105*deg, -105*deg)
+	default:
+		pts = []Point{{0.5, 0.5}}
+	}
+	if m.Shape != Click && m.Dir == Reverse {
+		for i, j := 0, len(pts)-1; i < j; i, j = i+1, j-1 {
+			pts[i], pts[j] = pts[j], pts[i]
+		}
+	}
+	return pts
+}

@@ -1,0 +1,172 @@
+package rfipad
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimulatorEndToEnd(t *testing.T) {
+	sim, err := NewSimulator(SimulatorConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := sim.Grid(); g.Rows != 5 || g.Cols != 5 {
+		t.Fatalf("grid = %+v", g)
+	}
+	cal, err := sim.Calibrate(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline path.
+	p := sim.NewPipeline(cal)
+	want := M(Horizontal, Forward)
+	readings, dur := sim.PerformMotion(want, 42)
+	results := p.RecognizeStream(readings, nil, 0, dur+time.Second)
+	if len(results) != 1 || !results[0].Result.Ok {
+		t.Fatalf("offline recognition failed: %d results", len(results))
+	}
+	if got := results[0].Result.Motion; got != want {
+		t.Errorf("motion = %v, want %v", got, want)
+	}
+
+	// Streaming path on a letter.
+	rec := sim.NewRecognizer(cal)
+	lr, ldur, err := sim.WriteLetter('T', 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var letter rune
+	ingest := func(evs []Event) {
+		for _, ev := range evs {
+			if ev.Kind == LetterDeduced && ev.LetterOK {
+				letter = ev.Letter
+			}
+		}
+	}
+	for _, r := range lr {
+		ingest(rec.Ingest(r))
+	}
+	ingest(rec.Flush(ldur + 2*time.Second))
+	if letter != 'T' {
+		t.Errorf("letter = %q, want T", letter)
+	}
+}
+
+func TestSimulatorConfigValidation(t *testing.T) {
+	if _, err := NewSimulator(SimulatorConfig{Placement: "sideways"}); err == nil {
+		t.Error("bad placement accepted")
+	}
+	if _, err := NewSimulator(SimulatorConfig{Location: 9}); err == nil {
+		t.Error("bad location accepted")
+	}
+	if _, err := NewSimulator(SimulatorConfig{Placement: LOS, Location: 4}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestVocabularyHelpers(t *testing.T) {
+	if got := len(AllMotions()); got != 13 {
+		t.Errorf("AllMotions = %d", got)
+	}
+	strokes, ok := LetterStrokes('H')
+	if !ok || len(strokes) != 3 {
+		t.Errorf("LetterStrokes(H) = %d,%v", len(strokes), ok)
+	}
+	if _, ok := LetterStrokes('?'); ok {
+		t.Error("LetterStrokes(?) should fail")
+	}
+	if got := len(Volunteers()); got != 10 {
+		t.Errorf("Volunteers = %d", got)
+	}
+	if DefaultUser().Speed <= 0 {
+		t.Error("DefaultUser has no speed")
+	}
+}
+
+func TestTagLookups(t *testing.T) {
+	sim, err := NewSimulator(SimulatorConfig{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epc, ok := sim.TagEPC(2, 3)
+	if !ok {
+		t.Fatal("TagEPC(2,3) not found")
+	}
+	if idx := sim.TagIndexByEPC(epc); idx != 2*5+3 {
+		t.Errorf("TagIndexByEPC = %d", idx)
+	}
+	if _, ok := sim.TagEPC(9, 9); ok {
+		t.Error("out-of-range TagEPC should fail")
+	}
+	if idx := sim.TagIndexByEPC(EPC{}); idx != -1 {
+		t.Errorf("unknown EPC index = %d", idx)
+	}
+}
+
+func TestSimulatorDeterminism(t *testing.T) {
+	run := func() []Reading {
+		s, err := NewSimulator(SimulatorConfig{Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, _ := s.PerformMotion(M(ArcLeft, Forward), 5)
+		return r
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestWriteWordStreaming(t *testing.T) {
+	sim, err := NewSimulator(SimulatorConfig{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := sim.Calibrate(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings, dur, err := sim.WriteWord("IT", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sim.NewRecognizer(cal)
+	got := ""
+	collect := func(evs []Event) {
+		for _, ev := range evs {
+			if ev.Kind == LetterDeduced && ev.LetterOK {
+				got += string(ev.Letter)
+			}
+		}
+	}
+	for _, r := range readings {
+		collect(rec.Ingest(r))
+	}
+	collect(rec.Flush(dur + 3*time.Second))
+	if got != "IT" {
+		t.Errorf("recognized %q, want IT", got)
+	}
+	if _, _, err := sim.WriteWord("a1", 3); err == nil {
+		t.Error("invalid word accepted")
+	}
+}
+
+func TestFastMACSimulator(t *testing.T) {
+	count := func(fast bool) int {
+		s, err := NewSimulator(SimulatorConfig{Seed: 13, FastMAC: fast})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(s.CollectStatic(2 * time.Second))
+	}
+	if fast, slow := count(true), count(false); fast < slow*3/2 {
+		t.Errorf("fast MAC reads %d should be well above default %d", fast, slow)
+	}
+}
