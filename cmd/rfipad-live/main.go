@@ -3,21 +3,29 @@
 // suppression from the static prelude, and recognizes strokes and
 // letters online as reports stream in.
 //
+// The connection is a fault-tolerant llrp.Session: if the daemon
+// restarts or the link drops mid-word, the backend reconnects with
+// capped exponential backoff and resumes the stream from its last-seen
+// timestamp, keeping whatever it already recognized. Calibration
+// tolerates dead tags; their cells are interpolated from live
+// neighbors.
+//
 // Usage:
 //
 //	rfipad-live -connect 127.0.0.1:5084 -calib 3s
+//	rfipad-live -connect 127.0.0.1:5084 -retry-max 10 -keepalive 500ms
 package main
 
 import (
-	"errors"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"rfipad"
+	"rfipad/internal/live"
 	"rfipad/internal/llrp"
-	"rfipad/internal/tagmodel"
 )
 
 func main() {
@@ -30,82 +38,73 @@ func run() int {
 		calib = flag.Duration("calib", 3*time.Second, "length of the static prelude used for calibration")
 		rows  = flag.Int("rows", 5, "tag array rows")
 		cols  = flag.Int("cols", 5, "tag array columns")
+
+		retryInitial = flag.Duration("retry-initial", 100*time.Millisecond, "first reconnect backoff delay")
+		retryMaxWait = flag.Duration("retry-max-wait", 5*time.Second, "backoff cap")
+		retryMax     = flag.Int("retry-max", 0, "consecutive failed connects before giving up (0 = retry forever)")
+		retrySeed    = flag.Int64("retry-seed", time.Now().UnixNano(), "backoff jitter seed")
+		keepalive    = flag.Duration("keepalive", 2*time.Second, "keepalive ping interval (negative disables)")
+		idleTimeout  = flag.Duration("idle-timeout", 0, "declare the link dead after this much silence (default 4×keepalive)")
+		writeTimeout = flag.Duration("write-timeout", 5*time.Second, "per-frame write deadline")
 	)
 	flag.Parse()
 
-	client, err := llrp.Dial(*addr)
+	sess, err := llrp.DialSession(context.Background(), llrp.SessionConfig{
+		Addr:              *addr,
+		BackoffInitial:    *retryInitial,
+		BackoffMax:        *retryMaxWait,
+		JitterSeed:        *retrySeed,
+		MaxAttempts:       *retryMax,
+		KeepaliveInterval: *keepalive,
+		IdleTimeout:       *idleTimeout,
+		WriteTimeout:      *writeTimeout,
+		OnEvent:           printSessionEvent,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	defer client.Close()
-	if err := client.Start(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
-	}
+	defer sess.Close()
 	fmt.Printf("connected to %s, calibrating from the first %v...\n", *addr, *calib)
 
-	grid := rfipad.Grid{Rows: *rows, Cols: *cols}
-
-	// Phase 1: accumulate the static prelude and calibrate.
-	var static []rfipad.Reading
-	var cal *rfipad.Calibration
-	var rec *rfipad.Recognizer
-	var lastTime time.Duration
-	letters := ""
-
-	handle := func(evs []rfipad.Event) {
-		for _, ev := range evs {
+	res, err := live.Run(sess, live.Config{
+		Grid:          rfipad.Grid{Rows: *rows, Cols: *cols},
+		CalibDuration: *calib,
+		OnStatus:      func(line string) { fmt.Println(line) },
+		OnEvent: func(ev rfipad.Event) {
 			switch ev.Kind {
 			case rfipad.StrokeDetected:
 				fmt.Printf("stroke %-8v span %v–%v\n", ev.Stroke.Motion,
 					ev.Span.Start.Round(10*time.Millisecond), ev.Span.End.Round(10*time.Millisecond))
 			case rfipad.LetterDeduced:
 				fmt.Printf("letter %q\n", ev.Letter)
-				letters += string(ev.Letter)
 			}
-		}
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v (recognized %q before failing)\n", err, res.Letters)
+		return 1
 	}
-
-	for {
-		batch, err := client.NextReports()
-		if errors.Is(err, llrp.ErrStreamEnded) {
-			break
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		for _, rep := range batch {
-			reading := rfipad.Reading{
-				TagIndex: tagmodel.SerialOf(rep.EPC) - 1,
-				EPC:      rep.EPC,
-				Time:     rep.Timestamp,
-				Phase:    rep.PhaseRad,
-				RSS:      rep.RSSdBm,
-				Doppler:  rep.DopplerHz,
-			}
-			lastTime = reading.Time
-			if cal == nil {
-				static = append(static, reading)
-				if reading.Time >= *calib {
-					c, err := rfipad.Calibrate(static, grid.NumTags())
-					if err != nil {
-						fmt.Fprintf(os.Stderr, "calibration failed: %v\n", err)
-						return 1
-					}
-					cal = c
-					rec = rfipad.NewRecognizer(rfipad.NewPipeline(grid, cal), nil)
-					fmt.Println("calibrated; recognizing online")
-				}
-				continue
-			}
-			handle(rec.Ingest(reading))
-		}
-	}
-	if rec != nil {
-		handle(rec.Flush(lastTime + 2*time.Second))
-	}
-	fmt.Printf("stream ended; recognized %q\n", letters)
+	fmt.Printf("stream ended; recognized %q (%d stroke(s), %d reconnect(s), %d dead tag(s))\n",
+		res.Letters, res.Strokes, res.Reconnects, res.DeadTags)
 	return 0
+}
+
+// printSessionEvent narrates connection lifecycle to stderr so the
+// recognition output on stdout stays clean.
+func printSessionEvent(ev llrp.SessionEvent) {
+	switch ev.Kind {
+	case llrp.SessionConnected:
+		if ev.ResumeFrom == llrp.NoResume {
+			fmt.Fprintln(os.Stderr, "session: connected (fresh stream)")
+		} else {
+			fmt.Fprintf(os.Stderr, "session: reconnected, resuming from %v\n", ev.ResumeFrom.Round(time.Millisecond))
+		}
+	case llrp.SessionDisconnected:
+		fmt.Fprintf(os.Stderr, "session: link lost: %v\n", ev.Err)
+	case llrp.SessionRetrying:
+		fmt.Fprintf(os.Stderr, "session: retry %d in %v (%v)\n", ev.Attempt, ev.Wait.Round(time.Millisecond), ev.Err)
+	case llrp.SessionReaderInfo:
+		fmt.Fprintf(os.Stderr, "session: reader: %s\n", ev.Info)
+	}
 }

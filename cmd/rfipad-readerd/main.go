@@ -5,26 +5,33 @@
 // the resulting tag reports to connected backends over the LLRP-style
 // TCP protocol in internal/llrp.
 //
+// The daemon is built for flaky links: it enforces read/write
+// deadlines, supports stream resume (a reconnecting backend's
+// StartROSpec carries its last-seen timestamp and replay restarts
+// there, with a small overlap), and can deliberately sabotage its own
+// connections via the -fault-* flags for end-to-end chaos runs.
+//
 // Usage:
 //
 //	rfipad-readerd -listen 127.0.0.1:5084 -word HELLO -speed 4
+//	rfipad-readerd -word HI -fault-drop-after 65536 -fault-dup 0.05
 //
 // Pair it with rfipad-live, which connects, calibrates from the
-// prelude, and recognizes the strokes online.
+// prelude, and recognizes the strokes online, reconnecting as needed.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
-	"sort"
 	"strings"
-	"sync"
 	"time"
 
-	"rfipad"
+	"rfipad/internal/faultnet"
 	"rfipad/internal/llrp"
+	"rfipad/internal/replay"
 )
 
 func main() {
@@ -33,12 +40,28 @@ func main() {
 
 func run() int {
 	var (
-		listen = flag.String("listen", "127.0.0.1:5084", "TCP listen address")
-		word   = flag.String("word", "HI", "word the simulated writer performs")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		speed  = flag.Float64("speed", 1, "replay speed factor (higher = faster than real time)")
-		batch  = flag.Duration("batch", 50*time.Millisecond, "report batching window")
-		once   = flag.Bool("once", false, "exit after the first client finishes")
+		listen  = flag.String("listen", "127.0.0.1:5084", "TCP listen address")
+		word    = flag.String("word", "HI", "word the simulated writer performs")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		speed   = flag.Float64("speed", 1, "replay speed factor (higher = faster than real time)")
+		batch   = flag.Duration("batch", 50*time.Millisecond, "report batching window")
+		once    = flag.Bool("once", false, "exit after the first client finishes")
+		overlap = flag.Duration("resume-overlap", replay.DefaultResumeOverlap,
+			"how far before a resume point replay restarts (duplicate window)")
+		idleTimeout = flag.Duration("idle-timeout", 45*time.Second,
+			"drop a connection silent for this long (0 disables)")
+		writeTimeout = flag.Duration("write-timeout", 10*time.Second,
+			"per-frame write deadline (0 disables)")
+
+		faultSeed    = flag.Int64("fault-seed", 1, "fault injection seed (deterministic schedules)")
+		faultLatency = flag.Duration("fault-latency", 0, "added latency per write")
+		faultJitter  = flag.Duration("fault-latency-jitter", 0, "uniform jitter on -fault-latency")
+		faultPartial = flag.Bool("fault-partial", false, "split writes into random chunks")
+		faultDropAt  = flag.Int64("fault-drop-after", 0, "force-close each connection after ~N written bytes (0 = never)")
+		faultDropP   = flag.Float64("fault-drop-prob", 0, "per-write connection drop probability")
+		faultCorrupt = flag.Float64("fault-corrupt", 0, "per-write byte corruption probability")
+		faultDup     = flag.Float64("fault-dup", 0, "per-frame duplication probability")
+		faultReorder = flag.Float64("fault-reorder", 0, "per-frame reordering probability")
 	)
 	flag.Parse()
 	if *speed <= 0 {
@@ -46,7 +69,7 @@ func run() int {
 		return 2
 	}
 
-	reports, err := synthesize(*seed, strings.ToUpper(*word))
+	reports, err := replay.Synthesize(*seed, strings.ToUpper(*word), 3*time.Second)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -56,115 +79,66 @@ func run() int {
 
 	done := make(chan struct{}, 1)
 	srv := llrp.NewServer(func() llrp.ReportSource {
-		return &pacedSource{
-			reports: reports,
-			batch:   *batch,
-			speed:   *speed,
-			done:    done,
-		}
+		return replay.NewSource(reports, replay.Options{
+			Batch:         *batch,
+			Speed:         *speed,
+			ResumeOverlap: *overlap,
+			OnComplete: func() {
+				select {
+				case done <- struct{}{}:
+				default:
+				}
+			},
+		})
 	})
+	srv.IdleTimeout = *idleTimeout
+	srv.WriteTimeout = *writeTimeout
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	faults := faultnet.Config{
+		Seed:             *faultSeed,
+		Latency:          *faultLatency,
+		LatencyJitter:    *faultJitter,
+		PartialWrites:    *faultPartial,
+		DropAfterBytes:   *faultDropAt,
+		DropProb:         *faultDropP,
+		CorruptProb:      *faultCorrupt,
+		DupFrameProb:     *faultDup,
+		ReorderFrameProb: *faultReorder,
+		FrameHeaderLen:   llrp.HeaderLen,
+		FrameSize:        llrp.FrameSize,
+	}
+	wrapped := faultnet.Listen(l, faults)
+	if wrapped != l {
+		fmt.Println("fault injection armed: connections will be sabotaged deterministically")
+	}
 	fmt.Printf("listening on %s\n", l.Addr())
 	if *once {
 		go func() {
 			<-done
-			// Give the completion event time to flush.
-			time.Sleep(200 * time.Millisecond)
+			// The source is exhausted, but a client whose link a fault
+			// just cut still needs to reconnect and replay the tail to
+			// receive the completion event. Linger until no client has
+			// been connected for a grace period.
+			idleSince := time.Now()
+			for {
+				time.Sleep(100 * time.Millisecond)
+				if srv.ActiveConns() > 0 {
+					idleSince = time.Now()
+				} else if time.Since(idleSince) > 2*time.Second {
+					break
+				}
+			}
 			srv.Close()
 		}()
 	}
-	if err := srv.Serve(l); err != nil && !isClosed(err) {
+	if err := srv.Serve(wrapped); err != nil && !errors.Is(err, net.ErrClosed) {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
 	return 0
-}
-
-func isClosed(err error) bool {
-	return strings.Contains(err.Error(), "use of closed network connection") ||
-		strings.Contains(err.Error(), "closed")
-}
-
-// synthesize builds the full capture: static prelude + the word.
-func synthesize(seed int64, word string) ([]llrp.TagReport, error) {
-	sim, err := rfipad.NewSimulator(rfipad.SimulatorConfig{Seed: seed})
-	if err != nil {
-		return nil, err
-	}
-	var reports []llrp.TagReport
-	add := func(rs []rfipad.Reading, offset time.Duration) time.Duration {
-		end := offset
-		for _, r := range rs {
-			ts := offset + r.Time
-			reports = append(reports, llrp.TagReport{
-				EPC:       r.EPC,
-				AntennaID: 1,
-				PhaseRad:  r.Phase,
-				RSSdBm:    r.RSS,
-				DopplerHz: r.Doppler,
-				Timestamp: ts,
-			})
-			if ts > end {
-				end = ts
-			}
-		}
-		return end
-	}
-	offset := add(sim.CollectStatic(3*time.Second), 0)
-	for i, ch := range word {
-		rs, _, err := sim.WriteLetter(ch, seed*100+int64(i))
-		if err != nil {
-			return nil, err
-		}
-		// A couple of quiet seconds between letters so the online
-		// recognizer can close each one.
-		offset = add(rs, offset+2*time.Second)
-	}
-	sort.Slice(reports, func(i, j int) bool { return reports[i].Timestamp < reports[j].Timestamp })
-	return reports, nil
-}
-
-// pacedSource replays the synthesized reports in batches at the
-// configured speed.
-type pacedSource struct {
-	reports []llrp.TagReport
-	batch   time.Duration
-	speed   float64
-
-	mu      sync.Mutex
-	pos     int
-	started time.Time
-	done    chan struct{}
-}
-
-// Next implements llrp.ReportSource.
-func (s *pacedSource) Next() ([]llrp.TagReport, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.pos >= len(s.reports) {
-		select {
-		case s.done <- struct{}{}:
-		default:
-		}
-		return nil, false
-	}
-	if s.started.IsZero() {
-		s.started = time.Now()
-	}
-	// Pace: wait until the batch's stream time has elapsed in scaled
-	// wall time.
-	cut := s.reports[s.pos].Timestamp + s.batch
-	wait := time.Duration(float64(cut)/s.speed) - time.Since(s.started)
-	if wait > 0 {
-		time.Sleep(wait)
-	}
-	start := s.pos
-	for s.pos < len(s.reports) && s.reports[s.pos].Timestamp < cut {
-		s.pos++
-	}
-	return s.reports[start:s.pos], true
 }

@@ -16,6 +16,12 @@ const minCalibrationReads = 8
 // quiet tags.
 const biasFloor = 0.005
 
+// maxDeadFraction is the largest share of the array that may be dead
+// (unreadable during the static capture) before calibration refuses:
+// past that, neighbor interpolation has too little live context and
+// the disturbance image degrades into guesswork.
+const maxDeadFraction = 0.25
+
 // Calibration holds the per-tag statistics RFIPad learns from a static
 // capture (no hand present): the mean phase θ̃_i that cancels tag
 // diversity (Eq. 6–8) and the deviation bias b_i whose inverse weights
@@ -34,12 +40,21 @@ type Calibration struct {
 	// masquerade as hand motion — the operational form of the paper's
 	// deviation-bias weighting.
 	TVRate []float64
+	// Dead flags tags the static capture could not characterize (too
+	// few reads: detached, detuned, occluded, or lost to collisions).
+	// Dead tags carry zero weight; the disturbance image interpolates
+	// their cells from live neighbors before binarization.
+	Dead []bool
 	// weights caches w_i of Eq. 9.
 	weights []float64
 }
 
 // Calibrate computes the per-tag statistics from a static capture.
-// Every tag must have at least minCalibrationReads reads.
+// Tags with fewer than minCalibrationReads reads are flagged dead
+// rather than failing the whole calibration — a production array
+// survives a detached or occluded tag. Calibration only errors when
+// so much of the array is dead (over maxDeadFraction) that the
+// disturbance image could not be trusted.
 func Calibrate(static []Reading, numTags int) (*Calibration, error) {
 	if numTags <= 0 {
 		return nil, errors.New("core: calibrate: no tags")
@@ -49,12 +64,16 @@ func Calibrate(static []Reading, numTags int) (*Calibration, error) {
 		MeanPhase: make([]float64, numTags),
 		Bias:      make([]float64, numTags),
 		TVRate:    make([]float64, numTags),
+		Dead:      make([]bool, numTags),
 		weights:   make([]float64, numTags),
 	}
 	var biasSum float64
+	dead := 0
 	for i, s := range series {
 		if len(s) < minCalibrationReads {
-			return nil, fmt.Errorf("core: calibrate: tag %d has %d reads, need >= %d", i, len(s), minCalibrationReads)
+			c.Dead[i] = true
+			dead++
+			continue
 		}
 		phases := make([]float64, len(s))
 		for j, r := range s {
@@ -78,10 +97,33 @@ func Calibrate(static []Reading, numTags int) (*Calibration, error) {
 		sm := dsp.MovingAverage(dsp.Unwrap(suppressed), disturbanceSmoothWidth)
 		c.TVRate[i] = dsp.TotalVariation(sm) / float64(len(sm)-1)
 	}
+	if float64(dead) > maxDeadFraction*float64(numTags) {
+		return nil, fmt.Errorf("core: calibrate: %d of %d tags have < %d reads — grid too degraded",
+			dead, numTags, minCalibrationReads)
+	}
 	for i := range c.weights {
-		c.weights[i] = c.Bias[i] / biasSum // Eq. 9
+		if !c.Dead[i] {
+			c.weights[i] = c.Bias[i] / biasSum // Eq. 9 over the live population
+		}
 	}
 	return c, nil
+}
+
+// DeadCount returns how many tags calibration flagged dead.
+func (c *Calibration) DeadCount() int {
+	n := 0
+	for _, d := range c.Dead {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// IsDead reports whether tag i was flagged dead (false for
+// calibrations predating the flag).
+func (c *Calibration) IsDead(i int) bool {
+	return c.Dead != nil && i < len(c.Dead) && c.Dead[i]
 }
 
 // Weight returns w_i of Eq. 9 for tag i.
@@ -98,6 +140,7 @@ func UniformCalibration(numTags int) *Calibration {
 		MeanPhase: make([]float64, numTags),
 		Bias:      make([]float64, numTags),
 		TVRate:    make([]float64, numTags),
+		Dead:      make([]bool, numTags),
 		weights:   make([]float64, numTags),
 	}
 	for i := range c.weights {

@@ -43,6 +43,16 @@ const (
 // vals supplies per-cell weights (the grayscale intensities); it may be
 // nil for uniform weighting.
 func ClassifyShape(grid Grid, vals []float64, mask []bool) ShapeResult {
+	return ClassifyShapeDegraded(grid, vals, mask, nil)
+}
+
+// ClassifyShapeDegraded is ClassifyShape with knowledge of dead
+// (interpolated) cells. A click directly over a dead tag cannot light
+// that tag; its energy leaks onto the neighbor ring, which reads
+// slightly wider than a click on a healthy grid. When the whole
+// foreground fits inside the 1-cell neighborhood of a dead cell, the
+// pattern is attributed to a click over the hole.
+func ClassifyShapeDegraded(grid Grid, vals []float64, mask []bool, dead []bool) ShapeResult {
 	var cells []int
 	for i, m := range mask {
 		if m {
@@ -127,7 +137,8 @@ func ClassifyShape(grid Grid, vals []float64, mask []bool) ShapeResult {
 	spread := math.Sqrt(math.Max(0, l1) + math.Max(0, l2))
 	switch {
 	case spread < clickSpread,
-		len(cells) <= clickMaxCells && wCells <= 2 && hCells <= 2:
+		len(cells) <= clickMaxCells && wCells <= 2 && hCells <= 2,
+		clickOverDeadCell(grid, cells, dead):
 		res.Shape = stroke.Click
 	case elong >= lineElongation:
 		// A straight stroke: bucket the principal-axis angle.
@@ -154,6 +165,42 @@ func ClassifyShape(grid Grid, vals []float64, mask []bool) ShapeResult {
 		}
 	}
 	return res
+}
+
+// clickOverDeadCell reports whether the foreground is a compact blob
+// ringing a dead cell: some dead foreground cell has every other
+// foreground cell within Chebyshev distance 1. A real stroke spans
+// cells beyond any single tag's neighborhood, so this only fires on
+// the ring a click leaves when its peak tag cannot answer.
+func clickOverDeadCell(grid Grid, cells []int, dead []bool) bool {
+	if dead == nil {
+		return false
+	}
+	for _, d := range cells {
+		if d >= len(dead) || !dead[d] {
+			continue
+		}
+		dr, dc := grid.RowCol(d)
+		compact := true
+		for _, i := range cells {
+			r, c := grid.RowCol(i)
+			if absInt(r-dr) > 1 || absInt(c-dc) > 1 {
+				compact = false
+				break
+			}
+		}
+		if compact {
+			return true
+		}
+	}
+	return false
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
 }
 
 func minInt(a, b int) int {

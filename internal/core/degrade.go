@@ -1,0 +1,80 @@
+package core
+
+// Degraded-grid support: a production tag array loses cells — a tag
+// detaches, detunes against a metal surface, or is occluded — and the
+// paper's pipeline (§III-A3) silently renders those cells black, which
+// splits a stroke's foreground in two and breaks shape classification.
+// Calibration flags such tags dead (see Calibrate); before Otsu
+// binarization the disturbance image fills each dead cell from its
+// live neighbors so a stroke passing over the hole stays one connected
+// bright region.
+
+// InterpolateDead returns vals with every dead cell replaced by the
+// mean of its live 4-neighbors (falling back to the live 8-neighbor
+// ring when all edge-adjacent neighbors are dead too). Live cells are
+// untouched; the input slice is not modified. A nil or all-false dead
+// mask returns vals unchanged.
+func InterpolateDead(grid Grid, vals []float64, dead []bool) []float64 {
+	if dead == nil {
+		return vals
+	}
+	any := false
+	for i := range dead {
+		if i < len(vals) && dead[i] {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return vals
+	}
+	out := make([]float64, len(vals))
+	copy(out, vals)
+	for i := range vals {
+		if i >= len(dead) || !dead[i] {
+			continue
+		}
+		r, c := grid.RowCol(i)
+		if v, ok := neighborMean(grid, vals, dead, r, c, false); ok {
+			out[i] = v
+		} else if v, ok := neighborMean(grid, vals, dead, r, c, true); ok {
+			out[i] = v
+		} else {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// neighborMean averages the live neighbors of (r, c): the 4-neighbor
+// cross, or the full 8-neighbor ring when diagonal is set.
+func neighborMean(grid Grid, vals []float64, dead []bool, r, c int, diagonal bool) (float64, bool) {
+	var sum float64
+	n := 0
+	for dr := -1; dr <= 1; dr++ {
+		for dc := -1; dc <= 1; dc++ {
+			if dr == 0 && dc == 0 {
+				continue
+			}
+			if !diagonal && dr != 0 && dc != 0 {
+				continue
+			}
+			nr, nc := r+dr, c+dc
+			if nr < 0 || nr >= grid.Rows || nc < 0 || nc >= grid.Cols {
+				continue
+			}
+			j := nr*grid.Cols + nc
+			if j < len(dead) && dead[j] {
+				continue
+			}
+			if j < len(vals) {
+				sum += vals[j]
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}

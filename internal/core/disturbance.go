@@ -72,6 +72,11 @@ func DisturbanceMap(readings []Reading, cal *Calibration, opts DisturbanceOption
 	series := byTag(readings, n)
 	out := make([]float64, n)
 	for i, s := range series {
+		if cal.IsDead(i) {
+			// An uncalibrated tag's sporadic reads would inject garbage;
+			// its cell is interpolated from live neighbors downstream.
+			continue
+		}
 		if len(s) < 2 {
 			continue
 		}

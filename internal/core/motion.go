@@ -51,13 +51,16 @@ func NewPipeline(grid Grid, cal *Calibration) *Pipeline {
 // classification → RSS direction estimation.
 func (p *Pipeline) RecognizeWindow(readings []Reading) MotionResult {
 	vals := DisturbanceMap(readings, p.Cal, p.Opts)
+	// Fill cells of dead (uncalibrated) tags from live neighbors so a
+	// stroke crossing a hole in the array stays one bright region.
+	vals = InterpolateDead(p.Grid, vals, p.Cal.Dead)
 	img := NewGridImage(p.Grid, vals)
 	// Otsu runs on the range-compressed image so a stroke's intensity
 	// gradient stays in one foreground cluster; the geometric
 	// classifier weights cells by the raw scores so residual noise
 	// cells in the mask barely deflect the fit.
 	mask := LargestComponent(p.Grid, img.Binarize(), vals)
-	shape := ClassifyShape(p.Grid, vals, mask)
+	shape := ClassifyShapeDegraded(p.Grid, vals, mask, p.Cal.Dead)
 	if !shape.Ok {
 		return MotionResult{Image: img, Mask: mask}
 	}

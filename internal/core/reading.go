@@ -57,7 +57,11 @@ func (g Grid) Norm(index int) (x, y float64) {
 }
 
 // byTag splits readings into per-tag series sorted by time. Readings
-// with out-of-range indices are dropped.
+// with out-of-range indices are dropped, as are same-timestamp
+// duplicates of the same tag: a reader can physically interrogate a
+// tag only once per instant, so duplicates are transport artifacts
+// (reconnect replay overlap, a duplicated report frame) that would
+// otherwise distort the accumulative phase difference's sample count.
 func byTag(readings []Reading, numTags int) [][]Reading {
 	out := make([][]Reading, numTags)
 	for _, r := range readings {
@@ -69,8 +73,25 @@ func byTag(readings []Reading, numTags int) [][]Reading {
 	for i := range out {
 		s := out[i]
 		sort.Slice(s, func(a, b int) bool { return s[a].Time < s[b].Time })
+		out[i] = dedupSorted(s)
 	}
 	return out
+}
+
+// dedupSorted removes adjacent same-timestamp entries from one tag's
+// time-sorted series in place.
+func dedupSorted(s []Reading) []Reading {
+	if len(s) < 2 {
+		return s
+	}
+	kept := s[:1]
+	for _, r := range s[1:] {
+		if r.Time == kept[len(kept)-1].Time {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	return kept
 }
 
 // window extracts the readings with Time in [start, end), preserving

@@ -74,11 +74,40 @@ func NewRecognizer(p *Pipeline, seg *Segmenter) *Recognizer {
 }
 
 // Ingest feeds one reading and returns any events it triggered.
-// Readings must arrive in non-decreasing time order.
+// Readings should arrive roughly in time order, but the recognizer
+// tolerates what a reconnecting transport produces: exact duplicates
+// (same tag, same timestamp — replay overlap or a duplicated report
+// frame) are dropped, and modestly out-of-order readings are inserted
+// at their correct position so the per-tag phase series stay
+// monotonic. Readings older than the already-trimmed history are
+// discarded.
 func (r *Recognizer) Ingest(rd Reading) []Event {
-	r.buf = append(r.buf, rd)
 	if rd.Time > r.now {
 		r.now = rd.Time
+	}
+	if rd.Time < r.bufStart {
+		// Too late: this history was already recognized and trimmed.
+		return nil
+	}
+	// Find the insertion point from the end — O(1) for in-order
+	// streams, a short walk for transport-reordered ones.
+	i := len(r.buf)
+	for i > 0 && r.buf[i-1].Time > rd.Time {
+		i--
+	}
+	// Duplicate check: entries with the same timestamp sit immediately
+	// before the insertion point.
+	for j := i; j > 0 && r.buf[j-1].Time == rd.Time; j-- {
+		if r.buf[j-1].TagIndex == rd.TagIndex {
+			return nil
+		}
+	}
+	if i == len(r.buf) {
+		r.buf = append(r.buf, rd)
+	} else {
+		r.buf = append(r.buf, Reading{})
+		copy(r.buf[i+1:], r.buf[i:])
+		r.buf[i] = rd
 	}
 	return r.poll(r.now)
 }

@@ -85,6 +85,11 @@ func (g *Segmenter) frameRMS(readings []Reading, cal *Calibration, start, end ti
 		if r.Time < start || r.Time >= end || r.TagIndex < 0 || r.TagIndex >= n {
 			continue
 		}
+		if cal.IsDead(r.TagIndex) {
+			// Sporadic reads from an uncalibrated tag would feed raw
+			// (unsuppressed) phases into the frame statistic.
+			continue
+		}
 		f := int((r.Time - start) / g.FrameLen)
 		if f >= nFrames {
 			continue

@@ -1,0 +1,278 @@
+// Package faultnet wraps net.Conn and net.Listener with deterministic,
+// seeded fault injection: added latency, partial writes, mid-stream
+// connection drops, byte corruption, and frame duplication/reordering.
+// It exists so the streaming stack's resilience can be exercised both
+// in unit tests and end-to-end (rfipad-readerd exposes it behind
+// -fault-* flags for chaos runs against rfipad-live).
+//
+// All faults are applied on the *write* path of the wrapped
+// connection: wrapping the server side perturbs what the client
+// receives, which is the direction that matters for a report stream.
+// Every random decision draws from a rand.Rand seeded from
+// Config.Seed (plus the connection's accept index for listeners), so
+// a given seed reproduces the exact fault schedule.
+//
+// Frame-aware faults (duplication, reordering, whole-frame
+// corruption) need to know where frames start and end; the caller
+// supplies that via Config.FrameHeaderLen and Config.FrameSize so the
+// package stays protocol-agnostic.
+package faultnet
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Config selects which faults to inject. The zero value injects
+// nothing (a transparent wrapper).
+type Config struct {
+	// Seed drives every random fault decision. Connections accepted
+	// through Listen derive per-connection seeds from it, so each
+	// connection sees a different but reproducible schedule.
+	Seed int64
+
+	// Latency delays each write by Latency ± LatencyJitter (uniform).
+	Latency       time.Duration
+	LatencyJitter time.Duration
+
+	// PartialWrites splits each write into several smaller writes at
+	// random cut points, exercising short-write handling downstream.
+	PartialWrites bool
+
+	// DropAfterBytes force-closes the connection once roughly this
+	// many bytes have been written (0 = never). The drop lands
+	// mid-frame when the byte budget expires there — the harshest
+	// cut.
+	DropAfterBytes int64
+	// DropProb drops the connection with this per-write probability.
+	DropProb float64
+
+	// CorruptProb flips one random byte of a write with this per-write
+	// probability.
+	CorruptProb float64
+
+	// DupFrameProb duplicates a complete frame with this per-frame
+	// probability. Requires framing (below).
+	DupFrameProb float64
+	// ReorderFrameProb holds a frame back and emits it after its
+	// successor with this per-frame probability. Requires framing.
+	ReorderFrameProb float64
+
+	// FrameHeaderLen is the fixed frame header size; FrameSize maps a
+	// full header to the total frame length (header + payload). Both
+	// must be set for frame-aware faults; byte-level faults work
+	// without them.
+	FrameHeaderLen int
+	FrameSize      func(header []byte) int
+}
+
+// framed reports whether frame-aware faults can run.
+func (c Config) framed() bool { return c.FrameHeaderLen > 0 && c.FrameSize != nil }
+
+// active reports whether any fault is configured.
+func (c Config) active() bool {
+	return c.Latency > 0 || c.PartialWrites || c.DropAfterBytes > 0 || c.DropProb > 0 ||
+		c.CorruptProb > 0 || c.DupFrameProb > 0 || c.ReorderFrameProb > 0
+}
+
+// errInjectedDrop is what a faulted connection returns once its drop
+// triggered.
+type errInjectedDrop struct{}
+
+func (errInjectedDrop) Error() string   { return "faultnet: injected connection drop" }
+func (errInjectedDrop) Timeout() bool   { return false }
+func (errInjectedDrop) Temporary() bool { return false }
+
+// Wrap decorates a connection with the configured faults, drawing
+// randomness from rng (which must not be shared with other
+// goroutines). A nil rng derives one from cfg.Seed.
+func Wrap(inner net.Conn, cfg Config, rng *rand.Rand) net.Conn {
+	if !cfg.active() {
+		return inner
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return &conn{Conn: inner, cfg: cfg, rng: rng}
+}
+
+// Listen wraps a listener so every accepted connection carries the
+// configured faults. Connection i uses seed cfg.Seed + i, making
+// multi-connection chaos runs reproducible end to end.
+func Listen(inner net.Listener, cfg Config) net.Listener {
+	if !cfg.active() {
+		return inner
+	}
+	return &listener{Listener: inner, cfg: cfg}
+}
+
+type listener struct {
+	net.Listener
+	cfg Config
+
+	mu    sync.Mutex
+	index int64
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	i := l.index
+	l.index++
+	l.mu.Unlock()
+	return Wrap(c, l.cfg, rand.New(rand.NewSource(l.cfg.Seed+i))), nil
+}
+
+// conn injects faults on the write path. Reads pass through.
+type conn struct {
+	net.Conn
+	cfg Config
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	written int64
+	dropped bool
+	// pending buffers bytes until a complete frame is available when
+	// framing is configured.
+	pending []byte
+	// held is a frame delayed by a reordering fault.
+	held []byte
+}
+
+// Write applies the fault schedule. It reports len(p) consumed on
+// success even when duplication wrote more bytes underneath, so
+// callers' accounting stays intact.
+func (c *conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dropped {
+		return 0, errInjectedDrop{}
+	}
+	if !c.cfg.framed() {
+		if err := c.emit(p); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	// Frame-aware path: accumulate until whole frames are available,
+	// then run per-frame faults.
+	c.pending = append(c.pending, p...)
+	for {
+		frame := c.cutFrame()
+		if frame == nil {
+			break
+		}
+		if c.held != nil {
+			// Emit the delayed frame *after* this one: swapped order.
+			if err := c.emit(frame); err != nil {
+				return 0, err
+			}
+			held := c.held
+			c.held = nil
+			if err := c.emit(held); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if c.cfg.ReorderFrameProb > 0 && c.rng.Float64() < c.cfg.ReorderFrameProb {
+			c.held = append([]byte(nil), frame...)
+			continue
+		}
+		if err := c.emit(frame); err != nil {
+			return 0, err
+		}
+		if c.cfg.DupFrameProb > 0 && c.rng.Float64() < c.cfg.DupFrameProb {
+			if err := c.emit(frame); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return len(p), nil
+}
+
+// cutFrame splits one complete frame off the pending buffer, or nil.
+func (c *conn) cutFrame() []byte {
+	if len(c.pending) < c.cfg.FrameHeaderLen {
+		return nil
+	}
+	size := c.cfg.FrameSize(c.pending[:c.cfg.FrameHeaderLen])
+	if size <= 0 {
+		// Unparseable header (already-corrupted stream): flush as-is.
+		frame := c.pending
+		c.pending = nil
+		return frame
+	}
+	if len(c.pending) < size {
+		return nil
+	}
+	frame := c.pending[:size]
+	c.pending = c.pending[size:]
+	if len(c.pending) == 0 {
+		c.pending = nil
+	}
+	return frame
+}
+
+// emit pushes bytes through the byte-level faults (latency, drop,
+// corruption, partial writes) to the wrapped connection. Called with
+// c.mu held.
+func (c *conn) emit(p []byte) error {
+	if c.cfg.Latency > 0 {
+		d := c.cfg.Latency
+		if j := c.cfg.LatencyJitter; j > 0 {
+			d += time.Duration(c.rng.Int63n(int64(2*j))) - j
+		}
+		if d > 0 {
+			time.Sleep(d)
+		}
+	}
+	if c.cfg.DropProb > 0 && c.rng.Float64() < c.cfg.DropProb {
+		return c.drop()
+	}
+	if c.cfg.CorruptProb > 0 && len(p) > 0 && c.rng.Float64() < c.cfg.CorruptProb {
+		p = append([]byte(nil), p...)
+		i := c.rng.Intn(len(p))
+		p[i] ^= byte(1 + c.rng.Intn(255))
+	}
+	// Honor a byte budget by cutting the write mid-stream.
+	if c.cfg.DropAfterBytes > 0 && c.written+int64(len(p)) > c.cfg.DropAfterBytes {
+		keep := c.cfg.DropAfterBytes - c.written
+		if keep > 0 {
+			c.writeChunks(p[:keep])
+		}
+		return c.drop()
+	}
+	if err := c.writeChunks(p); err != nil {
+		return err
+	}
+	c.written += int64(len(p))
+	return nil
+}
+
+// writeChunks writes p, optionally split at random cut points.
+func (c *conn) writeChunks(p []byte) error {
+	if !c.cfg.PartialWrites || len(p) < 2 {
+		_, err := c.Conn.Write(p)
+		return err
+	}
+	for len(p) > 0 {
+		n := 1 + c.rng.Intn(len(p))
+		if _, err := c.Conn.Write(p[:n]); err != nil {
+			return err
+		}
+		p = p[n:]
+	}
+	return nil
+}
+
+// drop closes the underlying connection and poisons the wrapper.
+func (c *conn) drop() error {
+	c.dropped = true
+	c.Conn.Close()
+	return errInjectedDrop{}
+}

@@ -1,0 +1,232 @@
+package faultnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+// testFraming is a toy frame format: 4-byte header whose last two
+// bytes are the big-endian payload length.
+const testHeaderLen = 4
+
+func testFrameSize(hdr []byte) int {
+	return testHeaderLen + int(binary.BigEndian.Uint16(hdr[2:4]))
+}
+
+func frame(payload []byte) []byte {
+	buf := make([]byte, testHeaderLen+len(payload))
+	buf[0], buf[1] = 0xAB, 0xCD
+	binary.BigEndian.PutUint16(buf[2:4], uint16(len(payload)))
+	copy(buf[testHeaderLen:], payload)
+	return buf
+}
+
+// pipePair returns a faulted writer side and a reader that collects
+// everything until the writer closes.
+func pipePair(t *testing.T, cfg Config, seed int64) (net.Conn, <-chan []byte) {
+	t.Helper()
+	a, b := net.Pipe()
+	w := Wrap(a, cfg, rand.New(rand.NewSource(seed)))
+	out := make(chan []byte, 1)
+	go func() {
+		data, _ := io.ReadAll(b)
+		out <- data
+	}()
+	return w, out
+}
+
+func TestZeroConfigIsTransparent(t *testing.T) {
+	a, _ := net.Pipe()
+	if w := Wrap(a, Config{}, nil); w != a {
+		t.Error("zero config should return the inner conn unchanged")
+	}
+	l, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer l.Close()
+	if fl := Listen(l, Config{}); fl != l {
+		t.Error("zero config listener should pass through")
+	}
+}
+
+func TestPartialWritesPreserveBytes(t *testing.T) {
+	w, out := pipePair(t, Config{PartialWrites: true}, 1)
+	msg := bytes.Repeat([]byte("abcdefgh"), 100)
+	n, err := w.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	w.Close()
+	if got := <-out; !bytes.Equal(got, msg) {
+		t.Errorf("partial writes mangled the stream: %d bytes vs %d", len(got), len(msg))
+	}
+}
+
+func TestCorruptionFlipsAByte(t *testing.T) {
+	w, out := pipePair(t, Config{CorruptProb: 1}, 2)
+	msg := bytes.Repeat([]byte{0x42}, 64)
+	if _, err := w.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	got := <-out
+	if len(got) != len(msg) {
+		t.Fatalf("length changed: %d", len(got))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != msg[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("corrupted %d bytes, want exactly 1", diff)
+	}
+	// The caller's buffer must stay untouched.
+	for _, b := range msg {
+		if b != 0x42 {
+			t.Fatal("corruption wrote through to the caller's buffer")
+		}
+	}
+}
+
+func TestDropAfterBytes(t *testing.T) {
+	w, out := pipePair(t, Config{DropAfterBytes: 10}, 3)
+	if _, err := w.Write([]byte("0123456789abcdef")); err == nil {
+		t.Fatal("write past the byte budget should fail")
+	}
+	got := <-out
+	if len(got) != 10 {
+		t.Errorf("delivered %d bytes, want 10 (mid-stream cut)", len(got))
+	}
+	// The wrapper stays poisoned.
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Error("writes after a drop should fail")
+	}
+}
+
+func TestDropProbImmediate(t *testing.T) {
+	w, out := pipePair(t, Config{DropProb: 1}, 4)
+	if _, err := w.Write([]byte("doomed")); err == nil {
+		t.Fatal("DropProb=1 write should fail")
+	}
+	if got := <-out; len(got) != 0 {
+		t.Errorf("dropped write delivered %d bytes", len(got))
+	}
+}
+
+func TestFrameDuplication(t *testing.T) {
+	cfg := Config{
+		DupFrameProb:   1,
+		FrameHeaderLen: testHeaderLen,
+		FrameSize:      testFrameSize,
+	}
+	w, out := pipePair(t, cfg, 5)
+	f := frame([]byte("hello"))
+	if _, err := w.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	got := <-out
+	want := append(append([]byte(nil), f...), f...)
+	if !bytes.Equal(got, want) {
+		t.Errorf("duplication: got %d bytes, want frame twice (%d)", len(got), len(want))
+	}
+}
+
+func TestFrameReordering(t *testing.T) {
+	// Reorder the first frame only: hold frame A, emit B then A.
+	cfg := Config{
+		ReorderFrameProb: 1,
+		FrameHeaderLen:   testHeaderLen,
+		FrameSize:        testFrameSize,
+	}
+	w, out := pipePair(t, cfg, 6)
+	fa, fb := frame([]byte("AAAA")), frame([]byte("BB"))
+	if _, err := w.Write(fa); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(fb); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	got := <-out
+	want := append(append([]byte(nil), fb...), fa...)
+	if !bytes.Equal(got, want) {
+		t.Errorf("reordering: got %x, want %x", got, want)
+	}
+}
+
+func TestFramesSplitAcrossWrites(t *testing.T) {
+	// A frame delivered byte by byte must still come out whole.
+	cfg := Config{
+		DupFrameProb:   1,
+		FrameHeaderLen: testHeaderLen,
+		FrameSize:      testFrameSize,
+	}
+	w, out := pipePair(t, cfg, 7)
+	f := frame([]byte("split"))
+	for _, b := range f {
+		if _, err := w.Write([]byte{b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	got := <-out
+	want := append(append([]byte(nil), f...), f...)
+	if !bytes.Equal(got, want) {
+		t.Errorf("split frame: got %d bytes, want %d", len(got), len(want))
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []byte {
+		w, out := pipePair(t, Config{CorruptProb: 0.5, PartialWrites: true}, 42)
+		for i := 0; i < 20; i++ {
+			if _, err := w.Write(bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.Close()
+		return <-out
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Error("same seed produced different fault schedules")
+	}
+}
+
+func TestListenerWrapsAcceptedConns(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Listen(inner, Config{Seed: 9, DropAfterBytes: 5})
+	defer l.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		if _, err := c.Write([]byte("0123456789")); err == nil {
+			t.Error("listener conn should enforce the byte budget")
+		}
+	}()
+	c, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	data, _ := io.ReadAll(c)
+	if len(data) != 5 {
+		t.Errorf("client saw %d bytes, want 5", len(data))
+	}
+	<-done
+}

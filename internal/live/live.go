@@ -1,0 +1,153 @@
+// Package live is the backend consumer loop behind rfipad-live: it
+// drains tag reports from a fault-tolerant llrp.Session, calibrates
+// the diversity suppression once from the static prelude (tolerating
+// dead tags), and recognizes strokes and letters online. Extracting it
+// from the command makes the full readerd → session → recognizer path
+// drivable from end-to-end tests, including chaos runs through
+// faultnet.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rfipad/internal/core"
+	"rfipad/internal/llrp"
+	"rfipad/internal/tagmodel"
+)
+
+// Config tunes a run.
+type Config struct {
+	// Grid is the tag-array geometry (default 5×5).
+	Grid core.Grid
+	// CalibDuration is the static prelude length used for calibration
+	// (default 3 s of stream time).
+	CalibDuration time.Duration
+	// FlushAfter pads the final flush horizon past the last reading
+	// (default 2 s).
+	FlushAfter time.Duration
+	// OnEvent receives every recognition event as it fires (optional).
+	OnEvent func(core.Event)
+	// OnStatus receives human-readable progress lines (optional).
+	OnStatus func(string)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Grid.Rows == 0 && c.Grid.Cols == 0 {
+		c.Grid = core.Grid{Rows: 5, Cols: 5}
+	}
+	if c.CalibDuration <= 0 {
+		c.CalibDuration = 3 * time.Second
+	}
+	if c.FlushAfter <= 0 {
+		c.FlushAfter = 2 * time.Second
+	}
+	return c
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Letters is the recognized text.
+	Letters string
+	// Strokes counts recognized strokes.
+	Strokes int
+	// DeadTags is how many tags calibration flagged dead.
+	DeadTags int
+	// Reconnects is the session's reconnect count at stream end.
+	Reconnects int
+	// Calibrated reports whether the static prelude completed.
+	Calibrated bool
+}
+
+// ReportSource is the slice of llrp.Session the loop needs (Session
+// satisfies it; tests may substitute).
+type ReportSource interface {
+	NextReports() ([]llrp.TagReport, error)
+	Stats() llrp.SessionStats
+}
+
+// Run drains the session until the stream ends cleanly, recognizing
+// online. It returns the partial result alongside any terminal error,
+// so a run that survived mid-word disconnects but finally gave up
+// still reports what it recognized.
+func Run(sess ReportSource, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	status := func(format string, args ...any) {
+		if cfg.OnStatus != nil {
+			cfg.OnStatus(fmt.Sprintf(format, args...))
+		}
+	}
+
+	var (
+		res      Result
+		static   []core.Reading
+		cal      *core.Calibration
+		rec      *core.Recognizer
+		lastTime time.Duration
+	)
+	handle := func(evs []core.Event) {
+		for _, ev := range evs {
+			switch ev.Kind {
+			case core.StrokeDetected:
+				res.Strokes++
+			case core.LetterDeduced:
+				res.Letters += string(ev.Letter)
+			}
+			if cfg.OnEvent != nil {
+				cfg.OnEvent(ev)
+			}
+		}
+	}
+
+	for {
+		batch, err := sess.NextReports()
+		if errors.Is(err, llrp.ErrStreamEnded) {
+			break
+		}
+		if err != nil {
+			res.Reconnects = sess.Stats().Reconnects
+			return res, err
+		}
+		for _, rep := range batch {
+			reading := core.Reading{
+				TagIndex: tagmodel.SerialOf(rep.EPC) - 1,
+				EPC:      rep.EPC,
+				Time:     rep.Timestamp,
+				Phase:    rep.PhaseRad,
+				RSS:      rep.RSSdBm,
+				Doppler:  rep.DopplerHz,
+			}
+			if reading.Time > lastTime {
+				lastTime = reading.Time
+			}
+			if cal == nil {
+				static = append(static, reading)
+				if reading.Time >= cfg.CalibDuration {
+					c, err := core.Calibrate(static, cfg.Grid.NumTags())
+					if err != nil {
+						res.Reconnects = sess.Stats().Reconnects
+						return res, fmt.Errorf("live: calibration failed: %w", err)
+					}
+					cal = c
+					static = nil
+					res.Calibrated = true
+					res.DeadTags = cal.DeadCount()
+					rec = core.NewRecognizer(core.NewPipeline(cfg.Grid, cal), nil)
+					if res.DeadTags > 0 {
+						status("calibrated with %d dead tag(s); interpolating their cells", res.DeadTags)
+					} else {
+						status("calibrated; recognizing online")
+					}
+				}
+				continue
+			}
+			handle(rec.Ingest(reading))
+		}
+	}
+	if rec != nil {
+		handle(rec.Flush(lastTime + cfg.FlushAfter))
+	}
+	res.Reconnects = sess.Stats().Reconnects
+	return res, nil
+}

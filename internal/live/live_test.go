@@ -1,0 +1,114 @@
+package live_test
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rfipad/internal/faultnet"
+	"rfipad/internal/live"
+	"rfipad/internal/llrp"
+	"rfipad/internal/replay"
+)
+
+// TestEndToEndChaosRecognizesWord drives the full stack — synthesized
+// capture → llrp server → fault-injected link (forced mid-word
+// disconnects, duplicated and fragmented frames) → reconnecting session
+// → online recognizer — and demands the word still comes out. This is
+// the PR's acceptance scenario: the byte budget cuts every connection
+// long before the capture ends, so recognition only succeeds if resume
+// and duplicate tolerance actually work.
+func TestEndToEndChaosRecognizesWord(t *testing.T) {
+	const word = "IT"
+	reports, err := replay.Synthesize(12, word, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := llrp.NewServer(func() llrp.ReportSource {
+		return replay.NewSource(reports, replay.Options{Speed: 25})
+	})
+	srv.IdleTimeout = 2 * time.Second
+	srv.WriteTimeout = 2 * time.Second
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := faultnet.Listen(inner, faultnet.Config{
+		Seed:           7,
+		DropAfterBytes: 32 * 1024, // every connection dies mid-word
+		DupFrameProb:   0.03,
+		PartialWrites:  true,
+		FrameHeaderLen: llrp.HeaderLen,
+		FrameSize:      llrp.FrameSize,
+	})
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var disconnects atomic.Int32
+	sess, err := llrp.DialSession(ctx, llrp.SessionConfig{
+		Addr:              inner.Addr().String(),
+		BackoffInitial:    5 * time.Millisecond,
+		BackoffMax:        50 * time.Millisecond,
+		JitterSeed:        11,
+		KeepaliveInterval: 50 * time.Millisecond,
+		IdleTimeout:       time.Second,
+		WriteTimeout:      time.Second,
+		OnEvent: func(ev llrp.SessionEvent) {
+			if ev.Kind == llrp.SessionDisconnected {
+				disconnects.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	res, err := live.Run(sess, live.Config{
+		CalibDuration: 3 * time.Second,
+		OnStatus:      func(s string) { t.Log(s) },
+	})
+	if err != nil {
+		t.Fatalf("live run: %v (partial result %q after %d reconnects)", err, res.Letters, res.Reconnects)
+	}
+	if !res.Calibrated {
+		t.Error("never calibrated")
+	}
+	if res.Letters != word {
+		t.Errorf("recognized %q, want %q", res.Letters, word)
+	}
+	if disconnects.Load() == 0 {
+		t.Error("fault injection produced no disconnects — chaos never engaged")
+	}
+	if res.Reconnects == 0 {
+		t.Error("session reports no reconnects despite injected link cuts")
+	}
+	t.Logf("survived %d disconnects / %d reconnects, %d strokes",
+		disconnects.Load(), res.Reconnects, res.Strokes)
+}
+
+// TestLiveRunSurfacesPartialResult asserts a run that gives up
+// mid-stream still returns what it recognized so far.
+func TestLiveRunSurfacesPartialResult(t *testing.T) {
+	sess := &failingSource{}
+	res, err := live.Run(sess, live.Config{})
+	if err == nil {
+		t.Fatal("want the source's terminal error")
+	}
+	if res.Calibrated {
+		t.Error("calibrated flag set with no data")
+	}
+}
+
+type failingSource struct{}
+
+func (f *failingSource) NextReports() ([]llrp.TagReport, error) {
+	return nil, context.DeadlineExceeded
+}
+
+func (f *failingSource) Stats() llrp.SessionStats { return llrp.SessionStats{} }

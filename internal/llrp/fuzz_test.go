@@ -1,0 +1,102 @@
+package llrp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rfipad/internal/tagmodel"
+)
+
+// FuzzReadMessage asserts the frame parser never panics on arbitrary
+// bytes and that every frame it accepts survives a write/read round
+// trip unchanged.
+func FuzzReadMessage(f *testing.F) {
+	seed := func(m Message) {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err == nil {
+			f.Add(buf.Bytes())
+		}
+	}
+	seed(Message{Type: MsgKeepalive})
+	seed(Message{Type: MsgReaderEvent, Payload: []byte(EventReady)})
+	seed(Message{Type: MsgReaderEvent, Payload: []byte(EventComplete)})
+	seed(Message{Type: MsgStartROSpec})
+	seed(Message{Type: MsgStartROSpec, Payload: EncodeResume(1500 * time.Millisecond)})
+	payload, err := EncodeReports([]TagReport{
+		{EPC: tagmodel.MakeEPC(3), AntennaID: 1, PhaseRad: 1.25, RSSdBm: -51.5, DopplerHz: 12.25, Timestamp: 42 * time.Millisecond},
+		{EPC: tagmodel.MakeEPC(9), AntennaID: 2, PhaseRad: 6.1, RSSdBm: -60, DopplerHz: -7.5, Timestamp: 43 * time.Millisecond},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed(Message{Type: MsgROAccessReport, Payload: payload})
+	f.Add([]byte{0xA5, 0x5A})                               // truncated header
+	f.Add([]byte{0xA5, 0x5A, 1, 3, 0xFF, 0xFF, 0xFF, 0xFF}) // oversized length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := ReadMessage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, msg); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		back, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to parse: %v", err)
+		}
+		if back.Type != msg.Type || !bytes.Equal(back.Payload, msg.Payload) {
+			t.Errorf("round trip changed the frame: %v %q -> %v %q", msg.Type, msg.Payload, back.Type, back.Payload)
+		}
+	})
+}
+
+// FuzzDecodeReports asserts the report decoder never panics and that
+// accepted payloads are internally consistent: the length matches the
+// declared count and the decoded batch re-encodes and re-decodes to the
+// same shape.
+func FuzzDecodeReports(f *testing.F) {
+	for _, reports := range [][]TagReport{
+		{},
+		{{EPC: tagmodel.MakeEPC(1), Timestamp: time.Millisecond}},
+		{
+			{EPC: tagmodel.MakeEPC(5), AntennaID: 1, PhaseRad: 3.14, RSSdBm: -44.25, DopplerHz: 2.5, Timestamp: 7 * time.Millisecond},
+			{EPC: tagmodel.MakeEPC(6), AntennaID: 1, PhaseRad: 0.01, RSSdBm: -70, DopplerHz: -12, Timestamp: 8 * time.Millisecond},
+		},
+	} {
+		payload, err := EncodeReports(reports)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+	}
+	f.Add([]byte{0, 1}) // count 1, no entries
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reports, err := DecodeReports(data)
+		if err != nil {
+			return
+		}
+		if len(data) != 2+entryLen*len(reports) {
+			t.Fatalf("accepted %d bytes as %d reports (want %d bytes)", len(data), len(reports), 2+entryLen*len(reports))
+		}
+		enc, err := EncodeReports(reports)
+		if err != nil {
+			t.Fatalf("decoded batch failed to re-encode: %v", err)
+		}
+		back, err := DecodeReports(enc)
+		if err != nil {
+			t.Fatalf("re-encoded batch failed to decode: %v", err)
+		}
+		if len(back) != len(reports) {
+			t.Errorf("round trip changed the batch size: %d -> %d", len(reports), len(back))
+		}
+		for i := range back {
+			if back[i].EPC != reports[i].EPC {
+				t.Errorf("report %d EPC changed in round trip", i)
+			}
+		}
+	})
+}

@@ -62,6 +62,50 @@ const (
 	MsgError
 )
 
+// Reader event payloads. MsgReaderEvent frames carry one of these
+// UTF-8 strings (possibly followed by ": detail" text); only the
+// terminal ones end the report stream — everything else is status
+// chatter a client must tolerate mid-stream.
+const (
+	// EventReady is sent once per connection before any other frame.
+	EventReady = "reader ready"
+	// EventComplete reports that the ROSpec's source is exhausted — a
+	// clean end of stream.
+	EventComplete = "rospec complete"
+	// EventStopped acknowledges a StopROSpec.
+	EventStopped = "rospec stopped"
+	// EventNoROSpec answers a StopROSpec with no ROSpec running.
+	EventNoROSpec = "no rospec"
+)
+
+// EventKind classifies a MsgReaderEvent payload.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventInfo is informational chatter; the stream continues.
+	EventInfo EventKind = iota
+	// EventStreamEnd is a terminal event: the ROSpec completed or was
+	// stopped and no further reports will follow.
+	EventStreamEnd
+	// EventHandshake is the per-connection ready banner.
+	EventHandshake
+)
+
+// ClassifyEvent maps a MsgReaderEvent payload onto its kind. Unknown
+// payloads classify as EventInfo so future reader chatter never kills
+// a stream.
+func ClassifyEvent(payload []byte) EventKind {
+	switch string(payload) {
+	case EventComplete, EventStopped:
+		return EventStreamEnd
+	case EventReady:
+		return EventHandshake
+	default:
+		return EventInfo
+	}
+}
+
 // String implements fmt.Stringer.
 func (t MsgType) String() string {
 	switch t {
@@ -138,6 +182,55 @@ func ReadMessage(r io.Reader) (Message, error) {
 		return Message{}, fmt.Errorf("llrp: read payload: %w", err)
 	}
 	return Message{Type: MsgType(hdr[3]), Payload: payload}, nil
+}
+
+// HeaderLen is the fixed frame header size in bytes, exported for
+// frame-aware tooling (fault injectors, sniffers).
+const HeaderLen = headerLen
+
+// FrameSize maps a full frame header onto the total frame length
+// (header + payload); it returns -1 when the header is not a valid
+// frame start. Suitable as a faultnet framer.
+func FrameSize(hdr []byte) int {
+	if len(hdr) < headerLen || binary.BigEndian.Uint16(hdr[0:2]) != Magic {
+		return -1
+	}
+	length := binary.BigEndian.Uint32(hdr[4:8])
+	if length > MaxPayload {
+		return -1
+	}
+	return headerLen + int(length)
+}
+
+// NoResume marks a StartROSpec with no resume point (stream from the
+// beginning).
+const NoResume = time.Duration(-1)
+
+// EncodeResume builds a StartROSpec payload carrying the last-seen
+// report timestamp, asking the reader to replay from (shortly before)
+// that offset instead of from zero. NoResume encodes as an empty
+// payload — the original stream-from-zero request.
+func EncodeResume(lastSeen time.Duration) []byte {
+	if lastSeen < 0 {
+		return nil
+	}
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, uint64(lastSeen/time.Microsecond))
+	return buf
+}
+
+// DecodeResume parses a StartROSpec payload. An empty payload means no
+// resume point (NoResume, ok=true); a malformed payload returns
+// ok=false.
+func DecodeResume(payload []byte) (lastSeen time.Duration, ok bool) {
+	switch len(payload) {
+	case 0:
+		return NoResume, true
+	case 8:
+		return time.Duration(binary.BigEndian.Uint64(payload)) * time.Microsecond, true
+	default:
+		return 0, false
+	}
 }
 
 // TagReport is one tag observation on the wire.

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // ReportSource supplies tag-report batches to stream to a client. Next
@@ -14,6 +15,18 @@ import (
 // source is exhausted (which ends the ROSpec).
 type ReportSource interface {
 	Next() (batch []TagReport, ok bool)
+}
+
+// SeekableSource is a ReportSource that can replay from an offset: a
+// reconnecting client sends its last-seen report timestamp in the
+// StartROSpec payload and the server seeks the fresh source there
+// instead of replaying the whole capture. Implementations should
+// resume slightly *before* resumeFrom (an overlap window) so ties on
+// the timestamp never drop reports; the pipeline deduplicates the
+// overlap.
+type SeekableSource interface {
+	ReportSource
+	Seek(resumeFrom time.Duration)
 }
 
 // SourceFactory builds a fresh ReportSource per started ROSpec.
@@ -24,6 +37,16 @@ type SourceFactory func() ReportSource
 // connection.
 type Server struct {
 	factory SourceFactory
+
+	// IdleTimeout bounds how long a connection may stay silent
+	// (nothing readable from the peer) before the server drops it. A
+	// live client keeps the link warm with keepalive pings. Zero
+	// disables the read deadline (legacy clients never ping).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each frame write so a half-dead peer that
+	// stopped draining its receive window cannot block the handler
+	// forever. Zero disables the write deadline.
+	WriteTimeout time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -71,6 +94,13 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
+// ActiveConns reports the number of live client connections.
+func (s *Server) ActiveConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
 // Close stops accepting, closes every live connection, and waits for
 // handlers to finish.
 func (s *Server) Close() error {
@@ -101,7 +131,15 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
-	if err := writeFlush(w, Message{Type: MsgReaderEvent, Payload: []byte("reader ready")}); err != nil {
+	// send frames with the write deadline applied: a peer that stopped
+	// draining cannot wedge the handler.
+	send := func(m Message) error {
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
+		return writeFlush(w, m)
+	}
+	if err := send(Message{Type: MsgReaderEvent, Payload: []byte(EventReady)}); err != nil {
 		return
 	}
 
@@ -110,6 +148,9 @@ func (s *Server) handle(conn net.Conn) {
 	go func() {
 		defer close(msgs)
 		for {
+			if s.IdleTimeout > 0 {
+				conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+			}
 			msg, err := ReadMessage(r)
 			if err != nil {
 				readErr <- err
@@ -123,20 +164,34 @@ func (s *Server) handle(conn net.Conn) {
 	dispatch := func(msg Message) error {
 		switch msg.Type {
 		case MsgKeepalive:
-			return writeFlush(w, Message{Type: MsgKeepalive})
+			return send(Message{Type: MsgKeepalive})
 		case MsgStartROSpec:
+			resume, ok := DecodeResume(msg.Payload)
+			if !ok {
+				return send(Message{Type: MsgError, Payload: []byte("malformed StartROSpec resume payload")})
+			}
 			if src == nil {
 				src = s.factory()
+			}
+			if resume >= 0 {
+				if seek, canSeek := src.(SeekableSource); canSeek {
+					seek.Seek(resume)
+					return send(Message{Type: MsgReaderEvent,
+						Payload: []byte(fmt.Sprintf("resuming from %v", resume))})
+				}
+				// A non-seekable source replays from zero; tell the
+				// client so it can expect the full stream again.
+				return send(Message{Type: MsgReaderEvent, Payload: []byte("resume unsupported; replaying from start")})
 			}
 			return nil
 		case MsgStopROSpec:
 			if src == nil {
-				return writeFlush(w, Message{Type: MsgReaderEvent, Payload: []byte("no rospec")})
+				return send(Message{Type: MsgReaderEvent, Payload: []byte(EventNoROSpec)})
 			}
 			src = nil
-			return writeFlush(w, Message{Type: MsgReaderEvent, Payload: []byte("rospec stopped")})
+			return send(Message{Type: MsgReaderEvent, Payload: []byte(EventStopped)})
 		default:
-			return writeFlush(w, Message{Type: MsgError,
+			return send(Message{Type: MsgError,
 				Payload: []byte(fmt.Sprintf("unexpected %v", msg.Type))})
 		}
 	}
@@ -174,7 +229,7 @@ func (s *Server) handle(conn net.Conn) {
 		batch, ok := src.Next()
 		if !ok {
 			src = nil
-			if err := writeFlush(w, Message{Type: MsgReaderEvent, Payload: []byte("rospec complete")}); err != nil {
+			if err := send(Message{Type: MsgReaderEvent, Payload: []byte(EventComplete)}); err != nil {
 				return
 			}
 			continue
@@ -183,7 +238,7 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if err := writeFlush(w, Message{Type: MsgROAccessReport, Payload: payload}); err != nil {
+		if err := send(Message{Type: MsgROAccessReport, Payload: payload}); err != nil {
 			return
 		}
 	}
@@ -228,9 +283,22 @@ func NewClient(conn net.Conn) *Client {
 	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
 }
 
-// Start begins the reader operation.
-func (c *Client) Start() error {
-	if err := WriteMessage(c.w, Message{Type: MsgStartROSpec}); err != nil {
+// Start begins the reader operation from the top of the stream.
+func (c *Client) Start() error { return c.StartFrom(NoResume) }
+
+// StartFrom begins the reader operation, asking the reader to replay
+// from (shortly before) lastSeen when it is >= 0 and the reader's
+// source is seekable. Pass NoResume for a fresh stream.
+func (c *Client) StartFrom(lastSeen time.Duration) error {
+	if err := WriteMessage(c.w, Message{Type: MsgStartROSpec, Payload: EncodeResume(lastSeen)}); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Keepalive sends a liveness probe; the reader echoes it.
+func (c *Client) Keepalive() error {
+	if err := WriteMessage(c.w, Message{Type: MsgKeepalive}); err != nil {
 		return err
 	}
 	return c.w.Flush()
@@ -250,6 +318,8 @@ var ErrStreamEnded = errors.New("llrp: stream ended")
 // NextReports blocks for the next report batch. It returns
 // ErrStreamEnded when the reader signals the ROSpec is complete or
 // stopped, and the underlying error on connection problems.
+// Informational reader events (status chatter) do not end the stream —
+// only terminal events do (see ClassifyEvent).
 func (c *Client) NextReports() ([]TagReport, error) {
 	for {
 		msg, err := ReadMessage(c.r)
@@ -263,7 +333,10 @@ func (c *Client) NextReports() ([]TagReport, error) {
 		case MsgROAccessReport:
 			return DecodeReports(msg.Payload)
 		case MsgReaderEvent:
-			return nil, ErrStreamEnded
+			if ClassifyEvent(msg.Payload) == EventStreamEnd {
+				return nil, ErrStreamEnded
+			}
+			continue
 		case MsgKeepalive:
 			continue
 		case MsgError:

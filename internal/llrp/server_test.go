@@ -174,6 +174,50 @@ func TestServerRejectsUnknownMessage(t *testing.T) {
 	}
 }
 
+// TestServerConcurrentClientChurn hammers the server with clients that
+// connect, stream, and tear down — half of them abruptly, without a
+// Stop — while others are mid-stream. Run under -race this exercises
+// the conns-map and waitgroup bookkeeping.
+func TestServerConcurrentClientChurn(t *testing.T) {
+	stop := make(chan struct{})
+	t.Cleanup(func() { close(stop) })
+	srv, addr := startServer(t, func() ReportSource { return &blockSource{stop: stop} })
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				c, err := Dial(addr)
+				if err != nil {
+					t.Errorf("dial: %v", err)
+					return
+				}
+				if err := c.Start(); err != nil {
+					t.Errorf("start: %v", err)
+					c.Close()
+					return
+				}
+				for k := 0; k <= i%3; k++ {
+					if _, err := c.NextReports(); err != nil {
+						t.Errorf("next: %v", err)
+						break
+					}
+				}
+				if i%2 == 0 {
+					c.Stop() // polite teardown; odd iterations just vanish
+				}
+				c.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := srv.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("close after churn: %v", err)
+	}
+}
+
 func TestServerCloseUnblocksClients(t *testing.T) {
 	src := &blockSource{stop: make(chan struct{})}
 	t.Cleanup(func() { close(src.stop) })

@@ -1,0 +1,357 @@
+package llrp
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rfipad/internal/tagmodel"
+)
+
+// seekHarness shares a capture and a seek log across the per-connection
+// sources a reconnecting session triggers.
+type seekHarness struct {
+	mu      sync.Mutex
+	reports []TagReport
+	seeks   []time.Duration
+}
+
+func (h *seekHarness) newSource() ReportSource { return &seekSource{h: h} }
+
+func (h *seekHarness) recordedSeeks() []time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]time.Duration(nil), h.seeks...)
+}
+
+// seekSource serves one report per batch and supports resume.
+type seekSource struct {
+	h   *seekHarness
+	pos int
+}
+
+func (s *seekSource) Next() ([]TagReport, bool) {
+	if s.pos >= len(s.h.reports) {
+		return nil, false
+	}
+	b := []TagReport{s.h.reports[s.pos]}
+	s.pos++
+	return b, true
+}
+
+func (s *seekSource) Seek(from time.Duration) {
+	s.h.mu.Lock()
+	s.h.seeks = append(s.h.seeks, from)
+	s.h.mu.Unlock()
+	s.pos = 0
+	for s.pos < len(s.h.reports) && s.h.reports[s.pos].Timestamp <= from {
+		s.pos++
+	}
+}
+
+// limitConn delivers exactly n bytes to the reader, then fails the
+// connection — a deterministic mid-stream link cut.
+type limitConn struct {
+	net.Conn
+	remaining int
+}
+
+func (c *limitConn) Read(p []byte) (int, error) {
+	if c.remaining <= 0 {
+		c.Conn.Close()
+		return 0, errors.New("limitConn: byte budget exhausted")
+	}
+	if len(p) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.Conn.Read(p)
+	c.remaining -= n
+	return n, err
+}
+
+func TestSessionReconnectsAndResumes(t *testing.T) {
+	const n = 20
+	h := &seekHarness{}
+	for i := 0; i < n; i++ {
+		h.reports = append(h.reports, TagReport{
+			EPC:       tagmodel.MakeEPC(i + 1),
+			Timestamp: time.Duration(i+1) * 10 * time.Millisecond,
+		})
+	}
+	_, addr := startServer(t, h.newSource)
+
+	// The first connection dies after the handshake (20 bytes) plus
+	// exactly five single-report frames (38 bytes each); later
+	// connections are clean.
+	var dials atomic.Int32
+	var evMu sync.Mutex
+	var events []SessionEvent
+	sess, err := DialSession(context.Background(), SessionConfig{
+		Dialer: func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			conn, err := d.DialContext(ctx, "tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			if dials.Add(1) == 1 {
+				return &limitConn{Conn: conn, remaining: 20 + 5*38}, nil
+			}
+			return conn, nil
+		},
+		BackoffInitial:    time.Millisecond,
+		BackoffMax:        10 * time.Millisecond,
+		JitterSeed:        7,
+		KeepaliveInterval: -1, // keep the byte budget exact
+		IdleTimeout:       2 * time.Second,
+		OnEvent: func(ev SessionEvent) {
+			evMu.Lock()
+			events = append(events, ev)
+			evMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	seen := map[time.Duration]int{}
+	for {
+		batch, err := sess.NextReports()
+		if errors.Is(err, ErrStreamEnded) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range batch {
+			seen[r.Timestamp]++
+		}
+	}
+	if len(seen) != n {
+		t.Errorf("unique reports = %d, want %d (mid-stream cut lost data)", len(seen), n)
+	}
+	if got := sess.Stats().Reconnects; got != 1 {
+		t.Errorf("reconnects = %d, want 1", got)
+	}
+	seeks := h.recordedSeeks()
+	if len(seeks) != 1 || seeks[0] != 50*time.Millisecond {
+		t.Errorf("seeks = %v, want exactly [50ms] (last-seen before the cut)", seeks)
+	}
+
+	evMu.Lock()
+	defer evMu.Unlock()
+	var connects, disconnects int
+	var lastResume time.Duration = NoResume
+	for _, ev := range events {
+		switch ev.Kind {
+		case SessionConnected:
+			connects++
+			lastResume = ev.ResumeFrom
+		case SessionDisconnected:
+			disconnects++
+		}
+	}
+	if connects != 2 || disconnects != 1 {
+		t.Errorf("events: %d connects, %d disconnects, want 2 and 1", connects, disconnects)
+	}
+	if lastResume != 50*time.Millisecond {
+		t.Errorf("reconnect ResumeFrom = %v, want 50ms", lastResume)
+	}
+}
+
+func collectBackoff(t *testing.T, seed int64) []time.Duration {
+	t.Helper()
+	var waits []time.Duration
+	_, err := DialSession(context.Background(), SessionConfig{
+		Dialer: func(context.Context) (net.Conn, error) {
+			return nil, errors.New("connection refused")
+		},
+		BackoffInitial:    time.Millisecond,
+		BackoffMax:        8 * time.Millisecond,
+		JitterSeed:        seed,
+		MaxAttempts:       5,
+		KeepaliveInterval: -1,
+		OnEvent: func(ev SessionEvent) {
+			if ev.Kind == SessionRetrying {
+				waits = append(waits, ev.Wait)
+			}
+		},
+	})
+	if !errors.Is(err, ErrGiveUp) {
+		t.Fatalf("dial err = %v, want ErrGiveUp", err)
+	}
+	return waits
+}
+
+func TestSessionBackoffDeterministicAndCapped(t *testing.T) {
+	w1 := collectBackoff(t, 99)
+	w2 := collectBackoff(t, 99)
+	if len(w1) != 4 {
+		t.Fatalf("retry events = %d, want 4 (MaxAttempts-1)", len(w1))
+	}
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Errorf("attempt %d: %v vs %v — same seed must reproduce the schedule", i+1, w1[i], w2[i])
+		}
+		// Nominal delay doubles from 1 ms and caps at 8 ms; jitter keeps
+		// the actual wait in [½·d, d].
+		d := time.Millisecond << i
+		if d > 8*time.Millisecond {
+			d = 8 * time.Millisecond
+		}
+		if w1[i] < d/2 || w1[i] > d {
+			t.Errorf("attempt %d wait %v outside [%v, %v]", i+1, w1[i], d/2, d)
+		}
+	}
+}
+
+func TestSessionKeepaliveDetectsDeadLink(t *testing.T) {
+	// A reader that handshakes, swallows every frame, and never sends
+	// another byte: only deadlines can unmask it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	var keepalives atomic.Int32
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				w := bufio.NewWriter(conn)
+				if err := writeFlush(w, Message{Type: MsgReaderEvent, Payload: []byte(EventReady)}); err != nil {
+					return
+				}
+				r := bufio.NewReader(conn)
+				for {
+					msg, err := ReadMessage(r)
+					if err != nil {
+						return
+					}
+					if msg.Type == MsgKeepalive {
+						keepalives.Add(1)
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	disconnected := make(chan SessionEvent, 16)
+	sess, err := DialSession(context.Background(), SessionConfig{
+		Addr:              l.Addr().String(),
+		KeepaliveInterval: 20 * time.Millisecond,
+		IdleTimeout:       100 * time.Millisecond,
+		WriteTimeout:      time.Second,
+		BackoffInitial:    time.Millisecond,
+		BackoffMax:        5 * time.Millisecond,
+		JitterSeed:        3,
+		OnEvent: func(ev SessionEvent) {
+			if ev.Kind == SessionDisconnected {
+				select {
+				case disconnected <- ev:
+				default:
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	go sess.NextReports() // blocks until the idle deadline trips
+
+	select {
+	case ev := <-disconnected:
+		var nerr net.Error
+		if !errors.As(ev.Err, &nerr) || !nerr.Timeout() {
+			t.Errorf("disconnect cause = %v, want a timeout", ev.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("dead link never detected")
+	}
+	if keepalives.Load() == 0 {
+		t.Error("no keepalive pings reached the reader")
+	}
+}
+
+func TestSessionCleanEndAndStop(t *testing.T) {
+	batches := [][]TagReport{
+		{{EPC: tagmodel.MakeEPC(1), Timestamp: time.Millisecond}},
+	}
+	_, addr := startServer(t, func() ReportSource {
+		return &sliceSource{batches: append([][]TagReport(nil), batches...)}
+	})
+	sess, err := DialSession(context.Background(), SessionConfig{
+		Addr:              addr,
+		KeepaliveInterval: -1,
+		IdleTimeout:       2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	var got int
+	for {
+		batch, err := sess.NextReports()
+		if errors.Is(err, ErrStreamEnded) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += len(batch)
+	}
+	if got != 1 {
+		t.Errorf("reports = %d, want 1", got)
+	}
+	if st := sess.Stats(); st.Reconnects != 0 {
+		t.Errorf("clean end recorded %d reconnects, want 0", st.Reconnects)
+	}
+
+	// Stop mid-stream must surface as a clean end too, not a reconnect.
+	stop := make(chan struct{})
+	t.Cleanup(func() { close(stop) })
+	_, addr2 := startServer(t, func() ReportSource { return &blockSource{stop: stop} })
+	sess2, err := DialSession(context.Background(), SessionConfig{
+		Addr:              addr2,
+		KeepaliveInterval: -1,
+		IdleTimeout:       2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess2.Close()
+	if _, err := sess2.NextReports(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess2.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("stream did not end after Stop")
+		default:
+		}
+		_, err := sess2.NextReports()
+		if errors.Is(err, ErrStreamEnded) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("unexpected error after Stop: %v", err)
+		}
+	}
+	if st := sess2.Stats(); st.Reconnects != 0 {
+		t.Errorf("Stop recorded %d reconnects, want 0", st.Reconnects)
+	}
+}

@@ -1,0 +1,162 @@
+// Package replay turns a fixed, time-sorted capture of tag reports
+// into a paced, seekable llrp.ReportSource: the backbone of
+// rfipad-readerd (which replays a synthesized RFIPad session in place
+// of real Impinj hardware) and of end-to-end resilience tests. A
+// Source supports llrp's stream-resume protocol — a reconnecting
+// client's StartROSpec carries its last-seen timestamp and the server
+// seeks the fresh Source there, replaying a small overlap window
+// instead of the whole capture.
+package replay
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rfipad"
+	"rfipad/internal/llrp"
+)
+
+// DefaultResumeOverlap is how far before a resume point replay
+// restarts: ties on the resume timestamp are guaranteed delivery and
+// the pipeline deduplicates the overlap.
+const DefaultResumeOverlap = 250 * time.Millisecond
+
+// Options tunes a Source.
+type Options struct {
+	// Batch is the report batching window (default 50 ms).
+	Batch time.Duration
+	// Speed is the replay speed factor relative to real time (default
+	// 1; higher is faster).
+	Speed float64
+	// ResumeOverlap is how far before a Seek target replay restarts
+	// (default DefaultResumeOverlap).
+	ResumeOverlap time.Duration
+	// OnComplete, when set, runs once when the capture is exhausted.
+	OnComplete func()
+}
+
+func (o Options) withDefaults() Options {
+	if o.Batch <= 0 {
+		o.Batch = 50 * time.Millisecond
+	}
+	if o.Speed <= 0 {
+		o.Speed = 1
+	}
+	if o.ResumeOverlap <= 0 {
+		o.ResumeOverlap = DefaultResumeOverlap
+	}
+	return o
+}
+
+// Source replays a capture in paced batches. It implements
+// llrp.SeekableSource.
+type Source struct {
+	reports []llrp.TagReport
+	opts    Options
+
+	mu       sync.Mutex
+	pos      int
+	started  time.Time
+	base     time.Duration
+	finished bool
+}
+
+// NewSource builds a paced source over reports, which must be sorted
+// by timestamp (as Synthesize returns).
+func NewSource(reports []llrp.TagReport, opts Options) *Source {
+	return &Source{reports: reports, opts: opts.withDefaults()}
+}
+
+// Next implements llrp.ReportSource: it waits until the next batch's
+// stream time has elapsed in scaled wall time, then returns it.
+func (s *Source) Next() ([]llrp.TagReport, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pos >= len(s.reports) {
+		if !s.finished {
+			s.finished = true
+			if s.opts.OnComplete != nil {
+				s.opts.OnComplete()
+			}
+		}
+		return nil, false
+	}
+	if s.started.IsZero() {
+		s.started = time.Now()
+	}
+	// Pace relative to the seek base so a resumed replay does not
+	// re-serve the pre-resume wait.
+	cut := s.reports[s.pos].Timestamp + s.opts.Batch
+	wait := time.Duration(float64(cut-s.base)/s.opts.Speed) - time.Since(s.started)
+	if wait > 0 {
+		s.mu.Unlock()
+		time.Sleep(wait)
+		s.mu.Lock()
+	}
+	start := s.pos
+	for s.pos < len(s.reports) && s.reports[s.pos].Timestamp < cut {
+		s.pos++
+	}
+	return s.reports[start:s.pos], true
+}
+
+// Seek implements llrp.SeekableSource: replay restarts at the first
+// report after resumeFrom − ResumeOverlap, so a reconnecting client
+// sees a short duplicate window instead of a gap.
+func (s *Source) Seek(resumeFrom time.Duration) {
+	target := resumeFrom - s.opts.ResumeOverlap
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pos = sort.Search(len(s.reports), func(i int) bool {
+		return s.reports[i].Timestamp > target
+	})
+	if s.pos < len(s.reports) {
+		s.base = s.reports[s.pos].Timestamp
+	}
+	s.started = time.Time{}
+}
+
+// Synthesize builds a full RFIPad capture: a static prelude for
+// calibration followed by a writer air-writing the word, with a quiet
+// adjustment gap between letters so the online recognizer can close
+// each one. The result is sorted by timestamp.
+func Synthesize(seed int64, word string, prelude time.Duration) ([]llrp.TagReport, error) {
+	sim, err := rfipad.NewSimulator(rfipad.SimulatorConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if prelude <= 0 {
+		prelude = 3 * time.Second
+	}
+	var reports []llrp.TagReport
+	add := func(rs []rfipad.Reading, offset time.Duration) time.Duration {
+		end := offset
+		for _, r := range rs {
+			ts := offset + r.Time
+			reports = append(reports, llrp.TagReport{
+				EPC:       r.EPC,
+				AntennaID: 1,
+				PhaseRad:  r.Phase,
+				RSSdBm:    r.RSS,
+				DopplerHz: r.Doppler,
+				Timestamp: ts,
+			})
+			if ts > end {
+				end = ts
+			}
+		}
+		return end
+	}
+	offset := add(sim.CollectStatic(prelude), 0)
+	for i, ch := range word {
+		rs, _, err := sim.WriteLetter(ch, seed*100+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("replay: synthesize %q: %w", ch, err)
+		}
+		offset = add(rs, offset+2*time.Second)
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Timestamp < reports[j].Timestamp })
+	return reports, nil
+}

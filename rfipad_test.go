@@ -158,6 +158,112 @@ func TestWriteWordStreaming(t *testing.T) {
 	}
 }
 
+// dropTag filters every reading of one tag out of a stream,
+// simulating a detached or fully occluded tag.
+func dropTag(readings []Reading, tagIndex int) []Reading {
+	out := make([]Reading, 0, len(readings))
+	for _, r := range readings {
+		if r.TagIndex == tagIndex {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func TestDegradedGridRecognizesAllShapes(t *testing.T) {
+	// A 5×5 array with one dead tag in the middle of the board must
+	// still calibrate (the tag is flagged dead, not fatal) and
+	// classify all 7 basic motions: the disturbance image interpolates
+	// the dead cell from its live neighbors before binarization.
+	sim, err := NewSimulator(SimulatorConfig{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const deadIdx = 2*5 + 2 // centre tag — the harshest hole
+
+	cal, err := Calibrate(dropTag(sim.CollectStatic(3*time.Second), deadIdx), sim.Grid().NumTags())
+	if err != nil {
+		t.Fatalf("degraded calibration failed: %v", err)
+	}
+	if cal.DeadCount() != 1 || !cal.IsDead(deadIdx) {
+		t.Fatalf("dead count = %d, IsDead(%d) = %v", cal.DeadCount(), deadIdx, cal.IsDead(deadIdx))
+	}
+
+	p := sim.NewPipeline(cal)
+	shapes := []Shape{Click, Horizontal, Vertical, SlashUp, SlashDown, ArcLeft, ArcRight}
+	for _, shape := range shapes {
+		want := M(shape, Forward)
+		t.Run(want.String(), func(t *testing.T) {
+			readings, dur := sim.PerformMotion(want, 42)
+			readings = dropTag(readings, deadIdx)
+			results := p.RecognizeStream(readings, nil, 0, dur+time.Second)
+			var got []Motion
+			for _, res := range results {
+				if res.Result.Ok {
+					got = append(got, res.Result.Motion)
+				}
+			}
+			if len(got) != 1 {
+				t.Fatalf("recognized %d motions, want 1: %v", len(got), got)
+			}
+			if got[0].Shape != shape {
+				t.Errorf("shape = %v, want %v", got[0].Shape, shape)
+			}
+		})
+	}
+}
+
+func TestStreamingToleratesReplayArtifacts(t *testing.T) {
+	// Feed a letter through the streaming recognizer with the
+	// artifacts a reconnecting transport produces — duplicated batches
+	// and modest reordering — and require the same letter out.
+	sim, err := NewSimulator(SimulatorConfig{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := sim.Calibrate(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings, dur, err := sim.WriteLetter('L', 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate a slab of the stream (replay overlap) and swap
+	// adjacent readings here and there (frame reordering).
+	mangled := make([]Reading, 0, len(readings)*5/4)
+	for i, r := range readings {
+		mangled = append(mangled, r)
+		if i%4 == 1 && len(mangled) >= 2 {
+			n := len(mangled)
+			mangled[n-1], mangled[n-2] = mangled[n-2], mangled[n-1]
+		}
+		if i > 0 && i%10 == 0 {
+			// Replay the previous 5 readings.
+			mangled = append(mangled, readings[i-5:i]...)
+		}
+	}
+
+	rec := sim.NewRecognizer(cal)
+	var letter rune
+	collect := func(evs []Event) {
+		for _, ev := range evs {
+			if ev.Kind == LetterDeduced && ev.LetterOK {
+				letter = ev.Letter
+			}
+		}
+	}
+	for _, r := range mangled {
+		collect(rec.Ingest(r))
+	}
+	collect(rec.Flush(dur + 2*time.Second))
+	if letter != 'L' {
+		t.Errorf("letter = %q, want L despite duplicates and reordering", letter)
+	}
+}
+
 func TestFastMACSimulator(t *testing.T) {
 	count := func(fast bool) int {
 		s, err := NewSimulator(SimulatorConfig{Seed: 13, FastMAC: fast})

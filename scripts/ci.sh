@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI gate: vet, build, and race-test the whole module.
+# Usage: scripts/ci.sh  (from the repo root or anywhere inside it)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '== go vet ./...'
+go vet ./...
+
+echo '== go build ./...'
+go build ./...
+
+echo '== go test -race ./...'
+go test -race ./...
+
+echo 'CI OK'
