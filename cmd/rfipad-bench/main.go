@@ -1,12 +1,18 @@
 // Command rfipad-bench regenerates every table and figure of the
 // paper's evaluation (§V) plus the DESIGN.md ablations.
 //
+// It also measures the live recognition pipeline itself (throughput
+// and per-stage latency from the obs histograms) and writes the
+// machine-readable BENCH_pipeline.json so the perf trajectory is
+// tracked across commits.
+//
 // Usage:
 //
 //	rfipad-bench -list
-//	rfipad-bench                 # quick pass over every experiment
+//	rfipad-bench                 # quick pass over every experiment + pipeline bench
 //	rfipad-bench -full           # paper-scale sample sizes (slow)
 //	rfipad-bench -run table1     # one experiment
+//	rfipad-bench -pipeline       # only the pipeline bench (BENCH_pipeline.json)
 //	rfipad-bench -trials 10 -groups 3 -seed 7
 package main
 
@@ -32,8 +38,20 @@ func run() int {
 		groups   = flag.Int("groups", 0, "override independent deployment groups")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		parallel = flag.Int("parallel", 4, "concurrent groups")
+
+		pipeline     = flag.Bool("pipeline", false, "run only the recognition-pipeline bench")
+		pipelineJSON = flag.String("pipeline-json", "BENCH_pipeline.json", "output path for the pipeline bench report")
+		pipelineWord = flag.String("pipeline-word", "HELLO", "word the pipeline bench recognizes")
 	)
 	flag.Parse()
+
+	if *pipeline {
+		if err := runPipelineBench(*seed, *pipelineWord, *pipelineJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
 
 	if *list {
 		for _, e := range experiments.List() {
@@ -70,6 +88,10 @@ func run() int {
 		start := time.Now()
 		res, _ := experiments.Run(e.Name, cfg)
 		fmt.Printf("=== %s (%v)\n%s\n", e.Name, time.Since(start).Round(time.Millisecond), res)
+	}
+	if err := runPipelineBench(*seed, *pipelineWord, *pipelineJSON); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
 	return 0
 }

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"rfipad/internal/core"
+	"rfipad/internal/live"
+	"rfipad/internal/llrp"
+	"rfipad/internal/obs"
+	"rfipad/internal/replay"
+)
+
+// stageStats is one recognition stage's latency summary, estimated
+// from the obs stage histograms.
+type stageStats struct {
+	Count uint64  `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+}
+
+// pipelineReport is the machine-readable BENCH_pipeline.json payload:
+// end-to-end recognition throughput plus per-stage latency, so the
+// perf trajectory is comparable across commits.
+type pipelineReport struct {
+	Word          string                `json:"word"`
+	Reports       int                   `json:"reports"`
+	StreamSeconds float64               `json:"stream_seconds"`
+	WallSeconds   float64               `json:"wall_seconds"`
+	ReportsPerSec float64               `json:"reports_per_sec"`
+	SpeedupVsLive float64               `json:"speedup_vs_realtime"`
+	Strokes       int                   `json:"strokes"`
+	Letters       string                `json:"letters"`
+	Stages        map[string]stageStats `json:"stages"`
+}
+
+// sliceSource feeds a synthesized capture to live.Run as fast as the
+// pipeline drains it (no replay pacing), so wall time measures the
+// recognition stack alone.
+type sliceSource struct {
+	reports []llrp.TagReport
+	pos     int
+}
+
+func (s *sliceSource) NextReports() ([]llrp.TagReport, error) {
+	const chunk = 256
+	if s.pos >= len(s.reports) {
+		return nil, llrp.ErrStreamEnded
+	}
+	end := s.pos + chunk
+	if end > len(s.reports) {
+		end = len(s.reports)
+	}
+	b := s.reports[s.pos:end]
+	s.pos = end
+	return b, nil
+}
+
+func (s *sliceSource) Stats() llrp.SessionStats { return llrp.SessionStats{} }
+
+// runPipelineBench recognizes a synthesized word offline against a
+// fresh metrics registry and writes the JSON report to path.
+func runPipelineBench(seed int64, word, path string) error {
+	reports, err := replay.Synthesize(seed, word, 3*time.Second)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	start := time.Now()
+	res, err := live.Run(&sliceSource{reports: reports}, live.Config{Obs: reg})
+	wall := time.Since(start)
+	if err != nil {
+		return fmt.Errorf("pipeline bench run: %w", err)
+	}
+
+	streamLen := reports[len(reports)-1].Timestamp
+	snap := reg.Snapshot()
+	stages := map[string]stageStats{}
+	for _, stage := range []string{
+		core.StageSegment, core.StageDisturbance, core.StageClassify,
+		core.StageDirection, core.StageGrammar,
+	} {
+		p, ok := snap.Get("rfipad_stage_seconds", obs.L("stage", stage))
+		if !ok {
+			continue
+		}
+		stages[stage] = stageStats{
+			Count: p.Count,
+			P50Ms: p.Quantile(0.50) * 1e3,
+			P95Ms: p.Quantile(0.95) * 1e3,
+		}
+	}
+	rep := pipelineReport{
+		Word:          word,
+		Reports:       len(reports),
+		StreamSeconds: streamLen.Seconds(),
+		WallSeconds:   wall.Seconds(),
+		ReportsPerSec: float64(len(reports)) / wall.Seconds(),
+		SpeedupVsLive: streamLen.Seconds() / wall.Seconds(),
+		Strokes:       res.Strokes,
+		Letters:       res.Letters,
+		Stages:        stages,
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("=== pipeline (%v)\nrecognized %q: %d reports in %v (%.0f reports/s, %.1fx realtime); wrote %s\n",
+		wall.Round(time.Millisecond), rep.Letters, rep.Reports,
+		wall.Round(time.Millisecond), rep.ReportsPerSec, rep.SpeedupVsLive, path)
+	return nil
+}

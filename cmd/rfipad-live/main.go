@@ -10,22 +10,32 @@
 // tolerates dead tags; their cells are interpolated from live
 // neighbors.
 //
+// Recognition output (strokes, letters, the final word) goes to
+// stdout; everything operational is structured logging on stderr via
+// log/slog, tagged with a component attribute (session, live). With
+// -obs-addr set, an admin listener serves Prometheus metrics
+// (/metrics), health with calibration state (/healthz), expvar
+// (/debug/vars), and pprof (/debug/pprof/).
+//
 // Usage:
 //
 //	rfipad-live -connect 127.0.0.1:5084 -calib 3s
 //	rfipad-live -connect 127.0.0.1:5084 -retry-max 10 -keepalive 500ms
+//	rfipad-live -obs-addr 127.0.0.1:9090 -log-format json -log-level debug
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"rfipad"
 	"rfipad/internal/live"
 	"rfipad/internal/llrp"
+	"rfipad/internal/obs"
 )
 
 func main() {
@@ -46,9 +56,32 @@ func run() int {
 		keepalive    = flag.Duration("keepalive", 2*time.Second, "keepalive ping interval (negative disables)")
 		idleTimeout  = flag.Duration("idle-timeout", 0, "declare the link dead after this much silence (default 4×keepalive)")
 		writeTimeout = flag.Duration("write-timeout", 5*time.Second, "per-frame write deadline")
+
+		obsAddr   = flag.String("obs-addr", "", "admin listen address serving /metrics, /healthz, /debug/pprof (empty disables)")
+		logFormat = flag.String("log-format", obs.FormatText, "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	log := obs.NewLogger(obs.LogOptions{Format: *logFormat, Level: level})
+
+	reg := obs.Default()
+	if *obsAddr != "" {
+		admin, err := obs.StartAdmin(*obsAddr, reg, liveHealth(reg))
+		if err != nil {
+			log.Error("admin listener failed", "addr", *obsAddr, "err", err)
+			return 1
+		}
+		defer admin.Close()
+		log.Info("admin listening", "component", "obs", "addr", admin.Addr())
+	}
+
+	sessLog := obs.Component(log, "session")
 	sess, err := llrp.DialSession(context.Background(), llrp.SessionConfig{
 		Addr:              *addr,
 		BackoffInitial:    *retryInitial,
@@ -58,10 +91,10 @@ func run() int {
 		KeepaliveInterval: *keepalive,
 		IdleTimeout:       *idleTimeout,
 		WriteTimeout:      *writeTimeout,
-		OnEvent:           printSessionEvent,
+		OnEvent:           func(ev llrp.SessionEvent) { logSessionEvent(sessLog, ev) },
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("dial failed", "component", "session", "addr", *addr, "err", err)
 		return 1
 	}
 	defer sess.Close()
@@ -70,7 +103,7 @@ func run() int {
 	res, err := live.Run(sess, live.Config{
 		Grid:          rfipad.Grid{Rows: *rows, Cols: *cols},
 		CalibDuration: *calib,
-		OnStatus:      func(line string) { fmt.Println(line) },
+		Logger:        obs.Component(log, "live"),
 		OnEvent: func(ev rfipad.Event) {
 			switch ev.Kind {
 			case rfipad.StrokeDetected:
@@ -82,7 +115,7 @@ func run() int {
 		},
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "%v (recognized %q before failing)\n", err, res.Letters)
+		log.Error("run failed", "component", "live", "err", err, "partial_letters", res.Letters)
 		return 1
 	}
 	fmt.Printf("stream ended; recognized %q (%d stroke(s), %d reconnect(s), %d dead tag(s))\n",
@@ -90,21 +123,41 @@ func run() int {
 	return 0
 }
 
-// printSessionEvent narrates connection lifecycle to stderr so the
-// recognition output on stdout stays clean.
-func printSessionEvent(ev llrp.SessionEvent) {
+// liveHealth evaluates /healthz from the metrics registry: healthy
+// while the reader link is up, with calibration state and reconnect
+// counts as detail fields.
+func liveHealth(reg *obs.Registry) obs.HealthFunc {
+	return func() obs.Health {
+		snap := reg.Snapshot()
+		connected := snap.Value("llrp_session_connected") == 1
+		return obs.Health{
+			OK: connected,
+			Detail: map[string]any{
+				"connected":  connected,
+				"calibrated": snap.Value("rfipad_calibrated") == 1,
+				"dead_tags":  snap.Value("rfipad_dead_tags"),
+				"reconnects": snap.Value("llrp_session_reconnects_total"),
+			},
+		}
+	}
+}
+
+// logSessionEvent narrates connection lifecycle through the shared
+// structured log path (the same stream live status uses), keeping the
+// recognition output on stdout clean.
+func logSessionEvent(log *slog.Logger, ev llrp.SessionEvent) {
 	switch ev.Kind {
 	case llrp.SessionConnected:
 		if ev.ResumeFrom == llrp.NoResume {
-			fmt.Fprintln(os.Stderr, "session: connected (fresh stream)")
+			log.Info("connected", "resume", false)
 		} else {
-			fmt.Fprintf(os.Stderr, "session: reconnected, resuming from %v\n", ev.ResumeFrom.Round(time.Millisecond))
+			log.Info("reconnected", "resume", true, "resume_from", ev.ResumeFrom.Round(time.Millisecond))
 		}
 	case llrp.SessionDisconnected:
-		fmt.Fprintf(os.Stderr, "session: link lost: %v\n", ev.Err)
+		log.Warn("link lost", "err", ev.Err)
 	case llrp.SessionRetrying:
-		fmt.Fprintf(os.Stderr, "session: retry %d in %v (%v)\n", ev.Attempt, ev.Wait.Round(time.Millisecond), ev.Err)
+		log.Info("retrying", "attempt", ev.Attempt, "wait", ev.Wait.Round(time.Millisecond), "err", ev.Err)
 	case llrp.SessionReaderInfo:
-		fmt.Fprintf(os.Stderr, "session: reader: %s\n", ev.Info)
+		log.Info("reader event", "info", ev.Info)
 	}
 }

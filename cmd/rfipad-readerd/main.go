@@ -11,10 +11,16 @@
 // there, with a small overlap), and can deliberately sabotage its own
 // connections via the -fault-* flags for end-to-end chaos runs.
 //
+// Operational output is structured logging on stderr via log/slog.
+// With -obs-addr set, an admin listener serves Prometheus metrics —
+// including injected-fault counts by kind and replay pacing lag —
+// plus /healthz, /debug/vars, and /debug/pprof/.
+//
 // Usage:
 //
 //	rfipad-readerd -listen 127.0.0.1:5084 -word HELLO -speed 4
 //	rfipad-readerd -word HI -fault-drop-after 65536 -fault-dup 0.05
+//	rfipad-readerd -obs-addr 127.0.0.1:9091 -log-format json
 //
 // Pair it with rfipad-live, which connects, calibrates from the
 // prelude, and recognizes the strokes online, reconnecting as needed.
@@ -31,6 +37,7 @@ import (
 
 	"rfipad/internal/faultnet"
 	"rfipad/internal/llrp"
+	"rfipad/internal/obs"
 	"rfipad/internal/replay"
 )
 
@@ -62,20 +69,33 @@ func run() int {
 		faultCorrupt = flag.Float64("fault-corrupt", 0, "per-write byte corruption probability")
 		faultDup     = flag.Float64("fault-dup", 0, "per-frame duplication probability")
 		faultReorder = flag.Float64("fault-reorder", 0, "per-frame reordering probability")
+
+		obsAddr   = flag.String("obs-addr", "", "admin listen address serving /metrics, /healthz, /debug/pprof (empty disables)")
+		logFormat = flag.String("log-format", obs.FormatText, "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	log := obs.Component(obs.NewLogger(obs.LogOptions{Format: *logFormat, Level: level}), "readerd")
 	if *speed <= 0 {
-		fmt.Fprintln(os.Stderr, "speed must be positive")
+		log.Error("speed must be positive")
 		return 2
 	}
 
+	reg := obs.Default()
 	reports, err := replay.Synthesize(*seed, strings.ToUpper(*word), 3*time.Second)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("synthesis failed", "err", err)
 		return 1
 	}
-	fmt.Printf("synthesized %d reports covering %v (word %q)\n",
-		len(reports), reports[len(reports)-1].Timestamp.Round(time.Millisecond), strings.ToUpper(*word))
+	log.Info("capture synthesized", "reports", len(reports),
+		"span", reports[len(reports)-1].Timestamp.Round(time.Millisecond),
+		"word", strings.ToUpper(*word))
 
 	done := make(chan struct{}, 1)
 	srv := llrp.NewServer(func() llrp.ReportSource {
@@ -96,8 +116,12 @@ func run() int {
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("listen failed", "addr", *listen, "err", err)
 		return 1
+	}
+	faultCounter := func(kind string) *obs.Counter {
+		return reg.Counter("faultnet_injected_faults_total",
+			"Faults injected into connections, by kind.", obs.L("kind", kind))
 	}
 	faults := faultnet.Config{
 		Seed:             *faultSeed,
@@ -111,12 +135,32 @@ func run() int {
 		ReorderFrameProb: *faultReorder,
 		FrameHeaderLen:   llrp.HeaderLen,
 		FrameSize:        llrp.FrameSize,
+		Observer:         func(kind string) { faultCounter(kind).Inc() },
 	}
 	wrapped := faultnet.Listen(l, faults)
-	if wrapped != l {
-		fmt.Println("fault injection armed: connections will be sabotaged deterministically")
+	armed := wrapped != l
+	if armed {
+		log.Info("fault injection armed: connections will be sabotaged deterministically")
 	}
-	fmt.Printf("listening on %s\n", l.Addr())
+	log.Info("listening", "addr", l.Addr())
+
+	if *obsAddr != "" {
+		admin, err := obs.StartAdmin(*obsAddr, reg, func() obs.Health {
+			return obs.Health{OK: true, Detail: map[string]any{
+				"listening":    l.Addr().String(),
+				"active_conns": srv.ActiveConns(),
+				"reports":      len(reports),
+				"faults_armed": armed,
+			}}
+		})
+		if err != nil {
+			log.Error("admin listener failed", "addr", *obsAddr, "err", err)
+			return 1
+		}
+		defer admin.Close()
+		log.Info("admin listening", "addr", admin.Addr())
+	}
+
 	if *once {
 		go func() {
 			<-done
@@ -137,7 +181,7 @@ func run() int {
 		}()
 	}
 	if err := srv.Serve(wrapped); err != nil && !errors.Is(err, net.ErrClosed) {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("serve failed", "err", err)
 		return 1
 	}
 	return 0

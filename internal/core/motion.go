@@ -1,7 +1,10 @@
 package core
 
 import (
+	"sync"
+
 	"rfipad/internal/geo"
+	"rfipad/internal/obs"
 	"rfipad/internal/stroke"
 )
 
@@ -38,6 +41,12 @@ type Pipeline struct {
 	Grid Grid
 	Cal  *Calibration
 	Opts DisturbanceOptions
+	// Obs selects the metrics registry stage latencies land in (nil =
+	// obs.Default()). Set it before the first RecognizeWindow call.
+	Obs *obs.Registry
+
+	telOnce sync.Once
+	tel     *pipelineTel
 }
 
 // NewPipeline builds a recognition pipeline with full diversity
@@ -46,21 +55,39 @@ func NewPipeline(grid Grid, cal *Calibration) *Pipeline {
 	return &Pipeline{Grid: grid, Cal: cal}
 }
 
+// telemetry resolves the stage instruments once (Pipelines are shared
+// across goroutines by the experiment harness).
+func (p *Pipeline) telemetry() *pipelineTel {
+	p.telOnce.Do(func() { p.tel = newPipelineTel(p.Obs) })
+	return p.tel
+}
+
 // RecognizeWindow runs the §III pipeline over one stroke window's
 // readings: disturbance map → grayscale image → Otsu → shape
 // classification → RSS direction estimation.
 func (p *Pipeline) RecognizeWindow(readings []Reading) MotionResult {
+	tel := p.telemetry()
+	tel.windows.Inc()
+
+	span := obs.StartTimer(tel.disturbance)
 	vals := DisturbanceMap(readings, p.Cal, p.Opts)
 	// Fill cells of dead (uncalibrated) tags from live neighbors so a
 	// stroke crossing a hole in the array stays one bright region.
 	vals = InterpolateDead(p.Grid, vals, p.Cal.Dead)
 	img := NewGridImage(p.Grid, vals)
+	span.End()
+	if n := p.Cal.DeadCount(); n > 0 {
+		tel.interpolated.Add(uint64(n))
+	}
+
+	span = obs.StartTimer(tel.classify)
 	// Otsu runs on the range-compressed image so a stroke's intensity
 	// gradient stays in one foreground cluster; the geometric
 	// classifier weights cells by the raw scores so residual noise
 	// cells in the mask barely deflect the fit.
 	mask := LargestComponent(p.Grid, img.Binarize(), vals)
 	shape := ClassifyShapeDegraded(p.Grid, vals, mask, p.Cal.Dead)
+	span.End()
 	if !shape.Ok {
 		return MotionResult{Image: img, Mask: mask}
 	}
@@ -74,9 +101,11 @@ func (p *Pipeline) RecognizeWindow(readings []Reading) MotionResult {
 		Ok:      true,
 	}
 
+	span = obs.StartTimer(tel.direction)
 	if shape.Shape == stroke.Click {
 		res.Motion = stroke.M(stroke.Click, 0)
 		res.Troughs = FindTagTroughs(readings, p.Grid.NumTags(), shape.Cells)
+		span.End()
 		return res
 	}
 
@@ -88,6 +117,7 @@ func (p *Pipeline) RecognizeWindow(readings []Reading) MotionResult {
 			dir, dirOK = d, true
 		}
 	}
+	span.End()
 	res.Troughs = troughs
 	res.TravelDir = dir
 

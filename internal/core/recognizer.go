@@ -2,6 +2,8 @@ package core
 
 import (
 	"time"
+
+	"rfipad/internal/obs"
 )
 
 // EventKind tags streaming recognizer outputs.
@@ -39,6 +41,7 @@ type Event struct {
 type Recognizer struct {
 	pipeline *Pipeline
 	seg      *Segmenter
+	tel      *recognizerTel
 
 	// ConfirmGap is how long the stream must stay quiet past a span's
 	// end before the span is considered closed (one segmentation
@@ -66,6 +69,7 @@ func NewRecognizer(p *Pipeline, seg *Segmenter) *Recognizer {
 	return &Recognizer{
 		pipeline:   p,
 		seg:        seg,
+		tel:        newRecognizerTel(p.Obs),
 		ConfirmGap: time.Duration(seg.WindowFrames) * seg.FrameLen,
 		// The letter gap must exceed the longest inter-stroke
 		// adjustment interval (~2 s for a slow writer).
@@ -82,11 +86,13 @@ func NewRecognizer(p *Pipeline, seg *Segmenter) *Recognizer {
 // monotonic. Readings older than the already-trimmed history are
 // discarded.
 func (r *Recognizer) Ingest(rd Reading) []Event {
+	r.tel.readings.Inc()
 	if rd.Time > r.now {
 		r.now = rd.Time
 	}
 	if rd.Time < r.bufStart {
 		// Too late: this history was already recognized and trimmed.
+		r.tel.late.Inc()
 		return nil
 	}
 	// Find the insertion point from the end — O(1) for in-order
@@ -99,12 +105,14 @@ func (r *Recognizer) Ingest(rd Reading) []Event {
 	// before the insertion point.
 	for j := i; j > 0 && r.buf[j-1].Time == rd.Time; j-- {
 		if r.buf[j-1].TagIndex == rd.TagIndex {
+			r.tel.dupes.Inc()
 			return nil
 		}
 	}
 	if i == len(r.buf) {
 		r.buf = append(r.buf, rd)
 	} else {
+		r.tel.reordered.Inc()
 		r.buf = append(r.buf, Reading{})
 		copy(r.buf[i+1:], r.buf[i:])
 		r.buf[i] = rd
@@ -147,7 +155,9 @@ func (r *Recognizer) poll(horizon time.Duration) []Event {
 		return nil
 	}
 	var events []Event
+	segSpan := obs.StartTimer(r.tel.segment)
 	spans := r.seg.Segment(r.buf, r.pipeline.Cal, r.bufStart, horizon)
+	segSpan.End()
 	openSpan := false
 	for _, sp := range spans {
 		// Skip re-detections of spans already recognized: boundaries
@@ -168,6 +178,7 @@ func (r *Recognizer) poll(horizon time.Duration) []Event {
 		if !res.Ok {
 			continue
 		}
+		r.tel.strokes.Inc()
 		r.pending = append(r.pending, StrokeObservation{Motion: res.Motion, Box: res.Box, CenterX: res.CenterX, CenterY: res.CenterY})
 		events = append(events, Event{
 			Kind:   StrokeDetected,
@@ -185,7 +196,10 @@ func (r *Recognizer) poll(horizon time.Duration) []Event {
 // finishLetter composes the pending strokes and resets for the next
 // letter.
 func (r *Recognizer) finishLetter(at time.Duration) []Event {
+	span := obs.StartTimer(r.tel.grammar)
 	ch, ok := ComposeLetter(r.pending)
+	span.End()
+	r.tel.letters.Inc()
 	ev := Event{
 		Kind:     LetterDeduced,
 		At:       at,

@@ -66,7 +66,29 @@ type Config struct {
 	// without them.
 	FrameHeaderLen int
 	FrameSize      func(header []byte) int
+
+	// Observer, when set, is called once per injected fault with its
+	// kind (one of the Fault* constants). The package stays free of
+	// metric dependencies; callers typically wire this to a labeled
+	// counter. It runs on the write path with the connection's lock
+	// held — keep it fast.
+	Observer func(kind string)
 }
+
+// Fault kinds reported to Config.Observer.
+const (
+	// FaultDrop is a forced connection close (DropProb or
+	// DropAfterBytes).
+	FaultDrop = "drop"
+	// FaultCorrupt is a flipped byte.
+	FaultCorrupt = "corrupt"
+	// FaultDup is a duplicated frame.
+	FaultDup = "dup"
+	// FaultReorder is a frame held back behind its successor.
+	FaultReorder = "reorder"
+	// FaultPartial is a write split into fragments.
+	FaultPartial = "partial"
+)
 
 // framed reports whether frame-aware faults can run.
 func (c Config) framed() bool { return c.FrameHeaderLen > 0 && c.FrameSize != nil }
@@ -181,12 +203,14 @@ func (c *conn) Write(p []byte) (int, error) {
 		}
 		if c.cfg.ReorderFrameProb > 0 && c.rng.Float64() < c.cfg.ReorderFrameProb {
 			c.held = append([]byte(nil), frame...)
+			c.observe(FaultReorder)
 			continue
 		}
 		if err := c.emit(frame); err != nil {
 			return 0, err
 		}
 		if c.cfg.DupFrameProb > 0 && c.rng.Float64() < c.cfg.DupFrameProb {
+			c.observe(FaultDup)
 			if err := c.emit(frame); err != nil {
 				return 0, err
 			}
@@ -238,6 +262,7 @@ func (c *conn) emit(p []byte) error {
 		p = append([]byte(nil), p...)
 		i := c.rng.Intn(len(p))
 		p[i] ^= byte(1 + c.rng.Intn(255))
+		c.observe(FaultCorrupt)
 	}
 	// Honor a byte budget by cutting the write mid-stream.
 	if c.cfg.DropAfterBytes > 0 && c.written+int64(len(p)) > c.cfg.DropAfterBytes {
@@ -260,6 +285,7 @@ func (c *conn) writeChunks(p []byte) error {
 		_, err := c.Conn.Write(p)
 		return err
 	}
+	c.observe(FaultPartial)
 	for len(p) > 0 {
 		n := 1 + c.rng.Intn(len(p))
 		if _, err := c.Conn.Write(p[:n]); err != nil {
@@ -274,5 +300,13 @@ func (c *conn) writeChunks(p []byte) error {
 func (c *conn) drop() error {
 	c.dropped = true
 	c.Conn.Close()
+	c.observe(FaultDrop)
 	return errInjectedDrop{}
+}
+
+// observe reports an injected fault to the configured observer.
+func (c *conn) observe(kind string) {
+	if c.cfg.Observer != nil {
+		c.cfg.Observer(kind)
+	}
 }

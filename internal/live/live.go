@@ -10,10 +10,12 @@ package live
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"rfipad/internal/core"
 	"rfipad/internal/llrp"
+	"rfipad/internal/obs"
 	"rfipad/internal/tagmodel"
 )
 
@@ -29,8 +31,17 @@ type Config struct {
 	FlushAfter time.Duration
 	// OnEvent receives every recognition event as it fires (optional).
 	OnEvent func(core.Event)
-	// OnStatus receives human-readable progress lines (optional).
+	// OnStatus receives human-readable progress lines (optional,
+	// retained for callers that render raw lines; structured consumers
+	// use Logger).
 	OnStatus func(string)
+	// Logger receives structured progress records with the shared
+	// component/field convention (optional; nil disables).
+	Logger *slog.Logger
+	// Obs selects the metrics registry run telemetry lands in (nil =
+	// obs.Default()). The same registry should be handed to the
+	// llrp.Session so Result.Telemetry snapshots both.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +69,11 @@ type Result struct {
 	Reconnects int
 	// Calibrated reports whether the static prelude completed.
 	Calibrated bool
+	// Telemetry is the final snapshot of the run's metrics registry:
+	// everything the session, recognizer, and stage spans recorded, so
+	// e2e and chaos tests can assert on runtime health without
+	// scraping /metrics.
+	Telemetry obs.Snapshot
 }
 
 // ReportSource is the slice of llrp.Session the loop needs (Session
@@ -78,6 +94,18 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 			cfg.OnStatus(fmt.Sprintf(format, args...))
 		}
 	}
+	logInfo := func(msg string, args ...any) {
+		if cfg.Logger != nil {
+			cfg.Logger.Info(msg, args...)
+		}
+	}
+
+	reg := obs.Or(cfg.Obs)
+	calibratedGauge := reg.Gauge("rfipad_calibrated",
+		"Whether the static-prelude calibration completed (0 or 1).")
+	deadTagsGauge := reg.Gauge("rfipad_dead_tags",
+		"Tags the calibration flagged dead (their cells are interpolated).")
+	calibratedGauge.Set(0)
 
 	var (
 		res      Result
@@ -86,13 +114,26 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 		rec      *core.Recognizer
 		lastTime time.Duration
 	)
+	// finish stamps the session/telemetry state onto the result at
+	// every exit path, so even a failed run carries its evidence out.
+	finish := func() {
+		res.Reconnects = sess.Stats().Reconnects
+		res.Telemetry = reg.Snapshot()
+	}
 	handle := func(evs []core.Event) {
 		for _, ev := range evs {
 			switch ev.Kind {
 			case core.StrokeDetected:
 				res.Strokes++
+				if cfg.Logger != nil {
+					cfg.Logger.Debug("stroke recognized", "motion", ev.Stroke.Motion,
+						"start", ev.Span.Start, "end", ev.Span.End)
+				}
 			case core.LetterDeduced:
 				res.Letters += string(ev.Letter)
+				if cfg.Logger != nil {
+					cfg.Logger.Info("letter deduced", "letter", string(ev.Letter), "ok", ev.LetterOK)
+				}
 			}
 			if cfg.OnEvent != nil {
 				cfg.OnEvent(ev)
@@ -106,7 +147,7 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 			break
 		}
 		if err != nil {
-			res.Reconnects = sess.Stats().Reconnects
+			finish()
 			return res, err
 		}
 		for _, rep := range batch {
@@ -126,14 +167,20 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 				if reading.Time >= cfg.CalibDuration {
 					c, err := core.Calibrate(static, cfg.Grid.NumTags())
 					if err != nil {
-						res.Reconnects = sess.Stats().Reconnects
+						finish()
 						return res, fmt.Errorf("live: calibration failed: %w", err)
 					}
 					cal = c
 					static = nil
 					res.Calibrated = true
 					res.DeadTags = cal.DeadCount()
-					rec = core.NewRecognizer(core.NewPipeline(cfg.Grid, cal), nil)
+					calibratedGauge.Set(1)
+					deadTagsGauge.Set(float64(res.DeadTags))
+					pipe := core.NewPipeline(cfg.Grid, cal)
+					pipe.Obs = cfg.Obs
+					rec = core.NewRecognizer(pipe, nil)
+					logInfo("calibrated", "dead_tags", res.DeadTags,
+						"prelude", cfg.CalibDuration)
 					if res.DeadTags > 0 {
 						status("calibrated with %d dead tag(s); interpolating their cells", res.DeadTags)
 					} else {
@@ -148,6 +195,8 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 	if rec != nil {
 		handle(rec.Flush(lastTime + cfg.FlushAfter))
 	}
-	res.Reconnects = sess.Stats().Reconnects
+	finish()
+	logInfo("stream ended", "letters", res.Letters, "strokes", res.Strokes,
+		"reconnects", res.Reconnects, "dead_tags", res.DeadTags)
 	return res, nil
 }

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"rfipad/internal/obs"
 )
 
 // SessionConfig tunes a fault-tolerant reader session.
@@ -48,6 +50,11 @@ type SessionConfig struct {
 	// status events. It is called from the session's goroutines; keep
 	// it fast and do not call back into the session.
 	OnEvent func(SessionEvent)
+
+	// Obs selects the metrics registry session telemetry (connects,
+	// reconnects, resume gaps, keepalive RTT, decode errors) lands in.
+	// Nil selects obs.Default().
+	Obs *obs.Registry
 }
 
 func (c SessionConfig) withDefaults() SessionConfig {
@@ -137,6 +144,7 @@ var errReaderFault = errors.New("llrp: reader fault")
 type Session struct {
 	cfg SessionConfig
 	ctx context.Context
+	tel *sessionTel
 
 	// Consumer-goroutine-only state.
 	rng      *rand.Rand
@@ -154,6 +162,14 @@ type Session struct {
 	seenAny    bool
 	reconnects int
 	closed     bool
+	// downAt is when the current outage began (zero when the link is
+	// up or never established); connectOnce turns it into the
+	// resume-gap observation.
+	downAt time.Time
+	// pingAt/pingPending track the in-flight keepalive so its echo
+	// yields an RTT sample.
+	pingAt      time.Time
+	pingPending bool
 }
 
 // SessionStats is a point-in-time snapshot of session health.
@@ -175,6 +191,7 @@ func DialSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 	s := &Session{
 		cfg: cfg.withDefaults(),
 		ctx: ctx,
+		tel: newSessionTel(cfg.Obs),
 		rng: rand.New(rand.NewSource(cfg.JitterSeed)),
 	}
 	if err := s.connectWithRetry(); err != nil {
@@ -211,6 +228,8 @@ func (s *Session) NextReports() ([]TagReport, error) {
 				continue
 			}
 			s.noteSeen(batch)
+			s.tel.batches.Inc()
+			s.tel.reports.Add(uint64(len(batch)))
 			return batch, nil
 		}
 		if errors.Is(err, ErrStreamEnded) || errors.Is(err, errReaderFault) {
@@ -236,10 +255,12 @@ func (s *Session) readBatch(conn net.Conn, client *Client) ([]TagReport, error) 
 			if err != nil {
 				// Corrupt frame: resync is impossible on a byte
 				// stream, so treat it as a link failure.
+				s.tel.decodeErrs.Inc()
 				return nil, err
 			}
 			return reports, nil
 		case MsgKeepalive:
+			s.noteKeepaliveEcho()
 			continue
 		case MsgReaderEvent:
 			switch ClassifyEvent(msg.Payload) {
@@ -271,6 +292,7 @@ func (s *Session) connectWithRetry() error {
 			return err
 		}
 		s.attempts++
+		s.tel.retries.Inc()
 		if s.cfg.MaxAttempts > 0 && s.attempts >= s.cfg.MaxAttempts {
 			return fmt.Errorf("%w after %d attempts: %v", ErrGiveUp, s.attempts, err)
 		}
@@ -348,9 +370,17 @@ func (s *Session) connectOnce() error {
 	s.kaStop = make(chan struct{})
 	if s.seenAny {
 		s.reconnects++
+		s.tel.reconnects.Inc()
 	}
+	if !s.downAt.IsZero() {
+		s.tel.resumeGap.ObserveDuration(time.Since(s.downAt))
+		s.downAt = time.Time{}
+	}
+	s.pingPending = false
 	stop := s.kaStop
 	s.mu.Unlock()
+	s.tel.connects.Inc()
+	s.tel.connected.Set(1)
 	if s.cfg.KeepaliveInterval > 0 {
 		go s.pinger(conn, stop)
 	}
@@ -377,6 +407,10 @@ func (s *Session) pinger(conn net.Conn, stop chan struct{}) {
 			}
 			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 			err := s.client.Keepalive()
+			if err == nil && !s.pingPending {
+				s.pingAt = time.Now()
+				s.pingPending = true
+			}
 			s.mu.Unlock()
 			if err != nil {
 				// The read side will fail shortly; hasten it.
@@ -399,9 +433,25 @@ func (s *Session) dropConn(conn net.Conn, cause error) {
 	s.kaStop = nil
 	s.conn = nil
 	s.client = nil
+	s.downAt = time.Now()
 	s.mu.Unlock()
 	conn.Close()
+	s.tel.disconnects.Inc()
+	s.tel.connected.Set(0)
 	s.emit(SessionEvent{Kind: SessionDisconnected, Err: cause})
+}
+
+// noteKeepaliveEcho turns the in-flight ping's echo into an RTT
+// sample. Echoes arriving after a reconnect (pingPending cleared) are
+// ignored rather than measured across two different links.
+func (s *Session) noteKeepaliveEcho() {
+	s.mu.Lock()
+	pending, at := s.pingPending, s.pingAt
+	s.pingPending = false
+	s.mu.Unlock()
+	if pending {
+		s.tel.kaRTT.ObserveDuration(time.Since(at))
+	}
 }
 
 // resumePoint returns the timestamp to resume from.
@@ -446,6 +496,7 @@ func (s *Session) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.tel.connected.Set(0)
 	if s.kaStop != nil {
 		close(s.kaStop)
 		s.kaStop = nil

@@ -1,0 +1,44 @@
+package llrp
+
+import "rfipad/internal/obs"
+
+// sessionTel caches the session's metric handles so the hot read loop
+// never touches the registry's maps.
+type sessionTel struct {
+	connects    *obs.Counter
+	reconnects  *obs.Counter
+	disconnects *obs.Counter
+	retries     *obs.Counter
+	decodeErrs  *obs.Counter
+	batches     *obs.Counter
+	reports     *obs.Counter
+	connected   *obs.Gauge
+	resumeGap   *obs.Histogram
+	kaRTT       *obs.Histogram
+}
+
+func newSessionTel(r *obs.Registry) *sessionTel {
+	r = obs.Or(r)
+	return &sessionTel{
+		connects: r.Counter("llrp_session_connects_total",
+			"Successful connects, including reconnects."),
+		reconnects: r.Counter("llrp_session_reconnects_total",
+			"Successful stream re-establishments after the first connect."),
+		disconnects: r.Counter("llrp_session_disconnects_total",
+			"Live links lost to errors, timeouts, or injected faults."),
+		retries: r.Counter("llrp_session_retries_total",
+			"Failed connect attempts that scheduled a backoff sleep."),
+		decodeErrs: r.Counter("llrp_session_decode_errors_total",
+			"Report frames that failed to decode (corrupt stream; treated as link failure)."),
+		batches: r.Counter("llrp_session_batches_total",
+			"Report batches delivered to the consumer."),
+		reports: r.Counter("llrp_session_reports_total",
+			"Tag reports delivered to the consumer."),
+		connected: r.Gauge("llrp_session_connected",
+			"Whether a reader link is currently established (0 or 1)."),
+		resumeGap: r.Histogram("llrp_session_resume_gap_seconds",
+			"Wall-clock outage between losing a link and resuming the stream.", nil),
+		kaRTT: r.Histogram("llrp_session_keepalive_rtt_seconds",
+			"Round-trip time of keepalive pings echoed by the reader.", nil),
+	}
+}

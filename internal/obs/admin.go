@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Health is one /healthz evaluation. OK selects the HTTP status (200
+// vs 503); Detail fields are merged into the JSON body alongside
+// "status".
+type Health struct {
+	OK     bool
+	Detail map[string]any
+}
+
+// HealthFunc evaluates liveness at request time.
+type HealthFunc func() Health
+
+// AdminMux builds the admin endpoint set both daemons serve behind
+// -obs-addr:
+//
+//	/metrics         Prometheus text exposition of r
+//	/healthz         JSON health (200 ok / 503 degraded)
+//	/debug/vars      expvar (includes the Default registry mirror)
+//	/debug/pprof/*   runtime profiles
+//
+// health may be nil, in which case /healthz always reports ok.
+func AdminMux(r *Registry, health HealthFunc) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := Health{OK: true}
+		if health != nil {
+			h = health()
+		}
+		body := map[string]any{"status": "ok"}
+		if !h.OK {
+			body["status"] = "unhealthy"
+		}
+		for k, v := range h.Detail {
+			body[k] = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !h.OK {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(body)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// AdminServer is a started admin listener.
+type AdminServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartAdmin binds addr and serves AdminMux(r, health) in the
+// background. Close releases the listener.
+func StartAdmin(addr string, r *Registry, health HealthFunc) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{
+		Handler:           AdminMux(r, health),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(ln)
+	return &AdminServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
+
+// Close shuts the admin listener down.
+func (a *AdminServer) Close() error { return a.srv.Close() }

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every metric in the Prometheus text
+// exposition format (version 0.0.4): one HELP and TYPE line per
+// family, then each labeled series; histograms expand into cumulative
+// _bucket series (with le labels, +Inf last), _sum, and _count.
+// Families are ordered by name so scrapes are diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var lastFamily string
+	for _, p := range snap.Points {
+		if p.Name != lastFamily {
+			lastFamily = p.Name
+			help := r.helpFor(p.Name)
+			if help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", p.Name, escapeHelp(help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Kind); err != nil {
+				return err
+			}
+		}
+		if err := writePoint(w, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Registry) helpFor(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		return f.help
+	}
+	return ""
+}
+
+func writePoint(w io.Writer, p Point) error {
+	switch p.Kind {
+	case KindHistogram:
+		var cum uint64
+		for _, b := range p.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				le = formatFloat(b.UpperBound)
+			}
+			labels := appendLabel(p.Labels, "le", le)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", p.Name, labels, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", p.Name, formatLabels(p.Labels), formatFloat(p.Value)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", p.Name, formatLabels(p.Labels), p.Count)
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", p.Name, formatLabels(p.Labels), formatFloat(p.Value))
+		return err
+	}
+}
+
+// formatLabels renders {k="v",...} with keys sorted, or "" when empty.
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// appendLabel renders labels plus one extra pair (used for le).
+func appendLabel(labels map[string]string, key, value string) string {
+	merged := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		merged[k] = v
+	}
+	merged[key] = value
+	return formatLabels(merged)
+}
+
+// escapeLabelValue escapes backslash, double-quote, and newline per
+// the exposition format.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabelValue(s string) string { return labelEscaper.Replace(s) }
+
+// escapeHelp escapes backslash and newline (quotes are legal in HELP).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ExpvarFunc returns an expvar.Func mirroring the registry: a map of
+// "name{labels}" to values, with histograms expanded into count, sum,
+// and p50/p95/p99 estimates. Publish it under any name to surface the
+// registry on /debug/vars.
+func (r *Registry) ExpvarFunc() expvar.Func {
+	return func() any {
+		out := map[string]any{}
+		for _, p := range r.Snapshot().Points {
+			key := p.Name + formatLabels(p.Labels)
+			switch p.Kind {
+			case KindHistogram:
+				out[key] = map[string]any{
+					"count": p.Count,
+					"sum":   p.Value,
+					"p50":   finiteOrNil(p.Quantile(0.50)),
+					"p95":   finiteOrNil(p.Quantile(0.95)),
+					"p99":   finiteOrNil(p.Quantile(0.99)),
+				}
+			default:
+				out[key] = p.Value
+			}
+		}
+		return out
+	}
+}
+
+// finiteOrNil maps NaN/Inf to nil so expvar's JSON stays valid.
+func finiteOrNil(v float64) any {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("demo_requests_total", "Requests served.", L("code", "200")).Add(7)
+	r.Counter("demo_requests_total", "Requests served.", L("code", "500")).Add(1)
+	r.Gauge("demo_up", "Whether the stream is up.").Set(1)
+	h := r.Histogram("demo_latency_seconds", "Request latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP demo_requests_total Requests served.\n",
+		"# TYPE demo_requests_total counter\n",
+		`demo_requests_total{code="200"} 7` + "\n",
+		`demo_requests_total{code="500"} 1` + "\n",
+		"# TYPE demo_up gauge\n",
+		"demo_up 1\n",
+		"# TYPE demo_latency_seconds histogram\n",
+		`demo_latency_seconds_bucket{le="0.1"} 1` + "\n",
+		`demo_latency_seconds_bucket{le="1"} 2` + "\n",
+		`demo_latency_seconds_bucket{le="+Inf"} 3` + "\n",
+		"demo_latency_seconds_sum 5.55\n",
+		"demo_latency_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+
+	// HELP/TYPE must precede the family's first sample and appear once.
+	if strings.Count(out, "# TYPE demo_requests_total counter") != 1 {
+		t.Error("TYPE line should appear exactly once per family")
+	}
+	typeIdx := strings.Index(out, "# TYPE demo_requests_total")
+	sampleIdx := strings.Index(out, `demo_requests_total{code="200"}`)
+	if typeIdx > sampleIdx {
+		t.Error("TYPE line must precede samples")
+	}
+}
+
+func TestWritePrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "Line one\nline \\two.", L("path", `C:\tmp "x"`+"\n")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP esc_total Line one\nline \\two.`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc_total{path="C:\\tmp \"x\"\n"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("admin_hits_total", "hits").Add(2)
+	healthy := true
+	srv, err := StartAdmin("127.0.0.1:0", r, func() Health {
+		return Health{OK: healthy, Detail: map[string]any{"calibrated": true}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	body := get(t, base+"/metrics", http.StatusOK)
+	if !strings.Contains(body, "admin_hits_total 2") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	var h map[string]any
+	if err := json.Unmarshal([]byte(get(t, base+"/healthz", http.StatusOK)), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" || h["calibrated"] != true {
+		t.Errorf("healthz = %v", h)
+	}
+
+	healthy = false
+	if err := json.Unmarshal([]byte(get(t, base+"/healthz", http.StatusServiceUnavailable)), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "unhealthy" {
+		t.Errorf("degraded healthz = %v", h)
+	}
+
+	if body := get(t, base+"/debug/pprof/cmdline", http.StatusOK); body == "" {
+		t.Error("pprof cmdline empty")
+	}
+	if body := get(t, base+"/debug/vars", http.StatusOK); !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Error("expvar endpoint not JSON")
+	}
+}
+
+func get(t *testing.T, url string, wantStatus int) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

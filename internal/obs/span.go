@@ -1,0 +1,34 @@
+package obs
+
+import "time"
+
+// Span is one timed section of the pipeline. Spans are values, not
+// pointers: starting one is two words on the stack plus a clock read,
+// cheap enough to wrap every recognition stage of every stroke.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan opens a span recording into the histogram
+// name{stage="stage"} in r, creating it (with LatencyBuckets) on first
+// use. Call End to record. Hot paths that trace the same stage
+// repeatedly should hold the histogram and use StartTimer instead, to
+// skip the registry lookup.
+func StartSpan(r *Registry, name, help, stage string) Span {
+	return StartTimer(Or(r).Histogram(name, help, nil, L("stage", stage)))
+}
+
+// StartTimer opens a span against an already-resolved histogram.
+func StartTimer(h *Histogram) Span {
+	return Span{h: h, start: time.Now()}
+}
+
+// End closes the span, records its latency, and returns it.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.h != nil {
+		s.h.ObserveDuration(d)
+	}
+	return d
+}

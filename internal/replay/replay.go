@@ -16,6 +16,7 @@ import (
 
 	"rfipad"
 	"rfipad/internal/llrp"
+	"rfipad/internal/obs"
 )
 
 // DefaultResumeOverlap is how far before a resume point replay
@@ -35,6 +36,9 @@ type Options struct {
 	ResumeOverlap time.Duration
 	// OnComplete, when set, runs once when the capture is exhausted.
 	OnComplete func()
+	// Obs selects the metrics registry pacing telemetry lands in (nil
+	// = obs.Default()).
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -56,6 +60,12 @@ type Source struct {
 	reports []llrp.TagReport
 	opts    Options
 
+	// pacingLag records how far behind the scaled-real-time schedule
+	// each batch was served; a saturated writer or a slow consumer
+	// shows up here long before reports are visibly late downstream.
+	pacingLag *obs.Histogram
+	batches   *obs.Counter
+
 	mu       sync.Mutex
 	pos      int
 	started  time.Time
@@ -66,7 +76,16 @@ type Source struct {
 // NewSource builds a paced source over reports, which must be sorted
 // by timestamp (as Synthesize returns).
 func NewSource(reports []llrp.TagReport, opts Options) *Source {
-	return &Source{reports: reports, opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	r := obs.Or(opts.Obs)
+	return &Source{
+		reports: reports,
+		opts:    opts,
+		pacingLag: r.Histogram("replay_pacing_lag_seconds",
+			"How far behind its scaled-real-time schedule each replayed batch was served.", nil),
+		batches: r.Counter("replay_batches_total",
+			"Report batches served by replay sources."),
+	}
 }
 
 // Next implements llrp.ReportSource: it waits until the next batch's
@@ -94,11 +113,14 @@ func (s *Source) Next() ([]llrp.TagReport, bool) {
 		s.mu.Unlock()
 		time.Sleep(wait)
 		s.mu.Lock()
+	} else {
+		s.pacingLag.ObserveDuration(-wait)
 	}
 	start := s.pos
 	for s.pos < len(s.reports) && s.reports[s.pos].Timestamp < cut {
 		s.pos++
 	}
+	s.batches.Inc()
 	return s.reports[start:s.pos], true
 }
 

@@ -1,12 +1,30 @@
 #!/bin/sh
-# CI gate: vet, build, and race-test the whole module.
+# CI gate: vet, lint, build, and race-test the whole module.
 # Usage: scripts/ci.sh  (from the repo root or anywhere inside it)
+#
+# staticcheck and govulncheck run when present on PATH (the GitHub
+# workflow installs them); locally they are skipped with a note rather
+# than failing, so the gate needs nothing beyond the Go toolchain.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 echo '== go vet ./...'
 go vet ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+    echo '== staticcheck ./...'
+    staticcheck ./...
+else
+    echo '== staticcheck: not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)'
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+    echo '== govulncheck ./...'
+    govulncheck ./...
+else
+    echo '== govulncheck: not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)'
+fi
 
 echo '== go build ./...'
 go build ./...
