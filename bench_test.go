@@ -11,14 +11,19 @@ package rfipad
 // sizes.
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 	"time"
 
 	"rfipad/internal/core"
 	"rfipad/internal/dsp"
+	"rfipad/internal/engine"
 	"rfipad/internal/experiments"
+	"rfipad/internal/llrp"
+	"rfipad/internal/obs"
 )
 
 // benchCfg keeps the per-figure benches to a few seconds each.
@@ -166,6 +171,131 @@ func BenchmarkSimulatedCapture(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sim.PerformMotion(M(Horizontal, Forward), int64(i))
 	}
+}
+
+// BenchmarkRecognizerIngestSteadyState measures the marginal cost of
+// one Ingest call with ~8 s of retained history — the steady state a
+// long-running stream settles into between letters. The capture cycles
+// through a quiet stream so the cost is the recognizer's own, not
+// stroke recognition.
+func BenchmarkRecognizerIngestSteadyState(b *testing.B) {
+	sim, err := NewSimulator(SimulatorConfig{Seed: 21})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal, err := sim.Calibrate(3 * time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	quiet := sim.CollectStatic(8 * time.Second)
+	if len(quiet) == 0 {
+		b.Fatal("no quiet capture")
+	}
+	rec := sim.NewRecognizer(cal)
+	for _, r := range quiet {
+		rec.Ingest(r)
+	}
+	lap := quiet[len(quiet)-1].Time + time.Millisecond
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := quiet[i%len(quiet)]
+		r.Time += lap * time.Duration(1+i/len(quiet))
+		rec.Ingest(r)
+	}
+}
+
+// benchStreamSource replays a pre-built capture to the engine in
+// batches, unpaced, like cmd/rfipad-bench's sliceSource.
+type benchStreamSource struct {
+	reports []llrp.TagReport
+	pos     int
+}
+
+func (s *benchStreamSource) NextReports() ([]llrp.TagReport, error) {
+	const chunk = 256
+	if s.pos >= len(s.reports) {
+		return nil, llrp.ErrStreamEnded
+	}
+	end := min(s.pos+chunk, len(s.reports))
+	batch := s.reports[s.pos:end]
+	s.pos = end
+	return batch, nil
+}
+
+func (s *benchStreamSource) Stats() llrp.SessionStats { return llrp.SessionStats{} }
+
+// synthesizeCapture builds a full capture (static prelude + the word)
+// as wire reports, the same shape internal/replay serves — rebuilt
+// here because the root package cannot import replay (it imports this
+// package).
+func synthesizeCapture(b *testing.B, seed int64, word string) []llrp.TagReport {
+	b.Helper()
+	sim, err := NewSimulator(SimulatorConfig{Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reports []llrp.TagReport
+	add := func(rs []Reading, offset time.Duration) time.Duration {
+		end := offset
+		for _, r := range rs {
+			ts := offset + r.Time
+			reports = append(reports, llrp.TagReport{
+				EPC: r.EPC, AntennaID: 1, PhaseRad: r.Phase,
+				RSSdBm: r.RSS, DopplerHz: r.Doppler, Timestamp: ts,
+			})
+			end = max(end, ts)
+		}
+		return end
+	}
+	offset := add(sim.CollectStatic(3*time.Second), 0)
+	for i, ch := range word {
+		rs, _, err := sim.WriteLetter(ch, seed*100+int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		offset = add(rs, offset+2*time.Second)
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Timestamp < reports[j].Timestamp })
+	return reports
+}
+
+// BenchmarkEngineMultiStream runs 8 independent streams through the
+// sharded engine; one op is a complete multi-stream run (calibration
+// through final flush on every stream). b.N scaling happens on fresh
+// engines so per-run metrics registries don't accumulate.
+func BenchmarkEngineMultiStream(b *testing.B) {
+	const streams = 8
+	captures := make([][]llrp.TagReport, streams)
+	total := 0
+	for i := range captures {
+		captures[i] = synthesizeCapture(b, int64(40+i), "HI")
+		total += len(captures[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		eng := engine.New(engine.Config{Workers: 2, Obs: obs.NewRegistry()})
+		var wg sync.WaitGroup
+		for i := range captures {
+			id := engine.StreamID(fmt.Sprintf("stream-%02d", i))
+			src := &benchStreamSource{reports: captures[i]}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := eng.RunStream(id, src); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+		for _, res := range eng.Close() {
+			if res.Letters != "HI" {
+				b.Fatalf("stream %s recognized %q, want %q", res.ID, res.Letters, "HI")
+			}
+		}
+	}
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "readings/s")
 }
 
 func BenchmarkStreamingIngest(b *testing.B) {

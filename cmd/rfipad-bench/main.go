@@ -13,6 +13,8 @@
 //	rfipad-bench -full           # paper-scale sample sizes (slow)
 //	rfipad-bench -run table1     # one experiment
 //	rfipad-bench -pipeline       # only the pipeline bench (BENCH_pipeline.json)
+//	rfipad-bench -engine         # only the multi-stream engine bench (BENCH_engine.json)
+//	rfipad-bench -engine -engine-streams 16 -engine-workers 4
 //	rfipad-bench -trials 10 -groups 3 -seed 7
 package main
 
@@ -42,11 +44,24 @@ func run() int {
 		pipeline     = flag.Bool("pipeline", false, "run only the recognition-pipeline bench")
 		pipelineJSON = flag.String("pipeline-json", "BENCH_pipeline.json", "output path for the pipeline bench report")
 		pipelineWord = flag.String("pipeline-word", "HELLO", "word the pipeline bench recognizes")
+
+		engineBench   = flag.Bool("engine", false, "run only the sharded multi-stream engine bench")
+		engineJSON    = flag.String("engine-json", "BENCH_engine.json", "output path for the engine bench report")
+		engineStreams = flag.Int("engine-streams", 16, "concurrent streams the engine bench fans out")
+		engineWorkers = flag.Int("engine-workers", 0, "engine shard workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	if *pipeline {
 		if err := runPipelineBench(*seed, *pipelineWord, *pipelineJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	if *engineBench {
+		if err := runEngineBench(*seed, *pipelineWord, *engineStreams, *engineWorkers, *engineJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

@@ -21,7 +21,13 @@
 //
 //	rfipad-live -connect 127.0.0.1:5084 -calib 3s
 //	rfipad-live -connect 127.0.0.1:5084 -retry-max 10 -keepalive 500ms
+//	rfipad-live -connect 127.0.0.1:5084 -streams 16 -engine-workers 4
 //	rfipad-live -obs-addr 127.0.0.1:9090 -log-format json -log-level debug
+//
+// With -streams > 1 the backend opens that many sessions and fans them
+// into the sharded recognition engine (internal/engine); pair it with
+// rfipad-readerd -streams, whose successive connections serve distinct
+// capture variants.
 package main
 
 import (
@@ -30,9 +36,12 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"rfipad"
+	"rfipad/internal/engine"
 	"rfipad/internal/live"
 	"rfipad/internal/llrp"
 	"rfipad/internal/obs"
@@ -48,6 +57,9 @@ func run() int {
 		calib = flag.Duration("calib", 3*time.Second, "length of the static prelude used for calibration")
 		rows  = flag.Int("rows", 5, "tag array rows")
 		cols  = flag.Int("cols", 5, "tag array columns")
+
+		streams       = flag.Int("streams", 1, "concurrent reader sessions fed into one sharded engine (pair with rfipad-readerd -streams)")
+		engineWorkers = flag.Int("engine-workers", 0, "engine shard workers when -streams > 1 (0 = GOMAXPROCS)")
 
 		retryInitial = flag.Duration("retry-initial", 100*time.Millisecond, "first reconnect backoff delay")
 		retryMaxWait = flag.Duration("retry-max-wait", 5*time.Second, "backoff cap")
@@ -82,17 +94,28 @@ func run() int {
 	}
 
 	sessLog := obs.Component(log, "session")
-	sess, err := llrp.DialSession(context.Background(), llrp.SessionConfig{
-		Addr:              *addr,
-		BackoffInitial:    *retryInitial,
-		BackoffMax:        *retryMaxWait,
-		JitterSeed:        *retrySeed,
-		MaxAttempts:       *retryMax,
-		KeepaliveInterval: *keepalive,
-		IdleTimeout:       *idleTimeout,
-		WriteTimeout:      *writeTimeout,
-		OnEvent:           func(ev llrp.SessionEvent) { logSessionEvent(sessLog, ev) },
-	})
+	dial := func() (*llrp.Session, error) {
+		return llrp.DialSession(context.Background(), llrp.SessionConfig{
+			Addr:              *addr,
+			BackoffInitial:    *retryInitial,
+			BackoffMax:        *retryMaxWait,
+			JitterSeed:        *retrySeed,
+			MaxAttempts:       *retryMax,
+			KeepaliveInterval: *keepalive,
+			IdleTimeout:       *idleTimeout,
+			WriteTimeout:      *writeTimeout,
+			OnEvent:           func(ev llrp.SessionEvent) { logSessionEvent(sessLog, ev) },
+		})
+	}
+
+	if *streams > 1 {
+		return runEngineMode(log, dial, *addr, *streams, *engineWorkers, live.Config{
+			Grid:          rfipad.Grid{Rows: *rows, Cols: *cols},
+			CalibDuration: *calib,
+		})
+	}
+
+	sess, err := dial()
 	if err != nil {
 		log.Error("dial failed", "component", "session", "addr", *addr, "err", err)
 		return 1
@@ -120,6 +143,64 @@ func run() int {
 	}
 	fmt.Printf("stream ended; recognized %q (%d stroke(s), %d reconnect(s), %d dead tag(s))\n",
 		res.Letters, res.Strokes, res.Reconnects, res.DeadTags)
+	return 0
+}
+
+// runEngineMode fans n reader sessions into one sharded engine: each
+// successive connection to a rfipad-readerd -streams daemon receives a
+// distinct capture variant, so this drives n independent calibrations
+// and recognizers concurrently. Events stream to stdout tagged with
+// their stream ID; per-stream summaries print after every source ends.
+func runEngineMode(log *slog.Logger, dial func() (*llrp.Session, error), addr string, n, workers int, streamCfg live.Config) int {
+	eng := engine.New(engine.Config{
+		Workers: workers,
+		Stream:  streamCfg,
+		Logger:  obs.Component(log, "engine"),
+		OnEvent: func(id engine.StreamID, ev rfipad.Event) {
+			switch ev.Kind {
+			case rfipad.StrokeDetected:
+				fmt.Printf("[%s] stroke %-8v span %v–%v\n", id, ev.Stroke.Motion,
+					ev.Span.Start.Round(10*time.Millisecond), ev.Span.End.Round(10*time.Millisecond))
+			case rfipad.LetterDeduced:
+				fmt.Printf("[%s] letter %q\n", id, ev.Letter)
+			}
+		},
+	})
+	fmt.Printf("connecting %d streams to %s...\n", n, addr)
+	var (
+		wg     sync.WaitGroup
+		failed atomic.Bool
+	)
+	for i := 0; i < n; i++ {
+		sess, err := dial()
+		if err != nil {
+			log.Error("dial failed", "component", "session", "addr", addr, "stream", i, "err", err)
+			return 1
+		}
+		defer sess.Close()
+		id := engine.StreamID(fmt.Sprintf("stream-%02d", i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := eng.RunStream(id, sess); err != nil {
+				log.Error("stream failed", "component", "engine", "stream", string(id), "err", err)
+				failed.Store(true)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, res := range eng.Close() {
+		if res.Err != nil {
+			log.Error("stream ended with error", "component", "engine", "stream", string(res.ID), "err", res.Err)
+			failed.Store(true)
+			continue
+		}
+		fmt.Printf("[%s] recognized %q (%d stroke(s), %d dead tag(s))\n",
+			res.ID, res.Letters, res.Strokes, res.DeadTags)
+	}
+	if failed.Load() {
+		return 1
+	}
 	return 0
 }
 

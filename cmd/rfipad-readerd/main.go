@@ -20,6 +20,7 @@
 //
 //	rfipad-readerd -listen 127.0.0.1:5084 -word HELLO -speed 4
 //	rfipad-readerd -word HI -fault-drop-after 65536 -fault-dup 0.05
+//	rfipad-readerd -word HI -streams 16 -speed 10   # one variant per connection
 //	rfipad-readerd -obs-addr 127.0.0.1:9091 -log-format json
 //
 // Pair it with rfipad-live, which connects, calibrates from the
@@ -33,6 +34,7 @@ import (
 	"net"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"rfipad/internal/faultnet"
@@ -50,6 +52,7 @@ func run() int {
 		listen  = flag.String("listen", "127.0.0.1:5084", "TCP listen address")
 		word    = flag.String("word", "HI", "word the simulated writer performs")
 		seed    = flag.Int64("seed", 1, "simulation seed")
+		streams = flag.Int("streams", 1, "distinct capture variants: successive connections cycle through seeds seed..seed+N-1 (pair with rfipad-live -streams; variants assume fault-free links, since a reconnect advances the cycle)")
 		speed   = flag.Float64("speed", 1, "replay speed factor (higher = faster than real time)")
 		batch   = flag.Duration("batch", 50*time.Millisecond, "report batching window")
 		once    = flag.Bool("once", false, "exit after the first client finishes")
@@ -88,18 +91,31 @@ func run() int {
 	}
 
 	reg := obs.Default()
-	reports, err := replay.Synthesize(*seed, strings.ToUpper(*word), 3*time.Second)
-	if err != nil {
-		log.Error("synthesis failed", "err", err)
-		return 1
+	if *streams <= 0 {
+		*streams = 1
 	}
-	log.Info("capture synthesized", "reports", len(reports),
-		"span", reports[len(reports)-1].Timestamp.Round(time.Millisecond),
-		"word", strings.ToUpper(*word))
+	// One capture per stream variant: the same word written by distinct
+	// simulated deployments, so a multi-stream backend exercises
+	// independent calibrations and recognizer states.
+	captures := make([][]llrp.TagReport, *streams)
+	for i := range captures {
+		reports, err := replay.Synthesize(*seed+int64(i), strings.ToUpper(*word), 3*time.Second)
+		if err != nil {
+			log.Error("synthesis failed", "seed", *seed+int64(i), "err", err)
+			return 1
+		}
+		captures[i] = reports
+		log.Info("capture synthesized", "variant", i, "reports", len(reports),
+			"span", reports[len(reports)-1].Timestamp.Round(time.Millisecond),
+			"word", strings.ToUpper(*word))
+	}
+	reports := captures[0]
 
-	done := make(chan struct{}, 1)
+	done := make(chan struct{}, *streams)
+	var connSeq atomic.Int64
 	srv := llrp.NewServer(func() llrp.ReportSource {
-		return replay.NewSource(reports, replay.Options{
+		variant := int(connSeq.Add(1)-1) % len(captures)
+		return replay.NewSource(captures[variant], replay.Options{
 			Batch:         *batch,
 			Speed:         *speed,
 			ResumeOverlap: *overlap,
@@ -163,7 +179,9 @@ func run() int {
 
 	if *once {
 		go func() {
-			<-done
+			for i := 0; i < *streams; i++ {
+				<-done
+			}
 			// The source is exhausted, but a client whose link a fault
 			// just cut still needs to reconnect and replay the tail to
 			// receive the completion event. Linger until no client has

@@ -129,8 +129,8 @@ func ClassifyShapeDegraded(grid Grid, vals []float64, mask []bool, dead []bool) 
 	maxR, maxC := -1, -1
 	for _, i := range cells {
 		r, c := grid.RowCol(i)
-		minR, maxR = minInt(minR, r), maxInt(maxR, r)
-		minC, maxC = minInt(minC, c), maxInt(maxC, c)
+		minR, maxR = min(minR, r), max(maxR, r)
+		minC, maxC = min(minC, c), max(maxC, c)
 	}
 	wCells, hCells := maxC-minC+1, maxR-minR+1
 
@@ -184,7 +184,8 @@ func clickOverDeadCell(grid Grid, cells []int, dead []bool) bool {
 		compact := true
 		for _, i := range cells {
 			r, c := grid.RowCol(i)
-			if absInt(r-dr) > 1 || absInt(c-dc) > 1 {
+			// Chebyshev distance via the builtin: |x| = max(x, -x).
+			if max(r-dr, dr-r) > 1 || max(c-dc, dc-c) > 1 {
 				compact = false
 				break
 			}
@@ -194,25 +195,4 @@ func clickOverDeadCell(grid Grid, cells []int, dead []bool) bool {
 		}
 	}
 	return false
-}
-
-func absInt(a int) int {
-	if a < 0 {
-		return -a
-	}
-	return a
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

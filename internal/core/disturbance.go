@@ -62,6 +62,36 @@ type DisturbanceOptions struct {
 // weight. The result has one entry per tag; tags with fewer than two
 // reads in the window score zero.
 func DisturbanceMap(readings []Reading, cal *Calibration, opts DisturbanceOptions) []float64 {
+	return new(DisturbanceScratch).Map(readings, cal, opts)
+}
+
+// DisturbanceScratch owns every buffer one DisturbanceMap evaluation
+// needs — the per-tag series split and the phase / unwrap / smoothing
+// workspaces — so a hot caller evaluating windows repeatedly allocates
+// nothing once the buffers reach their high-water marks. The zero
+// value is ready. A scratch is not safe for concurrent use; the
+// Pipeline keeps a sync.Pool of them.
+type DisturbanceScratch struct {
+	series [][]Reading
+	phases []float64
+	un     []float64
+	sm     []float64
+	out    []float64
+}
+
+// growFloats returns a slice of exactly length n, reusing buf's backing
+// array when possible.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+// Map is DisturbanceMap through this scratch's buffers. The returned
+// slice is owned by the scratch and is invalidated by the next Map
+// call — callers that retain it must copy (GridImage already does).
+func (sc *DisturbanceScratch) Map(readings []Reading, cal *Calibration, opts DisturbanceOptions) []float64 {
 	if opts.Suppression == 0 {
 		opts.Suppression = SuppressFull
 	}
@@ -69,9 +99,13 @@ func DisturbanceMap(readings []Reading, cal *Calibration, opts DisturbanceOption
 		opts.Accumulator = AccumTotalVariation
 	}
 	n := cal.NumTags()
-	series := byTag(readings, n)
-	out := make([]float64, n)
-	for i, s := range series {
+	sc.series = byTagInto(sc.series, readings, n)
+	sc.out = growFloats(sc.out, n)
+	out := sc.out
+	for i := range out {
+		out[i] = 0
+	}
+	for i, s := range sc.series {
 		if cal.IsDead(i) {
 			// An uncalibrated tag's sporadic reads would inject garbage;
 			// its cell is interpolated from live neighbors downstream.
@@ -80,7 +114,8 @@ func DisturbanceMap(readings []Reading, cal *Calibration, opts DisturbanceOption
 		if len(s) < 2 {
 			continue
 		}
-		phases := make([]float64, len(s))
+		sc.phases = growFloats(sc.phases, len(s))
+		phases := sc.phases
 		for j, r := range s {
 			p := r.Phase
 			if opts.Suppression != SuppressNone {
@@ -93,7 +128,9 @@ func DisturbanceMap(readings []Reading, cal *Calibration, opts DisturbanceOption
 		// Smooth before accumulating: measurement noise would otherwise
 		// grow the total variation linearly with the read count, while
 		// the hand's disturbance is smooth at the MAC's sampling rate.
-		un := dsp.MovingAverage(dsp.Unwrap(phases), disturbanceSmoothWidth)
+		sc.un = dsp.UnwrapInto(sc.un, phases)
+		sc.sm = dsp.MovingAverageInto(sc.sm, sc.un, disturbanceSmoothWidth)
+		un := sc.sm
 		var acc float64
 		if opts.Accumulator == AccumNetChange {
 			if v := dsp.NetChange(un); v >= 0 {

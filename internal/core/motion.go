@@ -47,6 +47,11 @@ type Pipeline struct {
 
 	telOnce sync.Once
 	tel     *pipelineTel
+	// scratch pools DisturbanceScratch buffers: Pipelines are shared
+	// across goroutines by the experiment harness and the engine's
+	// shards each drive their own windows, so per-window workspaces
+	// are pooled rather than owned.
+	scratch sync.Pool
 }
 
 // NewPipeline builds a recognition pipeline with full diversity
@@ -69,8 +74,14 @@ func (p *Pipeline) RecognizeWindow(readings []Reading) MotionResult {
 	tel := p.telemetry()
 	tel.windows.Inc()
 
+	sc, _ := p.scratch.Get().(*DisturbanceScratch)
+	if sc == nil {
+		sc = &DisturbanceScratch{}
+	}
+	defer p.scratch.Put(sc)
+
 	span := obs.StartTimer(tel.disturbance)
-	vals := DisturbanceMap(readings, p.Cal, p.Opts)
+	vals := sc.Map(readings, p.Cal, p.Opts)
 	// Fill cells of dead (uncalibrated) tags from live neighbors so a
 	// stroke crossing a hole in the array stays one bright region.
 	vals = InterpolateDead(p.Grid, vals, p.Cal.Dead)
@@ -156,8 +167,8 @@ func (p *Pipeline) RecognizeWindow(readings []Reading) MotionResult {
 			padY = 0.5 / float64(p.Grid.Rows-1)
 		}
 		res.Box = stroke.R(
-			maxf(0, minX-padX), maxf(0, minY-padY),
-			minf(1, maxX+padX), minf(1, maxY+padY),
+			max(0, minX-padX), max(0, minY-padY),
+			min(1, maxX+padX), min(1, maxY+padY),
 		)
 		res.CenterX = cx / wSum
 		res.CenterY = cy / wSum
@@ -172,18 +183,4 @@ func (p *Pipeline) RecognizeWindow(readings []Reading) MotionResult {
 	}
 	res.Motion = stroke.M(shape.Shape, d)
 	return res
-}
-
-func minf(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -7,7 +7,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"time"
 
 	"rfipad/internal/tagmodel"
@@ -63,7 +64,20 @@ func (g Grid) Norm(index int) (x, y float64) {
 // (reconnect replay overlap, a duplicated report frame) that would
 // otherwise distort the accumulative phase difference's sample count.
 func byTag(readings []Reading, numTags int) [][]Reading {
-	out := make([][]Reading, numTags)
+	return byTagInto(nil, readings, numTags)
+}
+
+// byTagInto is byTag reusing dst's outer and per-tag backing arrays
+// when their capacities allow — the allocation-free path for callers
+// that split windows repeatedly (DisturbanceScratch).
+func byTagInto(dst [][]Reading, readings []Reading, numTags int) [][]Reading {
+	if cap(dst) < numTags {
+		dst = make([][]Reading, numTags)
+	}
+	out := dst[:numTags]
+	for i := range out {
+		out[i] = out[i][:0]
+	}
 	for _, r := range readings {
 		if r.TagIndex < 0 || r.TagIndex >= numTags {
 			continue
@@ -72,7 +86,7 @@ func byTag(readings []Reading, numTags int) [][]Reading {
 	}
 	for i := range out {
 		s := out[i]
-		sort.Slice(s, func(a, b int) bool { return s[a].Time < s[b].Time })
+		slices.SortFunc(s, func(a, b Reading) int { return cmp.Compare(a.Time, b.Time) })
 		out[i] = dedupSorted(s)
 	}
 	return out

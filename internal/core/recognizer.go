@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"rfipad/internal/obs"
@@ -38,6 +39,14 @@ type Event struct {
 // reports them and it emits stroke and letter events. It underlies the
 // "realtime reaction" requirement of §I and the response-time
 // evaluation of §V-D.
+//
+// The per-reading hot path is amortized O(1): each accepted reading
+// folds into an incremental per-frame statistics cache (segCache), and
+// full segmentation runs only when the stream crosses a frame boundary
+// — never per reading — over cached frame values instead of the raw
+// buffer. Steady-state ingest allocates nothing once the buffers reach
+// their high-water marks; the history buffer trims in place and every
+// segmentation workspace is recognizer-owned scratch.
 type Recognizer struct {
 	pipeline *Pipeline
 	seg      *Segmenter
@@ -50,9 +59,19 @@ type Recognizer struct {
 	// LetterGap is the quiet period that finalizes a letter.
 	LetterGap time.Duration
 
+	// buf holds the retained history in time order; buf[head:] is the
+	// live window. Trims advance head and compact in place once half
+	// the backing array is dead, so steady-state ingest reuses one
+	// allocation.
 	buf      []Reading
+	head     int
 	bufStart time.Duration
 	now      time.Duration
+
+	cache         *segCache
+	scratch       segScratch
+	lastPollFrame int64
+
 	// emittedEnd is the end time of the last recognized span; spans
 	// starting before it are re-detections of already-emitted strokes
 	// (segment boundaries shift slightly as the buffer grows).
@@ -61,7 +80,8 @@ type Recognizer struct {
 	lastStroke time.Duration
 }
 
-// NewRecognizer builds a streaming recognizer.
+// NewRecognizer builds a streaming recognizer. The segmenter's frame
+// geometry is captured at construction; mutate seg before, not after.
 func NewRecognizer(p *Pipeline, seg *Segmenter) *Recognizer {
 	if seg == nil {
 		seg = NewSegmenter()
@@ -70,10 +90,12 @@ func NewRecognizer(p *Pipeline, seg *Segmenter) *Recognizer {
 		pipeline:   p,
 		seg:        seg,
 		tel:        newRecognizerTel(p.Obs),
+		cache:      newSegCache(seg.FrameLen, p.Cal),
 		ConfirmGap: time.Duration(seg.WindowFrames) * seg.FrameLen,
 		// The letter gap must exceed the longest inter-stroke
 		// adjustment interval (~2 s for a slow writer).
-		LetterGap: 2500 * time.Millisecond,
+		LetterGap:     2500 * time.Millisecond,
+		lastPollFrame: -1,
 	}
 }
 
@@ -95,28 +117,41 @@ func (r *Recognizer) Ingest(rd Reading) []Event {
 		r.tel.late.Inc()
 		return nil
 	}
+	live := r.buf[r.head:]
 	// Find the insertion point from the end — O(1) for in-order
 	// streams, a short walk for transport-reordered ones.
-	i := len(r.buf)
-	for i > 0 && r.buf[i-1].Time > rd.Time {
+	i := len(live)
+	for i > 0 && live[i-1].Time > rd.Time {
 		i--
 	}
 	// Duplicate check: entries with the same timestamp sit immediately
 	// before the insertion point.
-	for j := i; j > 0 && r.buf[j-1].Time == rd.Time; j-- {
-		if r.buf[j-1].TagIndex == rd.TagIndex {
+	for j := i; j > 0 && live[j-1].Time == rd.Time; j-- {
+		if live[j-1].TagIndex == rd.TagIndex {
 			r.tel.dupes.Inc()
 			return nil
 		}
 	}
-	if i == len(r.buf) {
+	if i == len(live) {
 		r.buf = append(r.buf, rd)
 	} else {
 		r.tel.reordered.Inc()
 		r.buf = append(r.buf, Reading{})
-		copy(r.buf[i+1:], r.buf[i:])
-		r.buf[i] = rd
+		live = r.buf[r.head:]
+		copy(live[i+1:], live[i:])
+		live[i] = rd
 	}
+	r.cache.add(rd)
+	// Throttle segmentation to frame boundaries: between two
+	// boundaries every poll would see the identical complete-frame
+	// trace, so re-running it per reading only burns cycles. Late
+	// (reordered) readings dirty their old frame in the cache and are
+	// picked up at the next boundary.
+	pf := int64(r.now / r.seg.FrameLen)
+	if pf == r.lastPollFrame {
+		return nil
+	}
+	r.lastPollFrame = pf
 	return r.poll(r.now)
 }
 
@@ -126,8 +161,11 @@ func (r *Recognizer) Flush(at time.Duration) []Event {
 	if at < r.now {
 		at = r.now
 	}
-	// Push the horizon far enough that every span closes.
-	events := r.poll(at + r.ConfirmGap + time.Millisecond)
+	// Push the horizon far enough that every span closes, bypassing
+	// the frame-boundary throttle.
+	horizon := at + r.ConfirmGap + time.Millisecond
+	r.lastPollFrame = int64(horizon / r.seg.FrameLen)
+	events := r.poll(horizon)
 	if len(r.pending) > 0 {
 		events = append(events, r.finishLetter(at)...)
 	}
@@ -145,21 +183,28 @@ const minPreContext = 800 * time.Millisecond
 
 // historyKeep is how much recognized history stays in the buffer after
 // a letter is finalized, anchoring the adaptive segmentation
-// thresholds for the next one.
+// thresholds for the next one. A long-quiet stream is trimmed to the
+// same depth, so the buffer stays bounded even when nobody writes.
 const historyKeep = 8 * time.Second
 
-// poll re-segments the buffer and emits every newly closed span, plus
-// a letter when the quiet gap has elapsed and nothing is in progress.
+// poll re-segments the cached frame trace and emits every newly closed
+// span, plus a letter when the quiet gap has elapsed and nothing is in
+// progress.
 func (r *Recognizer) poll(horizon time.Duration) []Event {
 	if horizon-r.bufStart < streamWarmup {
 		return nil
 	}
 	var events []Event
 	segSpan := obs.StartTimer(r.tel.segment)
-	spans := r.seg.Segment(r.buf, r.pipeline.Cal, r.bufStart, horizon)
+	rms := r.cache.values(horizon)
+	spans := r.seg.segmentRMS(rms, r.bufStart, &r.scratch)
 	segSpan.End()
 	openSpan := false
+	var lastSpanEnd time.Duration
 	for _, sp := range spans {
+		if sp.End > lastSpanEnd {
+			lastSpanEnd = sp.End
+		}
 		// Skip re-detections of spans already recognized: boundaries
 		// wobble by a frame or two as context accumulates.
 		if sp.Start < r.emittedEnd-2*r.seg.FrameLen {
@@ -172,7 +217,7 @@ func (r *Recognizer) poll(horizon time.Duration) []Event {
 			openSpan = true
 			break // still open: more data may extend it
 		}
-		res := r.pipeline.RecognizeWindow(window(r.buf, sp.Start, sp.End))
+		res := r.pipeline.RecognizeWindow(r.window(sp.Start, sp.End))
 		r.emittedEnd = sp.End
 		r.lastStroke = sp.End
 		if !res.Ok {
@@ -189,8 +234,51 @@ func (r *Recognizer) poll(horizon time.Duration) []Event {
 	}
 	if len(r.pending) > 0 && !openSpan && horizon-r.lastStroke >= r.LetterGap {
 		events = append(events, r.finishLetter(horizon)...)
+	} else if len(r.pending) == 0 && !openSpan {
+		// Quiet-stream housekeeping: with no letter in progress the
+		// only trim trigger used to be finishLetter, so an idle stream
+		// grew its buffer forever. Trim to the same historyKeep depth a
+		// letter leaves, but only when everything being dropped is
+		// quiet (no span — detected, emitted, or skipped — reaches past
+		// the cut), so the adaptive thresholds keep their context.
+		cut := horizon - historyKeep
+		if cut > r.bufStart && lastSpanEnd < cut && r.emittedEnd < cut && r.lastStroke < cut {
+			r.trimTo(cut)
+		}
 	}
 	return events
+}
+
+// window returns the retained readings with Time in [start, end). The
+// history is time-sorted, so the window is one contiguous subslice —
+// no copy. It aliases the recognizer's buffer and is only valid until
+// the next Ingest.
+func (r *Recognizer) window(start, end time.Duration) []Reading {
+	live := r.buf[r.head:]
+	lo := sort.Search(len(live), func(i int) bool { return live[i].Time >= start })
+	hi := lo + sort.Search(len(live[lo:]), func(i int) bool { return live[lo+i].Time >= end })
+	return live[lo:hi]
+}
+
+// trimTo discards history before cut (aligned down to a frame
+// boundary so the cache's frame grid never shifts): the buffer head
+// advances and compacts in place with copy once half the backing array
+// is dead, reusing the existing allocation instead of re-growing a
+// fresh slice per letter.
+func (r *Recognizer) trimTo(cut time.Duration) {
+	cut -= cut % r.seg.FrameLen
+	if cut <= r.bufStart {
+		return
+	}
+	live := r.buf[r.head:]
+	r.head += sort.Search(len(live), func(i int) bool { return live[i].Time >= cut })
+	if r.head > len(r.buf)/2 {
+		n := copy(r.buf, r.buf[r.head:])
+		r.buf = r.buf[:n]
+		r.head = 0
+	}
+	r.bufStart = cut
+	r.cache.trimTo(cut)
 }
 
 // finishLetter composes the pending strokes and resets for the next
@@ -211,17 +299,7 @@ func (r *Recognizer) finishLetter(at time.Duration) []Event {
 	// seconds before the cut: the segmenter's adaptive thresholds need
 	// real strokes in context, or quiet-period ripple right after a
 	// letter would read as activity.
-	cut := r.lastStroke - historyKeep
-	if cut > r.bufStart {
-		var kept []Reading
-		for _, rd := range r.buf {
-			if rd.Time >= cut {
-				kept = append(kept, rd)
-			}
-		}
-		r.buf = kept
-		r.bufStart = cut
-	}
+	r.trimTo(r.lastStroke - historyKeep)
 	r.pending = nil
 	return []Event{ev}
 }

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"rfipad/internal/dsp"
+)
+
+// segCache maintains the segmenter's per-frame Eq. 11 statistics
+// incrementally so the streaming recognizer never rescans its buffer.
+// Each accepted reading folds into its frame's per-tag (Σp², count)
+// accumulators in O(1); producing the frame-RMS trace for a poll only
+// recomputes frames a reading has touched since the last poll. The
+// cache's frame grid is anchored at origin, which the recognizer keeps
+// frame-aligned, so history trims never shift frame boundaries and the
+// incremental trace stays bit-identical to Segmenter.frameRMS over the
+// same readings.
+type segCache struct {
+	frameLen time.Duration
+	n        int // tags
+	cal      *Calibration
+	factor   []float64 // Eq. 11 per-tag attenuation, fixed per calibration
+
+	origin time.Duration // stream time of frame 0; multiple of frameLen
+	sumSq  []float64     // [frame*n + tag] Σp² over the frame's samples
+	counts []int32       // [frame*n + tag] sample count
+	vals   []float64     // cached Eq. 11 value per frame
+	dirty  []bool        // frame touched since its value was computed
+}
+
+// newSegCache builds an empty cache for one calibrated stream.
+func newSegCache(frameLen time.Duration, cal *Calibration) *segCache {
+	n := cal.NumTags()
+	// The factor only attenuates (≤1): a tag noisier than typical is
+	// damped toward the typical level; quiet tags pass unchanged — the
+	// same normalization Segmenter.frameRMS applies batch-wise.
+	typBias := dsp.Median(cal.Bias)
+	factor := make([]float64, n)
+	for i := range factor {
+		f := 1.0
+		if cal.Bias[i] > 0 && typBias > 0 && cal.Bias[i] > typBias {
+			f = typBias / cal.Bias[i]
+			if f < 1.0/32 {
+				f = 1.0 / 32
+			}
+		}
+		factor[i] = f
+	}
+	return &segCache{frameLen: frameLen, n: n, cal: cal, factor: factor}
+}
+
+// frames returns the number of frames currently held.
+func (c *segCache) frames() int { return len(c.vals) }
+
+// ensure grows the cache to cover at least nFrames frames. Appends
+// reuse capacity reclaimed by trims, so a bounded stream settles into
+// zero growth.
+func (c *segCache) ensure(nFrames int) {
+	for len(c.vals) < nFrames {
+		c.vals = append(c.vals, 0)
+		c.dirty = append(c.dirty, true)
+		for k := 0; k < c.n; k++ {
+			c.sumSq = append(c.sumSq, 0)
+			c.counts = append(c.counts, 0)
+		}
+	}
+}
+
+// add folds one accepted reading into its frame's accumulators. The
+// reading's time must be >= origin (the recognizer drops older ones as
+// late). Order within and across frames is irrelevant, so transport
+// reordering needs no special handling here.
+func (c *segCache) add(rd Reading) {
+	if rd.TagIndex < 0 || rd.TagIndex >= c.n || c.cal.IsDead(rd.TagIndex) {
+		// Dead tags' sporadic reads would feed raw (unsuppressed)
+		// phases into the frame statistic — same exclusion as frameRMS.
+		return
+	}
+	if rd.Time < c.origin {
+		return
+	}
+	p := dsp.WrapSigned(rd.Phase - c.cal.MeanPhase[rd.TagIndex])
+	if math.IsNaN(p) {
+		return
+	}
+	f := int((rd.Time - c.origin) / c.frameLen)
+	c.ensure(f + 1)
+	at := f*c.n + rd.TagIndex
+	c.sumSq[at] += p * p
+	c.counts[at]++
+	c.dirty[f] = true
+}
+
+// trimTo drops every frame before newOrigin (which must be
+// frame-aligned and >= origin), compacting in place so the backing
+// arrays are reused.
+func (c *segCache) trimTo(newOrigin time.Duration) {
+	drop := int((newOrigin - c.origin) / c.frameLen)
+	if drop <= 0 {
+		return
+	}
+	if drop >= len(c.vals) {
+		c.vals = c.vals[:0]
+		c.dirty = c.dirty[:0]
+		c.sumSq = c.sumSq[:0]
+		c.counts = c.counts[:0]
+	} else {
+		nv := copy(c.vals, c.vals[drop:])
+		c.vals = c.vals[:nv]
+		nd := copy(c.dirty, c.dirty[drop:])
+		c.dirty = c.dirty[:nd]
+		ns := copy(c.sumSq, c.sumSq[drop*c.n:])
+		c.sumSq = c.sumSq[:ns]
+		nc := copy(c.counts, c.counts[drop*c.n:])
+		c.counts = c.counts[:nc]
+	}
+	c.origin = newOrigin
+}
+
+// values returns the Eq. 11 trace for every complete frame before
+// horizon, recomputing only frames marked dirty since the last call.
+// The returned slice is owned by the cache and valid until the next
+// add/trim/values call.
+func (c *segCache) values(horizon time.Duration) []float64 {
+	nFrames := int((horizon - c.origin) / c.frameLen)
+	if nFrames <= 0 {
+		return nil
+	}
+	c.ensure(nFrames)
+	for f := 0; f < nFrames; f++ {
+		if !c.dirty[f] {
+			continue
+		}
+		var sum float64
+		base := f * c.n
+		for i := 0; i < c.n; i++ {
+			if cnt := c.counts[base+i]; cnt > 0 {
+				sum += c.factor[i] * math.Sqrt(c.sumSq[base+i]/float64(cnt))
+			}
+		}
+		c.vals[f] = sum
+		c.dirty[f] = false
+	}
+	return c.vals[:nFrames]
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+	"slices"
 	"time"
 
 	"rfipad/internal/dsp"
@@ -135,9 +137,46 @@ func (g *Segmenter) frameRMS(readings []Reading, cal *Calibration, start, end ti
 // Segment detects the stroke spans in the readings between start and
 // end. The returned spans have frame granularity.
 func (g *Segmenter) Segment(readings []Reading, cal *Calibration, start, end time.Duration) []Span {
-	rms := g.frameRMS(readings, cal, start, end)
+	return g.segmentRMS(g.frameRMS(readings, cal, start, end), start, nil)
+}
+
+// segScratch holds every buffer one segmentRMS evaluation needs, so a
+// streaming caller polling once per frame allocates nothing in steady
+// state. The zero value is ready; buffers grow to the high-water mark
+// and stay there.
+type segScratch struct {
+	stds   []float64
+	seeded []float64
+	sorted []float64 // quantile workspace (copied + sorted per use)
+	active []bool
+	spans  []Span
+}
+
+// quantile computes the q-th quantile of x through the scratch's
+// sorting buffer, mirroring dsp.NewCDF(x).Quantile(q) without the
+// allocation. NaNs are dropped as CDF does.
+func (sc *segScratch) quantile(x []float64, q float64) float64 {
+	sc.sorted = sc.sorted[:0]
+	for _, v := range x {
+		if !math.IsNaN(v) {
+			sc.sorted = append(sc.sorted, v)
+		}
+	}
+	slices.Sort(sc.sorted)
+	return dsp.QuantileSorted(sc.sorted, q)
+}
+
+// segmentRMS runs the span-detection back half of Segment over an
+// already-computed per-frame RMS trace starting at start. With a nil
+// scratch it allocates fresh buffers (the batch path); the streaming
+// recognizer passes its own scratch and must consume the returned spans
+// before the next call, which reuses them.
+func (g *Segmenter) segmentRMS(rms []float64, start time.Duration, sc *segScratch) []Span {
 	if len(rms) == 0 {
 		return nil
+	}
+	if sc == nil {
+		sc = &segScratch{}
 	}
 	w := g.WindowFrames
 	if w <= 0 {
@@ -148,13 +187,20 @@ func (g *Segmenter) Segment(readings []Reading, cal *Calibration, start, end tim
 	// containing it exceeds the threshold. Sliding (rather than the
 	// strictly tiled windows of the paper) removes the 0.5 s
 	// quantization of stroke boundaries while keeping Eq. 12 intact.
-	stds := make([]float64, 0, len(rms))
+	stds := sc.stds[:0]
 	for f := 0; f+w <= len(rms); f++ {
 		stds = append(stds, dsp.Std(rms[f:f+w]))
 	}
-	thre := g.effectiveThreshold(stds)
-	active := make([]bool, len(rms))
-	var seeded []float64
+	sc.stds = stds
+	thre := g.effectiveThresholdScratch(stds, sc)
+	if cap(sc.active) < len(rms) {
+		sc.active = make([]bool, len(rms))
+	}
+	active := sc.active[:len(rms)]
+	for i := range active {
+		active[i] = false
+	}
+	seeded := sc.seeded[:0]
 	for f := 0; f+w <= len(rms); f++ {
 		if stds[f] > thre {
 			for k := f; k < f+w; k++ {
@@ -165,6 +211,7 @@ func (g *Segmenter) Segment(readings []Reading, cal *Calibration, start, end tim
 			}
 		}
 	}
+	sc.seeded = seeded
 
 	if len(seeded) == 0 {
 		return nil
@@ -174,8 +221,8 @@ func (g *Segmenter) Segment(readings []Reading, cal *Calibration, start, end tim
 	// dip mid-stroke when the disturbance plateaus. A frame whose RMS
 	// sits above the midpoint between the quiet floor and the typical
 	// active level is part of a stroke too.
-	quiet := dsp.NewCDF(rms).Quantile(adaptiveQuantile)
-	bridge := (quiet + dsp.Median(seeded)) / 2
+	quiet := sc.quantile(rms, adaptiveQuantile)
+	bridge := (quiet + sc.quantile(seeded, 0.5)) / 2
 	for f, v := range rms {
 		if v > bridge {
 			active[f] = true
@@ -185,7 +232,7 @@ func (g *Segmenter) Segment(readings []Reading, cal *Calibration, start, end tim
 	// Trim the edges of each active run back to the bridge level: this
 	// sharpens boundaries that the window-level rule blurs and discards
 	// runs that were only transition ripple.
-	var spans []Span
+	spans := sc.spans[:0]
 	f := 0
 	for f < len(active) {
 		if !active[f] {
@@ -211,6 +258,7 @@ func (g *Segmenter) Segment(readings []Reading, cal *Calibration, start, end tim
 			End:   start + time.Duration(hi)*g.FrameLen,
 		})
 	}
+	sc.spans = spans
 	merged := g.merge(spans)
 	if g.MinSpan <= 0 {
 		return merged
@@ -248,10 +296,16 @@ func (g *Segmenter) merge(spans []Span) []Span {
 // when set, otherwise the adaptive default derived from this capture's
 // window stds.
 func (g *Segmenter) effectiveThreshold(stds []float64) float64 {
+	return g.effectiveThresholdScratch(stds, &segScratch{})
+}
+
+// effectiveThresholdScratch is effectiveThreshold using the caller's
+// quantile workspace.
+func (g *Segmenter) effectiveThresholdScratch(stds []float64, sc *segScratch) float64 {
 	if g.Threshold > 0 {
 		return g.Threshold
 	}
-	thre := adaptiveK * dsp.NewCDF(stds).Quantile(adaptiveQuantile)
+	thre := adaptiveK * sc.quantile(stds, adaptiveQuantile)
 	if _, peak := dsp.MinMax(stds); peak*adaptivePeakFrac > thre {
 		thre = peak * adaptivePeakFrac
 	}

@@ -111,10 +111,26 @@ func CircularStd(x []float64) float64 {
 	return math.Sqrt(-2 * math.Log(r))
 }
 
+// growFloats returns a slice of exactly length n, reusing buf's backing
+// array when its capacity allows — the shared idiom behind the *Into
+// scratch-buffer variants.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
 // MovingAverage smooths x with a centred window of the given odd width.
 // Edges use the available shrunken window. width <= 1 returns a copy.
 func MovingAverage(x []float64, width int) []float64 {
-	out := make([]float64, len(x))
+	return MovingAverageInto(make([]float64, len(x)), x, width)
+}
+
+// MovingAverageInto is MovingAverage writing into dst, which is grown as
+// needed and returned with length len(x). dst must not alias x.
+func MovingAverageInto(dst, x []float64, width int) []float64 {
+	out := growFloats(dst, len(x))
 	if width <= 1 {
 		copy(out, x)
 		return out
@@ -218,24 +234,30 @@ func (c *CDF) P(v float64) float64 {
 
 // Quantile returns the q-th quantile (q in [0,1], clamped) of the
 // samples; NaN if there are none.
-func (c *CDF) Quantile(q float64) float64 {
-	n := len(c.sorted)
+func (c *CDF) Quantile(q float64) float64 { return QuantileSorted(c.sorted, q) }
+
+// QuantileSorted returns the q-th quantile (q in [0,1], clamped) of an
+// ascending, NaN-free sample slice — the allocation-free core of
+// CDF.Quantile for callers that maintain their own sorted scratch.
+// NaN if the slice is empty.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
 	if n == 0 {
 		return math.NaN()
 	}
 	if q <= 0 {
-		return c.sorted[0]
+		return sorted[0]
 	}
 	if q >= 1 {
-		return c.sorted[n-1]
+		return sorted[n-1]
 	}
 	pos := q * float64(n-1)
 	i := int(pos)
 	frac := pos - float64(i)
 	if i+1 >= n {
-		return c.sorted[n-1]
+		return sorted[n-1]
 	}
-	return c.sorted[i]*(1-frac) + c.sorted[i+1]*frac
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
 }
 
 // Len returns the number of retained samples.

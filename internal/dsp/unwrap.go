@@ -34,7 +34,14 @@ func WrapSigned(theta float64) float64 {
 // length. NaN samples are passed through and ignored for the jump
 // detection.
 func Unwrap(phase []float64) []float64 {
-	out := make([]float64, len(phase))
+	return UnwrapInto(make([]float64, len(phase)), phase)
+}
+
+// UnwrapInto is Unwrap writing into dst, which is grown as needed and
+// returned with length len(phase). Hot paths that unwrap per stroke
+// window reuse one buffer across calls instead of allocating.
+func UnwrapInto(dst, phase []float64) []float64 {
+	out := growFloats(dst, len(phase))
 	if len(phase) == 0 {
 		return out
 	}

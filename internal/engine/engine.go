@@ -1,0 +1,417 @@
+// Package engine is the concurrent multi-stream recognition service:
+// it shards independent tag streams by ID across a bounded worker
+// pool, running one calibrate-then-recognize state machine
+// (live.Stream) per stream. Each worker owns one mailbox and every
+// stream hashed to it, so per-stream state needs no locking; streams
+// on the same shard interleave batch by batch, so a stalled or faulted
+// source never blocks its shard siblings — it simply stops producing
+// items. Backpressure is explicit: Push never blocks and drops the
+// batch (counting it) when the shard's mailbox is full, while
+// RunStream — the source-driven path — blocks, propagating the
+// backpressure to the session it drains.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"runtime"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rfipad/internal/core"
+	"rfipad/internal/live"
+	"rfipad/internal/llrp"
+	"rfipad/internal/obs"
+)
+
+// StreamID names one independent tag stream (one plate / one reader
+// session). The ID is hashed to pick the owning shard, so a stream's
+// readings are always processed in order by a single worker.
+type StreamID string
+
+// ErrClosed is returned by source-driven feeds once Close has begun.
+var ErrClosed = errors.New("engine: closed")
+
+// Config tunes an Engine.
+type Config struct {
+	// Workers is the shard count — the bound on recognition
+	// parallelism (default GOMAXPROCS).
+	Workers int
+	// QueueDepth is each shard's mailbox capacity in batches
+	// (default 256).
+	QueueDepth int
+	// Stream is the per-stream recognition config (grid geometry,
+	// calibration prelude, flush horizon). Its OnEvent/OnStatus fields
+	// are ignored; event fan-out goes through Engine.Config.OnEvent.
+	Stream live.Config
+	// OnEvent receives every recognition event, tagged with its
+	// stream. It is called from shard goroutines — implementations
+	// must be safe for concurrent use across streams (events of one
+	// stream are always delivered sequentially).
+	OnEvent func(StreamID, core.Event)
+	// Obs selects the metrics registry the engine_* series land in
+	// (nil = obs.Default()).
+	Obs *obs.Registry
+	// Logger receives structured per-stream lifecycle records
+	// (optional; nil disables).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	return c
+}
+
+// StreamResult summarizes one stream after Close.
+type StreamResult struct {
+	// ID is the stream's name.
+	ID StreamID
+	// Letters is the recognized text.
+	Letters string
+	// Strokes counts recognized strokes.
+	Strokes int
+	// DeadTags is how many tags calibration flagged dead.
+	DeadTags int
+	// Calibrated reports whether the static prelude completed.
+	Calibrated bool
+	// Readings counts readings the stream's recognizer ingested.
+	Readings int
+	// Dropped counts readings discarded after the stream turned
+	// terminal (e.g. calibration failure). Batches dropped at the
+	// mailbox never reach the stream and are only visible in the
+	// engine_overflow_total / engine_dropped_readings_total counters.
+	Dropped int
+	// Err is the stream's terminal error, if any.
+	Err error
+}
+
+// telemetry bundles the engine_* instruments.
+type telemetry struct {
+	reg      *obs.Registry
+	streams  *obs.Gauge
+	batches  *obs.Counter
+	readings *obs.Counter
+	overflow *obs.Counter
+	droppedR *obs.Counter
+	strokes  *obs.Counter
+	letters  *obs.Counter
+	errors   *obs.Counter
+}
+
+func newTelemetry(reg *obs.Registry) *telemetry {
+	return &telemetry{
+		reg: reg,
+		streams: reg.Gauge("engine_streams",
+			"Streams the engine has seen (cumulative per run)."),
+		batches: reg.Counter("engine_batches_total",
+			"Reading batches accepted into shard mailboxes."),
+		readings: reg.Counter("engine_readings_total",
+			"Readings ingested across all streams."),
+		overflow: reg.Counter("engine_overflow_total",
+			"Batches dropped because the owning shard's mailbox was full."),
+		droppedR: reg.Counter("engine_dropped_readings_total",
+			"Readings dropped by mailbox overflow or terminal streams."),
+		strokes: reg.Counter("engine_events_total",
+			"Recognition events emitted.", obs.L("kind", "stroke")),
+		letters: reg.Counter("engine_events_total",
+			"Recognition events emitted.", obs.L("kind", "letter")),
+		errors: reg.Counter("engine_stream_errors_total",
+			"Streams that ended with a terminal error."),
+	}
+}
+
+// item is one unit of shard work: a batch of readings for a stream, or
+// a flush marker.
+type item struct {
+	id    StreamID
+	batch []core.Reading // ownership transfers to the engine on enqueue
+	enq   time.Time
+	flush bool
+}
+
+// streamState is a shard-owned stream: its recognizer state machine
+// plus the accumulating result. Only the owning shard goroutine
+// touches it.
+type streamState struct {
+	id      StreamID
+	st      *live.Stream
+	res     StreamResult
+	latency *obs.Histogram
+	flushed bool
+}
+
+type shard struct {
+	eng     *Engine
+	mail    chan item
+	stop    chan struct{}
+	streams map[StreamID]*streamState
+}
+
+// Engine is the sharded multi-stream recognition service. Build with
+// New, feed with Push or RunStream, and Close to flush every stream
+// and collect results.
+type Engine struct {
+	cfg    Config
+	tel    *telemetry
+	shards []*shard
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	mu      sync.Mutex
+	results []StreamResult
+}
+
+// New starts an engine: cfg.Workers shard goroutines, each owning a
+// mailbox of cfg.QueueDepth batches.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg, tel: newTelemetry(obs.Or(cfg.Obs))}
+	for i := 0; i < cfg.Workers; i++ {
+		s := &shard{
+			eng:     e,
+			mail:    make(chan item, cfg.QueueDepth),
+			stop:    make(chan struct{}),
+			streams: map[StreamID]*streamState{},
+		}
+		e.shards = append(e.shards, s)
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			s.run()
+		}()
+	}
+	return e
+}
+
+// shardIndex hashes a stream ID (FNV-1a) onto [0, n) without
+// allocating.
+func shardIndex(id StreamID, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+func (e *Engine) shardFor(id StreamID) *shard {
+	return e.shards[shardIndex(id, len(e.shards))]
+}
+
+// Push enqueues one batch for a stream without blocking. Ownership of
+// the slice transfers to the engine — the caller must not reuse its
+// backing array. When the owning shard's mailbox is full (or the
+// engine is closed) the batch is dropped, the overflow counters
+// advance, and Push reports false: the caller sheds load instead of
+// stalling its read loop.
+func (e *Engine) Push(id StreamID, batch []core.Reading) bool {
+	if len(batch) == 0 {
+		return true
+	}
+	if e.closed.Load() {
+		e.drop(batch)
+		return false
+	}
+	select {
+	case e.shardFor(id).mail <- item{id: id, batch: batch, enq: time.Now()}:
+		return true
+	default:
+		e.drop(batch)
+		return false
+	}
+}
+
+func (e *Engine) drop(batch []core.Reading) {
+	e.tel.overflow.Inc()
+	e.tel.droppedR.Add(uint64(len(batch)))
+}
+
+// pushWait is the blocking variant used by source-driven streams:
+// backpressure propagates to the source instead of dropping. Returns
+// false once the engine is closing.
+func (e *Engine) pushWait(it item) bool {
+	if e.closed.Load() {
+		return false
+	}
+	s := e.shardFor(it.id)
+	select {
+	case s.mail <- it:
+		return true
+	case <-s.stop:
+		return false
+	}
+}
+
+// FlushStream forces a stream's pending stroke and letter out, as if
+// its source had gone quiet past the flush horizon. Blocks until the
+// marker is enqueued (flushes are never load-shed).
+func (e *Engine) FlushStream(id StreamID) {
+	e.pushWait(item{id: id, enq: time.Now(), flush: true})
+}
+
+// RunStream drains a report source (an llrp.Session, a replay, or any
+// live.ReportSource) into the engine until the stream ends, then
+// flushes it. Blocks the calling goroutine; run one goroutine per
+// source. Batches are enqueued with backpressure — a slow shard slows
+// this source rather than dropping its readings.
+func (e *Engine) RunStream(id StreamID, src live.ReportSource) error {
+	for {
+		batch, err := src.NextReports()
+		if errors.Is(err, llrp.ErrStreamEnded) {
+			e.FlushStream(id)
+			return nil
+		}
+		if err != nil {
+			e.FlushStream(id)
+			return fmt.Errorf("engine: stream %s: %w", id, err)
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		readings := make([]core.Reading, len(batch))
+		for i, rep := range batch {
+			readings[i] = live.ReadingFromReport(rep)
+		}
+		if !e.pushWait(item{id: id, batch: readings, enq: time.Now()}) {
+			return ErrClosed
+		}
+	}
+}
+
+// Close stops intake, drains every mailbox, flushes every stream, and
+// returns the per-stream results sorted by ID. Safe to call once.
+func (e *Engine) Close() []StreamResult {
+	if e.closed.CompareAndSwap(false, true) {
+		for _, s := range e.shards {
+			close(s.stop)
+		}
+	}
+	e.wg.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	slices.SortFunc(e.results, func(a, b StreamResult) int {
+		return strings.Compare(string(a.ID), string(b.ID))
+	})
+	return e.results
+}
+
+func (s *shard) run() {
+	for {
+		select {
+		case it := <-s.mail:
+			s.handle(it)
+		case <-s.stop:
+			// Drain whatever was enqueued before the close, then
+			// flush every stream and hand the results up.
+			for {
+				select {
+				case it := <-s.mail:
+					s.handle(it)
+				default:
+					s.finish()
+					return
+				}
+			}
+		}
+	}
+}
+
+// stream fetches or creates the shard-local state for a stream.
+func (s *shard) stream(id StreamID) *streamState {
+	st, ok := s.streams[id]
+	if !ok {
+		st = &streamState{
+			id: id,
+			st: live.NewStream(s.eng.cfg.Stream),
+			latency: s.eng.tel.reg.Histogram("engine_event_latency_seconds",
+				"Enqueue-to-emission latency of recognition events.",
+				nil, obs.L("stream", string(id))),
+		}
+		st.res.ID = id
+		s.streams[id] = st
+		s.eng.tel.streams.Add(1)
+	}
+	return st
+}
+
+func (s *shard) handle(it item) {
+	st := s.stream(it.id)
+	if it.flush {
+		if !st.flushed && st.res.Err == nil {
+			st.flushed = true
+			s.deliver(st, st.st.Flush(), it.enq)
+		}
+		return
+	}
+	if st.res.Err != nil {
+		// Terminal stream (calibration failed): discard but account.
+		st.res.Dropped += len(it.batch)
+		s.eng.tel.droppedR.Add(uint64(len(it.batch)))
+		return
+	}
+	s.eng.tel.batches.Inc()
+	s.eng.tel.readings.Add(uint64(len(it.batch)))
+	for _, rd := range it.batch {
+		evs, err := st.st.Ingest(rd)
+		if err != nil {
+			st.res.Err = err
+			s.eng.tel.errors.Inc()
+			if s.eng.cfg.Logger != nil {
+				s.eng.cfg.Logger.Error("stream failed", "stream", string(st.id), "err", err)
+			}
+			return
+		}
+		st.res.Readings++
+		if !st.res.Calibrated && st.st.Calibrated() {
+			st.res.Calibrated = true
+			st.res.DeadTags = st.st.DeadTags()
+			if s.eng.cfg.Logger != nil {
+				s.eng.cfg.Logger.Info("stream calibrated",
+					"stream", string(st.id), "dead_tags", st.res.DeadTags)
+			}
+		}
+		s.deliver(st, evs, it.enq)
+	}
+}
+
+func (s *shard) deliver(st *streamState, evs []core.Event, enq time.Time) {
+	for _, ev := range evs {
+		st.latency.ObserveDuration(time.Since(enq))
+		switch ev.Kind {
+		case core.StrokeDetected:
+			st.res.Strokes++
+			s.eng.tel.strokes.Inc()
+		case core.LetterDeduced:
+			st.res.Letters += string(ev.Letter)
+			s.eng.tel.letters.Inc()
+		}
+		if s.eng.cfg.OnEvent != nil {
+			s.eng.cfg.OnEvent(st.id, ev)
+		}
+	}
+}
+
+// finish flushes every stream that has not been flushed and reports
+// the shard's results to the engine.
+func (s *shard) finish() {
+	now := time.Now()
+	results := make([]StreamResult, 0, len(s.streams))
+	for _, st := range s.streams {
+		if !st.flushed && st.res.Err == nil {
+			s.deliver(st, st.st.Flush(), now)
+		}
+		results = append(results, st.res)
+	}
+	s.eng.mu.Lock()
+	s.eng.results = append(s.eng.results, results...)
+	s.eng.mu.Unlock()
+}

@@ -16,7 +16,6 @@ import (
 	"rfipad/internal/core"
 	"rfipad/internal/llrp"
 	"rfipad/internal/obs"
-	"rfipad/internal/tagmodel"
 )
 
 // Config tunes a run.
@@ -107,13 +106,8 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 		"Tags the calibration flagged dead (their cells are interpolated).")
 	calibratedGauge.Set(0)
 
-	var (
-		res      Result
-		static   []core.Reading
-		cal      *core.Calibration
-		rec      *core.Recognizer
-		lastTime time.Duration
-	)
+	var res Result
+	st := NewStream(cfg)
 	// finish stamps the session/telemetry state onto the result at
 	// every exit path, so even a failed run carries its evidence out.
 	finish := func() {
@@ -151,50 +145,28 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 			return res, err
 		}
 		for _, rep := range batch {
-			reading := core.Reading{
-				TagIndex: tagmodel.SerialOf(rep.EPC) - 1,
-				EPC:      rep.EPC,
-				Time:     rep.Timestamp,
-				Phase:    rep.PhaseRad,
-				RSS:      rep.RSSdBm,
-				Doppler:  rep.DopplerHz,
+			evs, err := st.Ingest(ReadingFromReport(rep))
+			if err != nil {
+				finish()
+				return res, err
 			}
-			if reading.Time > lastTime {
-				lastTime = reading.Time
-			}
-			if cal == nil {
-				static = append(static, reading)
-				if reading.Time >= cfg.CalibDuration {
-					c, err := core.Calibrate(static, cfg.Grid.NumTags())
-					if err != nil {
-						finish()
-						return res, fmt.Errorf("live: calibration failed: %w", err)
-					}
-					cal = c
-					static = nil
-					res.Calibrated = true
-					res.DeadTags = cal.DeadCount()
-					calibratedGauge.Set(1)
-					deadTagsGauge.Set(float64(res.DeadTags))
-					pipe := core.NewPipeline(cfg.Grid, cal)
-					pipe.Obs = cfg.Obs
-					rec = core.NewRecognizer(pipe, nil)
-					logInfo("calibrated", "dead_tags", res.DeadTags,
-						"prelude", cfg.CalibDuration)
-					if res.DeadTags > 0 {
-						status("calibrated with %d dead tag(s); interpolating their cells", res.DeadTags)
-					} else {
-						status("calibrated; recognizing online")
-					}
+			if !res.Calibrated && st.Calibrated() {
+				res.Calibrated = true
+				res.DeadTags = st.DeadTags()
+				calibratedGauge.Set(1)
+				deadTagsGauge.Set(float64(res.DeadTags))
+				logInfo("calibrated", "dead_tags", res.DeadTags,
+					"prelude", cfg.CalibDuration)
+				if res.DeadTags > 0 {
+					status("calibrated with %d dead tag(s); interpolating their cells", res.DeadTags)
+				} else {
+					status("calibrated; recognizing online")
 				}
-				continue
 			}
-			handle(rec.Ingest(reading))
+			handle(evs)
 		}
 	}
-	if rec != nil {
-		handle(rec.Flush(lastTime + cfg.FlushAfter))
-	}
+	handle(st.Flush())
 	finish()
 	logInfo("stream ended", "letters", res.Letters, "strokes", res.Strokes,
 		"reconnects", res.Reconnects, "dead_tags", res.DeadTags)

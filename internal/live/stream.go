@@ -1,0 +1,95 @@
+package live
+
+import (
+	"fmt"
+	"time"
+
+	"rfipad/internal/core"
+	"rfipad/internal/llrp"
+	"rfipad/internal/tagmodel"
+)
+
+// Stream is the calibrate-then-recognize state machine for one tag
+// stream: it buffers the static prelude, calibrates once enough of it
+// has arrived (tolerating dead tags), then feeds every further reading
+// to an online Recognizer. Run wraps one Stream around a session;
+// engine.Engine shards many of them across workers.
+type Stream struct {
+	cfg      Config
+	static   []core.Reading
+	cal      *core.Calibration
+	rec      *core.Recognizer
+	lastTime time.Duration
+}
+
+// NewStream builds a stream state machine from the run config (only
+// Grid, CalibDuration, FlushAfter, and Obs are consulted here; event
+// fan-out stays with the caller).
+func NewStream(cfg Config) *Stream {
+	return &Stream{cfg: cfg.withDefaults()}
+}
+
+// ReadingFromReport converts one wire-format tag report into the
+// pipeline's reading record, resolving the EPC to its row-major tag
+// index.
+func ReadingFromReport(rep llrp.TagReport) core.Reading {
+	return core.Reading{
+		TagIndex: tagmodel.SerialOf(rep.EPC) - 1,
+		EPC:      rep.EPC,
+		Time:     rep.Timestamp,
+		Phase:    rep.PhaseRad,
+		RSS:      rep.RSSdBm,
+		Doppler:  rep.DopplerHz,
+	}
+}
+
+// Ingest feeds one reading. While the prelude is still accumulating it
+// returns no events; once the prelude covers CalibDuration it
+// calibrates (an error here is terminal for the stream) and every
+// later reading streams through the recognizer.
+func (s *Stream) Ingest(rd core.Reading) ([]core.Event, error) {
+	if rd.Time > s.lastTime {
+		s.lastTime = rd.Time
+	}
+	if s.rec == nil {
+		s.static = append(s.static, rd)
+		if rd.Time < s.cfg.CalibDuration {
+			return nil, nil
+		}
+		cal, err := core.Calibrate(s.static, s.cfg.Grid.NumTags())
+		if err != nil {
+			return nil, fmt.Errorf("live: calibration failed: %w", err)
+		}
+		s.cal = cal
+		s.static = nil
+		pipe := core.NewPipeline(s.cfg.Grid, cal)
+		pipe.Obs = s.cfg.Obs
+		s.rec = core.NewRecognizer(pipe, nil)
+		return nil, nil
+	}
+	return s.rec.Ingest(rd), nil
+}
+
+// Flush declares the stream over, forcing any pending stroke and
+// letter out (no-op before calibration).
+func (s *Stream) Flush() []core.Event {
+	if s.rec == nil {
+		return nil
+	}
+	return s.rec.Flush(s.lastTime + s.cfg.FlushAfter)
+}
+
+// Calibrated reports whether the static prelude completed.
+func (s *Stream) Calibrated() bool { return s.rec != nil }
+
+// DeadTags returns how many tags calibration flagged dead (0 before
+// calibration).
+func (s *Stream) DeadTags() int {
+	if s.cal == nil {
+		return 0
+	}
+	return s.cal.DeadCount()
+}
+
+// LastTime returns the largest reading timestamp seen.
+func (s *Stream) LastTime() time.Duration { return s.lastTime }

@@ -248,10 +248,3 @@ func (a *Array) PlaneLength() float64 {
 func (a *Array) GridPos(row, col float64) geo.Vec3 {
 	return a.Origin.Add(geo.V(col*a.Spacing, row*a.Spacing, 0))
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -32,4 +32,16 @@ go build ./...
 echo '== go test -race ./...'
 go test -race ./...
 
+# The exact AllocsPerRun assertions skip themselves under -race (the
+# detector allocates on instrumented paths), so run them again pure.
+echo '== alloc regression tests (pure build)'
+go test -run 'Allocs' .
+
+echo '== bench smoke (hot path + engine, 1 iteration)'
+go test -run '^$' -bench 'BenchmarkRecognizerIngestSteadyState|BenchmarkEngineMultiStream' \
+    -benchtime=1x -benchmem .
+
+echo '== engine bench report (BENCH_engine.json)'
+go run ./cmd/rfipad-bench -engine -engine-streams 8 -engine-json BENCH_engine.json
+
 echo 'CI OK'
