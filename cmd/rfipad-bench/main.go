@@ -19,9 +19,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"rfipad/internal/experiments"
@@ -29,6 +32,14 @@ import (
 
 func main() {
 	os.Exit(run())
+}
+
+// usageError prints a flag-validation failure plus usage and returns
+// exit code 2.
+func usageError(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "rfipad-bench: "+format+"\n", args...)
+	flag.Usage()
+	return 2
 }
 
 func run() int {
@@ -51,6 +62,23 @@ func run() int {
 		engineWorkers = flag.Int("engine-workers", 0, "engine shard workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	switch {
+	case *trials < 0 || *groups < 0:
+		return usageError("-trials and -groups must be non-negative")
+	case *parallel <= 0:
+		return usageError("-parallel must be positive (got %d)", *parallel)
+	case *engineStreams <= 0:
+		return usageError("-engine-streams must be positive (got %d)", *engineStreams)
+	case *engineWorkers < 0:
+		return usageError("-engine-workers must be non-negative (got %d)", *engineWorkers)
+	case *pipelineWord == "":
+		return usageError("-pipeline-word must be non-empty")
+	}
+
+	// Ctrl-C aborts between experiments instead of mid-table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *pipeline {
 		if err := runPipelineBench(*seed, *pipelineWord, *pipelineJSON); err != nil {
@@ -100,6 +128,10 @@ func run() int {
 	}
 
 	for _, e := range experiments.List() {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "interrupted")
+			return 0
+		}
 		start := time.Now()
 		res, _ := experiments.Run(e.Name, cfg)
 		fmt.Printf("=== %s (%v)\n%s\n", e.Name, time.Since(start).Round(time.Millisecond), res)

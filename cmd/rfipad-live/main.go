@@ -6,22 +6,32 @@
 // The connection is a fault-tolerant llrp.Session: if the daemon
 // restarts or the link drops mid-word, the backend reconnects with
 // capped exponential backoff and resumes the stream from its last-seen
-// timestamp, keeping whatever it already recognized. Calibration
-// tolerates dead tags; their cells are interpolated from live
-// neighbors.
+// timestamp, keeping whatever it already recognized. A circuit breaker
+// (-breaker-threshold) stops a flapping reader from burning reconnect
+// bandwidth. Calibration tolerates dead tags; their cells are
+// interpolated from live neighbors.
+//
+// With -checkpoint-dir set, calibration state is checkpointed to disk
+// (atomically, with a checksum) on a timer and on every drain; a
+// restarted backend restores a fresh-enough checkpoint and skips the
+// static prelude entirely. SIGINT/SIGTERM trigger a graceful drain:
+// in-flight batches are flushed, final telemetry is emitted, and
+// checkpoints are written before exit.
 //
 // Recognition output (strokes, letters, the final word) goes to
 // stdout; everything operational is structured logging on stderr via
 // log/slog, tagged with a component attribute (session, live). With
 // -obs-addr set, an admin listener serves Prometheus metrics
-// (/metrics), health with calibration state (/healthz), expvar
-// (/debug/vars), and pprof (/debug/pprof/).
+// (/metrics), health (/healthz), readiness for load balancers
+// (/readyz — ready only once calibration is restored-or-complete),
+// expvar (/debug/vars), and pprof (/debug/pprof/).
 //
 // Usage:
 //
 //	rfipad-live -connect 127.0.0.1:5084 -calib 3s
 //	rfipad-live -connect 127.0.0.1:5084 -retry-max 10 -keepalive 500ms
 //	rfipad-live -connect 127.0.0.1:5084 -streams 16 -engine-workers 4
+//	rfipad-live -checkpoint-dir /var/lib/rfipad -breaker-threshold 8
 //	rfipad-live -obs-addr 127.0.0.1:9090 -log-format json -log-level debug
 //
 // With -streams > 1 the backend opens that many sessions and fans them
@@ -32,12 +42,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"rfipad"
@@ -45,10 +58,20 @@ import (
 	"rfipad/internal/live"
 	"rfipad/internal/llrp"
 	"rfipad/internal/obs"
+	"rfipad/internal/supervise"
 )
 
 func main() {
 	os.Exit(run())
+}
+
+// usageError prints a flag-validation failure plus usage and returns
+// the conventional exit code 2: bad flags must die at startup, not as
+// a panic deep in the pipeline.
+func usageError(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "rfipad-live: "+format+"\n", args...)
+	flag.Usage()
+	return 2
 }
 
 func run() int {
@@ -60,6 +83,7 @@ func run() int {
 
 		streams       = flag.Int("streams", 1, "concurrent reader sessions fed into one sharded engine (pair with rfipad-readerd -streams)")
 		engineWorkers = flag.Int("engine-workers", 0, "engine shard workers when -streams > 1 (0 = GOMAXPROCS)")
+		drainTimeout  = flag.Duration("drain-timeout", 5*time.Second, "bound on mailbox drain during graceful shutdown")
 
 		retryInitial = flag.Duration("retry-initial", 100*time.Millisecond, "first reconnect backoff delay")
 		retryMaxWait = flag.Duration("retry-max-wait", 5*time.Second, "backoff cap")
@@ -69,11 +93,44 @@ func run() int {
 		idleTimeout  = flag.Duration("idle-timeout", 0, "declare the link dead after this much silence (default 4×keepalive)")
 		writeTimeout = flag.Duration("write-timeout", 5*time.Second, "per-frame write deadline")
 
-		obsAddr   = flag.String("obs-addr", "", "admin listen address serving /metrics, /healthz, /debug/pprof (empty disables)")
+		breakerThreshold = flag.Int("breaker-threshold", 8, "consecutive failed connects that open the reconnect circuit breaker (0 disables)")
+		breakerWindow    = flag.Duration("breaker-window", 30*time.Second, "failure streak window for the circuit breaker")
+		breakerCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit cool-down before a half-open probe (jittered)")
+
+		checkpointDir    = flag.String("checkpoint-dir", "", "directory for calibration checkpoints (empty disables durability)")
+		checkpointEvery  = flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint save interval")
+		checkpointMaxAge = flag.Duration("checkpoint-max-age", 15*time.Minute, "ignore checkpoints older than this and calibrate live")
+
+		obsAddr   = flag.String("obs-addr", "", "admin listen address serving /metrics, /healthz, /readyz, /debug/pprof (empty disables)")
 		logFormat = flag.String("log-format", obs.FormatText, "log output format: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
 	flag.Parse()
+
+	// Validate everything up front; a daemon that dies at flag parse is
+	// recoverable, one that panics mid-calibration is an outage.
+	switch {
+	case *rows <= 0 || *cols <= 0:
+		return usageError("-rows and -cols must be positive (got %d×%d)", *rows, *cols)
+	case *calib <= 0:
+		return usageError("-calib must be positive (got %v)", *calib)
+	case *streams <= 0:
+		return usageError("-streams must be positive (got %d)", *streams)
+	case *engineWorkers < 0:
+		return usageError("-engine-workers must be non-negative (got %d)", *engineWorkers)
+	case *drainTimeout <= 0:
+		return usageError("-drain-timeout must be positive (got %v)", *drainTimeout)
+	case *retryMax < 0:
+		return usageError("-retry-max must be non-negative (got %d)", *retryMax)
+	case *retryInitial <= 0 || *retryMaxWait <= 0:
+		return usageError("-retry-initial and -retry-max-wait must be positive")
+	case *breakerThreshold < 0:
+		return usageError("-breaker-threshold must be non-negative (got %d)", *breakerThreshold)
+	case *breakerCooldown <= 0 || *breakerWindow <= 0:
+		return usageError("-breaker-cooldown and -breaker-window must be positive")
+	case *checkpointEvery <= 0 || *checkpointMaxAge <= 0:
+		return usageError("-checkpoint-every and -checkpoint-max-age must be positive")
+	}
 
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
@@ -82,9 +139,23 @@ func run() int {
 	}
 	log := obs.NewLogger(obs.LogOptions{Format: *logFormat, Level: level})
 
+	var store *supervise.Store
+	if *checkpointDir != "" {
+		store, err = supervise.NewStore(*checkpointDir)
+		if err != nil {
+			return usageError("-checkpoint-dir: %v", err)
+		}
+	}
+
+	// SIGINT/SIGTERM cancel this context: sessions unblock with
+	// ctx.Err(), the engine drains, checkpoints are written, and the
+	// process exits cleanly instead of losing calibration state.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	reg := obs.Default()
 	if *obsAddr != "" {
-		admin, err := obs.StartAdmin(*obsAddr, reg, liveHealth(reg))
+		admin, err := obs.StartAdmin(*obsAddr, reg, liveHealth(reg), liveReady(reg))
 		if err != nil {
 			log.Error("admin listener failed", "addr", *obsAddr, "err", err)
 			return 1
@@ -95,7 +166,7 @@ func run() int {
 
 	sessLog := obs.Component(log, "session")
 	dial := func() (*llrp.Session, error) {
-		return llrp.DialSession(context.Background(), llrp.SessionConfig{
+		return llrp.DialSession(ctx, llrp.SessionConfig{
 			Addr:              *addr,
 			BackoffInitial:    *retryInitial,
 			BackoffMax:        *retryMaxWait,
@@ -104,14 +175,23 @@ func run() int {
 			KeepaliveInterval: *keepalive,
 			IdleTimeout:       *idleTimeout,
 			WriteTimeout:      *writeTimeout,
+			BreakerThreshold:  *breakerThreshold,
+			BreakerWindow:     *breakerWindow,
+			BreakerCooldown:   *breakerCooldown,
 			OnEvent:           func(ev llrp.SessionEvent) { logSessionEvent(sessLog, ev) },
 		})
 	}
 
 	if *streams > 1 {
-		return runEngineMode(log, dial, *addr, *streams, *engineWorkers, live.Config{
-			Grid:          rfipad.Grid{Rows: *rows, Cols: *cols},
-			CalibDuration: *calib,
+		return runEngineMode(log, dial, *addr, *streams, *engineWorkers, engine.Config{
+			Stream: live.Config{
+				Grid:          rfipad.Grid{Rows: *rows, Cols: *cols},
+				CalibDuration: *calib,
+			},
+			Checkpoints:      store,
+			CheckpointEvery:  *checkpointEvery,
+			CheckpointMaxAge: *checkpointMaxAge,
+			DrainTimeout:     *drainTimeout,
 		})
 	}
 
@@ -124,9 +204,12 @@ func run() int {
 	fmt.Printf("connected to %s, calibrating from the first %v...\n", *addr, *calib)
 
 	res, err := live.Run(sess, live.Config{
-		Grid:          rfipad.Grid{Rows: *rows, Cols: *cols},
-		CalibDuration: *calib,
-		Logger:        obs.Component(log, "live"),
+		Grid:             rfipad.Grid{Rows: *rows, Cols: *cols},
+		CalibDuration:    *calib,
+		Logger:           obs.Component(log, "live"),
+		Checkpoints:      store,
+		CheckpointEvery:  *checkpointEvery,
+		CheckpointMaxAge: *checkpointMaxAge,
 		OnEvent: func(ev rfipad.Event) {
 			switch ev.Kind {
 			case rfipad.StrokeDetected:
@@ -138,6 +221,14 @@ func run() int {
 		},
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			// Graceful drain: the signal context cancelled the session.
+			// The checkpoint (if enabled) was written on the way out.
+			log.Info("drained on signal", "component", "live",
+				"letters", res.Letters, "strokes", res.Strokes)
+			fmt.Printf("drained; recognized %q so far\n", res.Letters)
+			return 0
+		}
 		log.Error("run failed", "component", "live", "err", err, "partial_letters", res.Letters)
 		return 1
 	}
@@ -151,21 +242,19 @@ func run() int {
 // distinct capture variant, so this drives n independent calibrations
 // and recognizers concurrently. Events stream to stdout tagged with
 // their stream ID; per-stream summaries print after every source ends.
-func runEngineMode(log *slog.Logger, dial func() (*llrp.Session, error), addr string, n, workers int, streamCfg live.Config) int {
-	eng := engine.New(engine.Config{
-		Workers: workers,
-		Stream:  streamCfg,
-		Logger:  obs.Component(log, "engine"),
-		OnEvent: func(id engine.StreamID, ev rfipad.Event) {
-			switch ev.Kind {
-			case rfipad.StrokeDetected:
-				fmt.Printf("[%s] stroke %-8v span %v–%v\n", id, ev.Stroke.Motion,
-					ev.Span.Start.Round(10*time.Millisecond), ev.Span.End.Round(10*time.Millisecond))
-			case rfipad.LetterDeduced:
-				fmt.Printf("[%s] letter %q\n", id, ev.Letter)
-			}
-		},
-	})
+func runEngineMode(log *slog.Logger, dial func() (*llrp.Session, error), addr string, n, workers int, cfg engine.Config) int {
+	cfg.Workers = workers
+	cfg.Logger = obs.Component(log, "engine")
+	cfg.OnEvent = func(id engine.StreamID, ev rfipad.Event) {
+		switch ev.Kind {
+		case rfipad.StrokeDetected:
+			fmt.Printf("[%s] stroke %-8v span %v–%v\n", id, ev.Stroke.Motion,
+				ev.Span.Start.Round(10*time.Millisecond), ev.Span.End.Round(10*time.Millisecond))
+		case rfipad.LetterDeduced:
+			fmt.Printf("[%s] letter %q\n", id, ev.Letter)
+		}
+	}
+	eng := engine.New(cfg)
 	fmt.Printf("connecting %d streams to %s...\n", n, addr)
 	var (
 		wg     sync.WaitGroup
@@ -175,6 +264,7 @@ func runEngineMode(log *slog.Logger, dial func() (*llrp.Session, error), addr st
 		sess, err := dial()
 		if err != nil {
 			log.Error("dial failed", "component", "session", "addr", addr, "stream", i, "err", err)
+			eng.Close()
 			return 1
 		}
 		defer sess.Close()
@@ -182,7 +272,8 @@ func runEngineMode(log *slog.Logger, dial func() (*llrp.Session, error), addr st
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := eng.RunStream(id, sess); err != nil {
+			err := eng.RunStream(id, sess)
+			if err != nil && !errors.Is(err, context.Canceled) {
 				log.Error("stream failed", "component", "engine", "stream", string(id), "err", err)
 				failed.Store(true)
 			}
@@ -218,6 +309,29 @@ func liveHealth(reg *obs.Registry) obs.HealthFunc {
 				"calibrated": snap.Value("rfipad_calibrated") == 1,
 				"dead_tags":  snap.Value("rfipad_dead_tags"),
 				"reconnects": snap.Value("llrp_session_reconnects_total"),
+			},
+		}
+	}
+}
+
+// liveReady evaluates /readyz: the load-balancer gate. Ready only once
+// calibration is restored-or-complete — single-stream mode sets
+// rfipad_ready; engine mode is ready while the engine accepts pushes
+// and at least one stream has calibrated (so traffic routed here can
+// actually be recognized).
+func liveReady(reg *obs.Registry) obs.HealthFunc {
+	return func() obs.Health {
+		snap := reg.Snapshot()
+		single := snap.Value("rfipad_ready") == 1
+		engineReady := snap.Value("engine_accepting") == 1 &&
+			snap.Value("engine_streams_calibrated") > 0
+		return obs.Health{
+			OK: single || engineReady,
+			Detail: map[string]any{
+				"calibrated":         snap.Value("rfipad_calibrated") == 1,
+				"restored":           snap.Value("rfipad_calibration_restored_total"),
+				"engine_accepting":   snap.Value("engine_accepting") == 1,
+				"streams_calibrated": snap.Value("engine_streams_calibrated"),
 			},
 		}
 	}

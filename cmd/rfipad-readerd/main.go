@@ -28,13 +28,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"rfipad/internal/faultnet"
@@ -45,6 +48,14 @@ import (
 
 func main() {
 	os.Exit(run())
+}
+
+// usageError prints a flag-validation failure plus usage and returns
+// exit code 2: bad flags must die at startup, not deep in replay.
+func usageError(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "rfipad-readerd: "+format+"\n", args...)
+	flag.Usage()
+	return 2
 }
 
 func run() int {
@@ -79,21 +90,37 @@ func run() int {
 	)
 	flag.Parse()
 
+	// Validate everything up front so misconfiguration is a usage error,
+	// not a panic once a client connects.
+	switch {
+	case *speed <= 0:
+		return usageError("-speed must be positive (got %v)", *speed)
+	case *streams <= 0:
+		return usageError("-streams must be positive (got %d)", *streams)
+	case *batch <= 0:
+		return usageError("-batch must be positive (got %v)", *batch)
+	case *overlap < 0:
+		return usageError("-resume-overlap must be non-negative (got %v)", *overlap)
+	case *word == "":
+		return usageError("-word must be non-empty")
+	case *faultDropP < 0 || *faultDropP > 1 || *faultCorrupt < 0 || *faultCorrupt > 1 ||
+		*faultDup < 0 || *faultDup > 1 || *faultReorder < 0 || *faultReorder > 1:
+		return usageError("fault probabilities must be in [0,1]")
+	}
+
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
 	log := obs.Component(obs.NewLogger(obs.LogOptions{Format: *logFormat, Level: level}), "readerd")
-	if *speed <= 0 {
-		log.Error("speed must be positive")
-		return 2
-	}
+
+	// SIGINT/SIGTERM trigger a graceful drain: stop accepting, close the
+	// server, and exit 0.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	reg := obs.Default()
-	if *streams <= 0 {
-		*streams = 1
-	}
 	// One capture per stream variant: the same word written by distinct
 	// simulated deployments, so a multi-stream backend exercises
 	// independent calibrations and recognizer states.
@@ -160,6 +187,11 @@ func run() int {
 	}
 	log.Info("listening", "addr", l.Addr())
 
+	// Flips to false on signal so /readyz turns away new backends while
+	// existing connections drain.
+	var accepting atomic.Bool
+	accepting.Store(true)
+
 	if *obsAddr != "" {
 		admin, err := obs.StartAdmin(*obsAddr, reg, func() obs.Health {
 			return obs.Health{OK: true, Detail: map[string]any{
@@ -167,6 +199,10 @@ func run() int {
 				"active_conns": srv.ActiveConns(),
 				"reports":      len(reports),
 				"faults_armed": armed,
+			}}
+		}, func() obs.Health {
+			return obs.Health{OK: accepting.Load(), Detail: map[string]any{
+				"accepting": accepting.Load(),
 			}}
 		})
 		if err != nil {
@@ -198,7 +234,23 @@ func run() int {
 			srv.Close()
 		}()
 	}
-	if err := srv.Serve(wrapped); err != nil && !errors.Is(err, net.ErrClosed) {
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		if errors.Is(ctx.Err(), context.Canceled) {
+			accepting.Store(false)
+			log.Info("signal received; draining")
+			srv.Close()
+		}
+	}()
+	err = srv.Serve(wrapped)
+	if ctx.Err() != nil {
+		<-drained
+		log.Info("drained on signal")
+		return 0
+	}
+	if err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Error("serve failed", "err", err)
 		return 1
 	}

@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"rfipad"
@@ -21,6 +24,14 @@ import (
 
 func main() {
 	os.Exit(run())
+}
+
+// usageError prints a flag-validation failure plus usage and returns
+// exit code 2.
+func usageError(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "rfipad-sim: "+format+"\n", args...)
+	flag.Usage()
+	return 2
 }
 
 func run() int {
@@ -33,6 +44,20 @@ func run() int {
 		verbose   = flag.Bool("verbose", false, "print per-stroke gray maps")
 	)
 	flag.Parse()
+
+	switch {
+	case *word == "":
+		return usageError("-word must be non-empty")
+	case *location < 1 || *location > 4:
+		return usageError("-location must be 1-4 (got %d)", *location)
+	case *power <= 0:
+		return usageError("-power must be positive (got %v)", *power)
+	}
+
+	// Ctrl-C aborts between letters instead of leaving a half-printed
+	// transcript mid-stroke.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	sim, err := rfipad.NewSimulator(rfipad.SimulatorConfig{
 		Seed:       *seed,
@@ -54,6 +79,10 @@ func run() int {
 
 	var got strings.Builder
 	for i, ch := range strings.ToUpper(*word) {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "interrupted; recognized %q so far\n", got.String())
+			return 0
+		}
 		rec := sim.NewRecognizer(cal)
 		readings, dur, err := sim.WriteLetter(ch, *seed*1000+int64(i))
 		if err != nil {

@@ -109,6 +109,75 @@ func Calibrate(static []Reading, numTags int) (*Calibration, error) {
 	return c, nil
 }
 
+// CalibrationSnapshot is the serializable form of a Calibration: the
+// measured per-tag statistics without the derived weights, which
+// RestoreCalibration recomputes. It is the payload checkpointing
+// persists across process restarts.
+type CalibrationSnapshot struct {
+	MeanPhase []float64 `json:"mean_phase"`
+	Bias      []float64 `json:"bias"`
+	TVRate    []float64 `json:"tv_rate"`
+	Dead      []bool    `json:"dead"`
+}
+
+// Snapshot exports the calibration's measured state (deep copy).
+func (c *Calibration) Snapshot() CalibrationSnapshot {
+	return CalibrationSnapshot{
+		MeanPhase: append([]float64(nil), c.MeanPhase...),
+		Bias:      append([]float64(nil), c.Bias...),
+		TVRate:    append([]float64(nil), c.TVRate...),
+		Dead:      append([]bool(nil), c.Dead...),
+	}
+}
+
+// RestoreCalibration rebuilds a Calibration from a snapshot,
+// revalidating it as if it had just been measured: consistent lengths,
+// finite statistics, positive bias on live tags, and the same
+// dead-fraction bound Calibrate enforces. A snapshot that fails any
+// check returns an error so the caller falls back to live calibration
+// rather than recognizing against garbage.
+func RestoreCalibration(s CalibrationSnapshot) (*Calibration, error) {
+	n := len(s.MeanPhase)
+	if n == 0 {
+		return nil, errors.New("core: restore calibration: no tags")
+	}
+	if len(s.Bias) != n || len(s.TVRate) != n || len(s.Dead) != n {
+		return nil, fmt.Errorf("core: restore calibration: inconsistent lengths (%d/%d/%d/%d)",
+			n, len(s.Bias), len(s.TVRate), len(s.Dead))
+	}
+	c := &Calibration{
+		MeanPhase: append([]float64(nil), s.MeanPhase...),
+		Bias:      append([]float64(nil), s.Bias...),
+		TVRate:    append([]float64(nil), s.TVRate...),
+		Dead:      append([]bool(nil), s.Dead...),
+		weights:   make([]float64, n),
+	}
+	var biasSum float64
+	dead := 0
+	for i := 0; i < n; i++ {
+		if c.Dead[i] {
+			dead++
+			continue
+		}
+		if !isFinite(c.MeanPhase[i]) || !isFinite(c.Bias[i]) || !isFinite(c.TVRate[i]) {
+			return nil, fmt.Errorf("core: restore calibration: tag %d has non-finite statistics", i)
+		}
+		if c.Bias[i] <= 0 {
+			return nil, fmt.Errorf("core: restore calibration: tag %d has non-positive bias %v", i, c.Bias[i])
+		}
+		biasSum += c.Bias[i]
+	}
+	if float64(dead) > maxDeadFraction*float64(n) {
+		return nil, fmt.Errorf("core: restore calibration: %d of %d tags dead — grid too degraded", dead, n)
+	}
+	for i := range c.weights {
+		if !c.Dead[i] {
+			c.weights[i] = c.Bias[i] / biasSum
+		}
+	}
+	return c, nil
+}
+
 // DeadCount returns how many tags calibration flagged dead.
 func (c *Calibration) DeadCount() int {
 	n := 0

@@ -99,6 +99,30 @@ func NewRecognizer(p *Pipeline, seg *Segmenter) *Recognizer {
 	}
 }
 
+// SkipTo fast-forwards an empty recognizer to stream time t (aligned
+// down to a frame boundary): history before t is treated as already
+// recognized and trimmed, so readings older than t are dropped as
+// late. It is how a restored stream resumes at its checkpointed frame
+// cursor without replaying the prelude. No-op once readings have been
+// ingested or when t is not ahead of the current history start.
+func (r *Recognizer) SkipTo(t time.Duration) {
+	t -= t % r.seg.FrameLen
+	if len(r.buf) != 0 || t <= r.bufStart {
+		return
+	}
+	r.bufStart = t
+	r.now = t
+	r.emittedEnd = t
+	r.lastPollFrame = int64(t / r.seg.FrameLen)
+	r.cache.skipTo(t)
+}
+
+// FrameCursor returns the frame-aligned stream time a checkpoint
+// should resume recognition from: the newest complete frame boundary.
+func (r *Recognizer) FrameCursor() time.Duration {
+	return r.now - r.now%r.seg.FrameLen
+}
+
 // Ingest feeds one reading and returns any events it triggered.
 // Readings should arrive roughly in time order, but the recognizer
 // tolerates what a reconnecting transport produces: exact duplicates

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"rfipad/internal/obs"
+)
+
+// Sanitizer is the ingest-boundary guard: it rejects readings no
+// downstream stage could use — NaN/Inf phases, physically implausible
+// RSSI, and timestamps regressing further than the transport's
+// duplicate window — before they reach per-stream state. The
+// recognizer tolerates modest reordering and exact duplicates on its
+// own; the sanitizer exists for the pathological inputs (a corrupted
+// frame that decoded "successfully", a reader with a broken clock)
+// that would otherwise poison calibration means or segmentation
+// statistics. Rejections count into readings_rejected_total by reason.
+type Sanitizer struct {
+	// MaxRegression is how far behind the newest delivered timestamp a
+	// reading may arrive: the transport's resume overlap plus reorder
+	// tolerance (default 1 s). Older readings are clock regressions,
+	// not reordering.
+	MaxRegression time.Duration
+	// RSSMin/RSSMax bound plausible received signal strength in dBm
+	// (defaults −120 and 0: passive-tag backscatter is always well
+	// inside them).
+	RSSMin, RSSMax float64
+
+	phase *obs.Counter
+	rss   *obs.Counter
+	time  *obs.Counter
+}
+
+// NewSanitizer builds a sanitizer with default bounds, counting
+// rejections into reg (nil = obs.Default()).
+func NewSanitizer(reg *obs.Registry) *Sanitizer {
+	r := obs.Or(reg)
+	rejected := func(reason string) *obs.Counter {
+		return r.Counter("readings_rejected_total",
+			"Readings rejected at the ingest boundary, by reason.",
+			obs.L("reason", reason))
+	}
+	return &Sanitizer{
+		MaxRegression: time.Second,
+		RSSMin:        -120,
+		RSSMax:        0,
+		phase:         rejected("phase"),
+		rss:           rejected("rss"),
+		time:          rejected("time_regression"),
+	}
+}
+
+// Admit reports whether the reading is usable. newest is the stream's
+// newest previously delivered timestamp (0 before any). A rejection is
+// counted before returning false.
+func (z *Sanitizer) Admit(rd Reading, newest time.Duration) bool {
+	if !isFinite(rd.Phase) {
+		z.phase.Inc()
+		return false
+	}
+	if rd.RSS < z.RSSMin || rd.RSS > z.RSSMax {
+		z.rss.Inc()
+		return false
+	}
+	if newest > 0 && rd.Time < newest-z.MaxRegression {
+		z.time.Inc()
+		return false
+	}
+	return true
+}
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

@@ -92,6 +92,15 @@ func (c *segCache) add(rd Reading) {
 	c.dirty[f] = true
 }
 
+// skipTo re-anchors an empty cache's frame grid at origin (a multiple
+// of frameLen). Used when a restored stream resumes mid-capture; a
+// cache that already holds frames keeps its anchor.
+func (c *segCache) skipTo(origin time.Duration) {
+	if len(c.vals) == 0 && origin > c.origin {
+		c.origin = origin
+	}
+}
+
 // trimTo drops every frame before newOrigin (which must be
 // frame-aligned and >= origin), compacting in place so the backing
 // arrays are reused.

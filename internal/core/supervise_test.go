@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rfipad/internal/obs"
+)
+
+// staticCalibration measures a real calibration from a synthetic static
+// capture so snapshot tests exercise the same state production uses.
+func staticCalibration(t *testing.T, numTags int) *Calibration {
+	t.Helper()
+	var static []Reading
+	for i := 0; i < numTags; i++ {
+		for j := 0; j < 40; j++ {
+			static = append(static, Reading{
+				TagIndex: i,
+				Time:     time.Duration(j) * 25 * time.Millisecond,
+				Phase:    float64(i)*0.3 + 0.02*math.Sin(float64(j)),
+				RSS:      -55,
+			})
+		}
+	}
+	cal, err := Calibrate(static, numTags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cal
+}
+
+func TestCalibrationSnapshotRoundTrip(t *testing.T) {
+	cal := staticCalibration(t, 25)
+	snap := cal.Snapshot()
+
+	restored, err := RestoreCalibration(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumTags() != cal.NumTags() {
+		t.Fatalf("restored %d tags, want %d", restored.NumTags(), cal.NumTags())
+	}
+	for i := 0; i < cal.NumTags(); i++ {
+		if restored.MeanPhase[i] != cal.MeanPhase[i] || restored.Bias[i] != cal.Bias[i] ||
+			restored.TVRate[i] != cal.TVRate[i] || restored.Dead[i] != cal.Dead[i] {
+			t.Fatalf("tag %d statistics diverged after restore", i)
+		}
+		// Weights are derived, not persisted: the restore must recompute
+		// the identical Eq. 9 weighting.
+		if got, want := restored.Weight(i), cal.Weight(i); math.Abs(got-want) > 1e-15 {
+			t.Fatalf("tag %d weight %v, want %v", i, got, want)
+		}
+	}
+
+	// The snapshot is a deep copy: mutating it must not reach back into
+	// the live calibration.
+	snap.MeanPhase[0] = 99
+	snap.Dead[1] = true
+	if cal.MeanPhase[0] == 99 || cal.Dead[1] {
+		t.Fatal("snapshot aliases the calibration's slices")
+	}
+}
+
+func TestRestoreCalibrationRejectsGarbage(t *testing.T) {
+	good := staticCalibration(t, 8).Snapshot()
+
+	cases := map[string]func(s *CalibrationSnapshot){
+		"empty":            func(s *CalibrationSnapshot) { *s = CalibrationSnapshot{} },
+		"length mismatch":  func(s *CalibrationSnapshot) { s.Bias = s.Bias[:3] },
+		"nan mean phase":   func(s *CalibrationSnapshot) { s.MeanPhase[2] = math.NaN() },
+		"inf tv rate":      func(s *CalibrationSnapshot) { s.TVRate[0] = math.Inf(1) },
+		"zero bias":        func(s *CalibrationSnapshot) { s.Bias[1] = 0 },
+		"negative bias":    func(s *CalibrationSnapshot) { s.Bias[1] = -0.5 },
+		"mostly dead grid": func(s *CalibrationSnapshot) { s.Dead[0], s.Dead[1], s.Dead[2] = true, true, true },
+	}
+	for name, mutate := range cases {
+		s := CalibrationSnapshot{
+			MeanPhase: append([]float64(nil), good.MeanPhase...),
+			Bias:      append([]float64(nil), good.Bias...),
+			TVRate:    append([]float64(nil), good.TVRate...),
+			Dead:      append([]bool(nil), good.Dead...),
+		}
+		mutate(&s)
+		if _, err := RestoreCalibration(s); err == nil {
+			t.Errorf("%s: restore accepted a garbage snapshot", name)
+		}
+	}
+
+	// Non-finite statistics on a dead tag are fine: the tag carries no
+	// weight, so its numbers are never consulted.
+	s := good
+	s.Dead[4] = true
+	s.MeanPhase[4] = math.NaN()
+	if _, err := RestoreCalibration(s); err != nil {
+		t.Errorf("dead tag's NaN rejected: %v", err)
+	}
+}
+
+func TestSanitizerAdmit(t *testing.T) {
+	reg := obs.NewRegistry()
+	san := NewSanitizer(reg)
+	good := Reading{TagIndex: 0, Time: 5 * time.Second, Phase: 1.2, RSS: -60}
+
+	if !san.Admit(good, 5*time.Second) {
+		t.Fatal("clean reading rejected")
+	}
+
+	cases := []struct {
+		name   string
+		rd     Reading
+		newest time.Duration
+		reason string
+	}{
+		{"nan phase", Reading{Time: 5 * time.Second, Phase: math.NaN(), RSS: -60}, 5 * time.Second, "phase"},
+		{"+inf phase", Reading{Time: 5 * time.Second, Phase: math.Inf(1), RSS: -60}, 5 * time.Second, "phase"},
+		{"rss too low", Reading{Time: 5 * time.Second, Phase: 1, RSS: -150}, 5 * time.Second, "rss"},
+		{"rss positive", Reading{Time: 5 * time.Second, Phase: 1, RSS: 3}, 5 * time.Second, "rss"},
+		{"clock regression", Reading{Time: time.Second, Phase: 1, RSS: -60}, 10 * time.Second, "time_regression"},
+	}
+	for _, tc := range cases {
+		before := reg.Snapshot().Value("readings_rejected_total", obs.L("reason", tc.reason))
+		if san.Admit(tc.rd, tc.newest) {
+			t.Errorf("%s: admitted", tc.name)
+			continue
+		}
+		after := reg.Snapshot().Value("readings_rejected_total", obs.L("reason", tc.reason))
+		if after != before+1 {
+			t.Errorf("%s: readings_rejected_total{reason=%q} = %v, want %v", tc.name, tc.reason, after, before+1)
+		}
+	}
+
+	// Within the duplicate window: modest regression is reordering, not
+	// a broken clock, and passes through to the recognizer's dedup.
+	if !san.Admit(Reading{Time: 9500 * time.Millisecond, Phase: 1, RSS: -60}, 10*time.Second) {
+		t.Error("reading inside the regression window rejected")
+	}
+	// Before any delivery (newest == 0) nothing can regress.
+	if !san.Admit(Reading{Time: 0, Phase: 1, RSS: -60}, 0) {
+		t.Error("first reading rejected")
+	}
+}
+
+func TestRecognizerSkipTo(t *testing.T) {
+	cal := UniformCalibration(25)
+	grid := Grid{Rows: 5, Cols: 5}
+
+	rec := NewRecognizer(NewPipeline(grid, cal), nil)
+	frame := NewSegmenter().FrameLen
+
+	// SkipTo aligns down to a frame boundary and moves the cursor.
+	target := 7*time.Second + frame/3
+	rec.SkipTo(target)
+	want := target - target%frame
+	if got := rec.FrameCursor(); got != want {
+		t.Fatalf("FrameCursor after SkipTo = %v, want %v", got, want)
+	}
+
+	// Ingesting a reading older than the cursor must not rewind it.
+	rec.Ingest(Reading{TagIndex: 0, Time: want - 2*frame, Phase: 1, RSS: -60})
+	if got := rec.FrameCursor(); got < want {
+		t.Fatalf("late reading rewound cursor to %v", got)
+	}
+
+	// SkipTo after ingest started is a no-op: it only positions a fresh
+	// recognizer (the restore path), never discards live state.
+	rec2 := NewRecognizer(NewPipeline(grid, cal), nil)
+	rec2.Ingest(Reading{TagIndex: 0, Time: frame, Phase: 1, RSS: -60})
+	cursorBefore := rec2.FrameCursor()
+	rec2.SkipTo(time.Minute)
+	if got := rec2.FrameCursor(); got != cursorBefore {
+		t.Fatalf("SkipTo moved a live recognizer from %v to %v", cursorBefore, got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"runtime/debug"
 	"slices"
 	"strings"
 	"sync"
@@ -26,6 +27,7 @@ import (
 	"rfipad/internal/live"
 	"rfipad/internal/llrp"
 	"rfipad/internal/obs"
+	"rfipad/internal/supervise"
 )
 
 // StreamID names one independent tag stream (one plate / one reader
@@ -59,6 +61,22 @@ type Config struct {
 	// Logger receives structured per-stream lifecycle records
 	// (optional; nil disables).
 	Logger *slog.Logger
+
+	// Checkpoints, when set, makes streams durable: each stream's
+	// calibration and frame cursor are saved on calibration
+	// completion, every CheckpointEvery, and at drain; a stream whose
+	// checkpoint is fresher than CheckpointMaxAge restores at creation
+	// and skips the calibration prelude.
+	Checkpoints *supervise.Store
+	// CheckpointEvery is the periodic per-shard save interval
+	// (default 30 s).
+	CheckpointEvery time.Duration
+	// CheckpointMaxAge bounds restore staleness (default 15 min).
+	CheckpointMaxAge time.Duration
+	// DrainTimeout bounds how long Close spends handling mailbox
+	// backlog before abandoning the remainder (default 5 s). Flushes
+	// and checkpoint writes still run for every stream.
+	DrainTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +85,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 30 * time.Second
+	}
+	if c.CheckpointMaxAge <= 0 {
+		c.CheckpointMaxAge = 15 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
 	}
 	return c
 }
@@ -96,15 +123,24 @@ type StreamResult struct {
 
 // telemetry bundles the engine_* instruments.
 type telemetry struct {
-	reg      *obs.Registry
-	streams  *obs.Gauge
-	batches  *obs.Counter
-	readings *obs.Counter
-	overflow *obs.Counter
-	droppedR *obs.Counter
-	strokes  *obs.Counter
-	letters  *obs.Counter
-	errors   *obs.Counter
+	reg         *obs.Registry
+	streams     *obs.Gauge
+	calibrated  *obs.Gauge
+	quarantined *obs.Gauge
+	accepting   *obs.Gauge
+	batches     *obs.Counter
+	readings    *obs.Counter
+	rejected    *core.Sanitizer
+	overflow    *obs.Counter
+	droppedR    *obs.Counter
+	abandoned   *obs.Counter
+	strokes     *obs.Counter
+	letters     *obs.Counter
+	errors      *obs.Counter
+	panics      *obs.Counter
+	ckptSaved   *obs.Counter
+	ckptErrors  *obs.Counter
+	ckptLoaded  *obs.Counter
 }
 
 func newTelemetry(reg *obs.Registry) *telemetry {
@@ -112,20 +148,37 @@ func newTelemetry(reg *obs.Registry) *telemetry {
 		reg: reg,
 		streams: reg.Gauge("engine_streams",
 			"Streams the engine has seen (cumulative per run)."),
+		calibrated: reg.Gauge("engine_streams_calibrated",
+			"Streams whose calibration is complete or restored."),
+		quarantined: reg.Gauge("engine_streams_quarantined",
+			"Streams quarantined after a panic in their handler."),
+		accepting: reg.Gauge("engine_accepting",
+			"Whether the engine is accepting pushes (0 once Close begins)."),
 		batches: reg.Counter("engine_batches_total",
 			"Reading batches accepted into shard mailboxes."),
 		readings: reg.Counter("engine_readings_total",
 			"Readings ingested across all streams."),
+		rejected: core.NewSanitizer(reg),
 		overflow: reg.Counter("engine_overflow_total",
 			"Batches dropped because the owning shard's mailbox was full."),
 		droppedR: reg.Counter("engine_dropped_readings_total",
 			"Readings dropped by mailbox overflow or terminal streams."),
+		abandoned: reg.Counter("engine_drain_abandoned_total",
+			"Batches abandoned because the drain deadline expired at Close."),
 		strokes: reg.Counter("engine_events_total",
 			"Recognition events emitted.", obs.L("kind", "stroke")),
 		letters: reg.Counter("engine_events_total",
 			"Recognition events emitted.", obs.L("kind", "letter")),
 		errors: reg.Counter("engine_stream_errors_total",
 			"Streams that ended with a terminal error."),
+		panics: reg.Counter("engine_stream_panics_total",
+			"Panics recovered in stream handlers (each quarantines its stream)."),
+		ckptSaved: reg.Counter("engine_checkpoints_saved_total",
+			"Stream calibration checkpoints written."),
+		ckptErrors: reg.Counter("engine_checkpoint_errors_total",
+			"Checkpoint writes that failed."),
+		ckptLoaded: reg.Counter("engine_checkpoints_restored_total",
+			"Streams whose calibration was restored from a checkpoint."),
 	}
 }
 
@@ -147,6 +200,9 @@ type streamState struct {
 	res     StreamResult
 	latency *obs.Histogram
 	flushed bool
+	// quarantined marks a stream whose handler panicked: its state
+	// was dropped and every later item is discarded (but accounted).
+	quarantined bool
 }
 
 type shard struct {
@@ -175,6 +231,7 @@ type Engine struct {
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{cfg: cfg, tel: newTelemetry(obs.Or(cfg.Obs))}
+	e.tel.accepting.Set(1)
 	for i := 0; i < cfg.Workers; i++ {
 		s := &shard{
 			eng:     e,
@@ -263,7 +320,22 @@ func (e *Engine) FlushStream(id StreamID) {
 // flushes it. Blocks the calling goroutine; run one goroutine per
 // source. Batches are enqueued with backpressure — a slow shard slows
 // this source rather than dropping its readings.
-func (e *Engine) RunStream(id StreamID, src live.ReportSource) error {
+//
+// The drain runs under a recover boundary: a panicking source turns
+// into a terminal error for this stream (flushed and counted), never
+// a crashed worker pool.
+func (e *Engine) RunStream(id StreamID, src live.ReportSource) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.tel.panics.Inc()
+			if e.cfg.Logger != nil {
+				e.cfg.Logger.Error("stream source panicked",
+					"stream", string(id), "panic", fmt.Sprint(r), "stack", string(debug.Stack()))
+			}
+			e.FlushStream(id)
+			err = fmt.Errorf("engine: stream %s: source panicked: %v", id, r)
+		}
+	}()
 	for {
 		batch, err := src.NextReports()
 		if errors.Is(err, llrp.ErrStreamEnded) {
@@ -287,15 +359,32 @@ func (e *Engine) RunStream(id StreamID, src live.ReportSource) error {
 	}
 }
 
-// Close stops intake, drains every mailbox, flushes every stream, and
-// returns the per-stream results sorted by ID. Safe to call once.
+// Close stops intake, drains every mailbox (bounded by DrainTimeout),
+// flushes every stream, writes final checkpoints, and returns the
+// per-stream results sorted by ID. Safe to call once.
 func (e *Engine) Close() []StreamResult {
 	if e.closed.CompareAndSwap(false, true) {
+		e.tel.accepting.Set(0)
 		for _, s := range e.shards {
 			close(s.stop)
 		}
 	}
 	e.wg.Wait()
+	if e.cfg.Logger != nil {
+		// Final telemetry: the run's aggregate counters, so a drained
+		// daemon leaves its evidence in the log even if nobody scraped
+		// /metrics in time.
+		e.cfg.Logger.Info("engine drained",
+			"streams", e.tel.streams.Value(),
+			"batches", e.tel.batches.Value(),
+			"readings", e.tel.readings.Value(),
+			"dropped_readings", e.tel.droppedR.Value(),
+			"abandoned_batches", e.tel.abandoned.Value(),
+			"stream_errors", e.tel.errors.Value(),
+			"panics", e.tel.panics.Value(),
+			"quarantined", e.tel.quarantined.Value(),
+			"checkpoints_saved", e.tel.ckptSaved.Value())
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	slices.SortFunc(e.results, func(a, b StreamResult) int {
@@ -305,16 +394,32 @@ func (e *Engine) Close() []StreamResult {
 }
 
 func (s *shard) run() {
+	var tick <-chan time.Time
+	if s.eng.cfg.Checkpoints != nil {
+		t := time.NewTicker(s.eng.cfg.CheckpointEvery)
+		defer t.Stop()
+		tick = t.C
+	}
 	for {
 		select {
 		case it := <-s.mail:
 			s.handle(it)
+		case <-tick:
+			s.checkpointAll()
 		case <-s.stop:
-			// Drain whatever was enqueued before the close, then
-			// flush every stream and hand the results up.
+			// Drain whatever was enqueued before the close — bounded
+			// by the drain deadline so a flooded mailbox cannot hold
+			// shutdown hostage — then flush every stream, write final
+			// checkpoints, and hand the results up.
+			deadline := time.Now().Add(s.eng.cfg.DrainTimeout)
 			for {
 				select {
 				case it := <-s.mail:
+					if time.Now().After(deadline) {
+						s.eng.tel.abandoned.Inc()
+						s.eng.tel.droppedR.Add(uint64(len(it.batch)))
+						continue
+					}
 					s.handle(it)
 				default:
 					s.finish()
@@ -325,26 +430,62 @@ func (s *shard) run() {
 	}
 }
 
-// stream fetches or creates the shard-local state for a stream.
+// stream fetches or creates the shard-local state for a stream. A new
+// stream with a fresh-enough checkpoint restores from it, skipping the
+// calibration prelude.
 func (s *shard) stream(id StreamID) *streamState {
 	st, ok := s.streams[id]
-	if !ok {
-		st = &streamState{
-			id: id,
-			st: live.NewStream(s.eng.cfg.Stream),
-			latency: s.eng.tel.reg.Histogram("engine_event_latency_seconds",
-				"Enqueue-to-emission latency of recognition events.",
-				nil, obs.L("stream", string(id))),
-		}
-		st.res.ID = id
-		s.streams[id] = st
-		s.eng.tel.streams.Add(1)
+	if ok {
+		return st
 	}
+	st = &streamState{
+		id: id,
+		latency: s.eng.tel.reg.Histogram("engine_event_latency_seconds",
+			"Enqueue-to-emission latency of recognition events.",
+			nil, obs.L("stream", string(id))),
+	}
+	st.res.ID = id
+	if store := s.eng.cfg.Checkpoints; store != nil {
+		if cp, err := store.LoadFresh(string(id), s.eng.cfg.CheckpointMaxAge); err == nil {
+			if restored, rerr := live.RestoreStream(s.eng.cfg.Stream, cp); rerr == nil {
+				st.st = restored
+				st.res.Calibrated = true
+				st.res.DeadTags = restored.DeadTags()
+				s.eng.tel.ckptLoaded.Inc()
+				s.eng.tel.calibrated.Add(1)
+				if s.eng.cfg.Logger != nil {
+					s.eng.cfg.Logger.Info("stream calibration restored",
+						"stream", string(id), "saved_at", cp.SavedAt,
+						"stream_time", cp.StreamTime, "dead_tags", st.res.DeadTags)
+				}
+			} else if s.eng.cfg.Logger != nil {
+				s.eng.cfg.Logger.Warn("stream checkpoint unusable; calibrating live",
+					"stream", string(id), "err", rerr)
+			}
+		} else if !errors.Is(err, supervise.ErrNoCheckpoint) && s.eng.cfg.Logger != nil {
+			s.eng.cfg.Logger.Warn("stream checkpoint load failed; calibrating live",
+				"stream", string(id), "err", err)
+		}
+	}
+	if st.st == nil {
+		st.st = live.NewStream(s.eng.cfg.Stream)
+	}
+	s.streams[id] = st
+	s.eng.tel.streams.Add(1)
 	return st
 }
 
+// handle processes one item under the shard's recover boundary: a
+// panic anywhere in the stream's state machine (or the caller's
+// OnEvent) quarantines that stream while its shard siblings keep
+// flowing.
 func (s *shard) handle(it item) {
 	st := s.stream(it.id)
+	defer func() {
+		if r := recover(); r != nil {
+			s.quarantine(st, r)
+		}
+	}()
 	if it.flush {
 		if !st.flushed && st.res.Err == nil {
 			st.flushed = true
@@ -353,7 +494,8 @@ func (s *shard) handle(it item) {
 		return
 	}
 	if st.res.Err != nil {
-		// Terminal stream (calibration failed): discard but account.
+		// Terminal stream (calibration failed or quarantined):
+		// discard but account.
 		st.res.Dropped += len(it.batch)
 		s.eng.tel.droppedR.Add(uint64(len(it.batch)))
 		return
@@ -361,6 +503,9 @@ func (s *shard) handle(it item) {
 	s.eng.tel.batches.Inc()
 	s.eng.tel.readings.Add(uint64(len(it.batch)))
 	for _, rd := range it.batch {
+		if !s.eng.tel.rejected.Admit(rd, st.st.LastTime()) {
+			continue
+		}
 		evs, err := st.st.Ingest(rd)
 		if err != nil {
 			st.res.Err = err
@@ -374,12 +519,62 @@ func (s *shard) handle(it item) {
 		if !st.res.Calibrated && st.st.Calibrated() {
 			st.res.Calibrated = true
 			st.res.DeadTags = st.st.DeadTags()
+			s.eng.tel.calibrated.Add(1)
+			s.checkpoint(st)
 			if s.eng.cfg.Logger != nil {
 				s.eng.cfg.Logger.Info("stream calibrated",
 					"stream", string(st.id), "dead_tags", st.res.DeadTags)
 			}
 		}
 		s.deliver(st, evs, it.enq)
+	}
+}
+
+// quarantine isolates a stream whose handler panicked: its state is
+// dropped (nothing more will be recognized), later items are
+// discarded, and the panic is logged with its stack. Shard siblings
+// are untouched — the next mailbox item processes normally.
+func (s *shard) quarantine(st *streamState, cause any) {
+	st.quarantined = true
+	st.st = nil // drop the stream's state; every guard checks Err first
+	st.flushed = true
+	if st.res.Err == nil {
+		st.res.Err = fmt.Errorf("engine: stream %s quarantined: panic: %v", st.id, cause)
+		s.eng.tel.errors.Inc()
+	}
+	s.eng.tel.panics.Inc()
+	s.eng.tel.quarantined.Add(1)
+	if s.eng.cfg.Logger != nil {
+		s.eng.cfg.Logger.Error("stream handler panicked; stream quarantined",
+			"stream", string(st.id), "panic", fmt.Sprint(cause),
+			"stack", string(debug.Stack()))
+	}
+}
+
+// checkpoint persists one stream's calibration state, when enabled.
+func (s *shard) checkpoint(st *streamState) {
+	store := s.eng.cfg.Checkpoints
+	if store == nil || st.quarantined || st.st == nil {
+		return
+	}
+	cp, ok := st.st.Checkpoint(string(st.id))
+	if !ok {
+		return
+	}
+	if err := store.Save(cp); err != nil {
+		s.eng.tel.ckptErrors.Inc()
+		if s.eng.cfg.Logger != nil {
+			s.eng.cfg.Logger.Warn("checkpoint save failed", "stream", string(st.id), "err", err)
+		}
+		return
+	}
+	s.eng.tel.ckptSaved.Inc()
+}
+
+// checkpointAll persists every calibrated stream on the shard.
+func (s *shard) checkpointAll() {
+	for _, st := range s.streams {
+		s.checkpoint(st)
 	}
 }
 
@@ -400,15 +595,25 @@ func (s *shard) deliver(st *streamState, evs []core.Event, enq time.Time) {
 	}
 }
 
-// finish flushes every stream that has not been flushed and reports
-// the shard's results to the engine.
+// finish flushes every stream that has not been flushed (each under
+// its own recover boundary — a panicking final flush quarantines that
+// stream, not the drain), writes final checkpoints, and reports the
+// shard's results to the engine.
 func (s *shard) finish() {
 	now := time.Now()
 	results := make([]StreamResult, 0, len(s.streams))
 	for _, st := range s.streams {
 		if !st.flushed && st.res.Err == nil {
-			s.deliver(st, st.st.Flush(), now)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						s.quarantine(st, r)
+					}
+				}()
+				s.deliver(st, st.st.Flush(), now)
+			}()
 		}
+		s.checkpoint(st)
 		results = append(results, st.res)
 	}
 	s.eng.mu.Lock()

@@ -16,6 +16,7 @@ import (
 	"rfipad/internal/core"
 	"rfipad/internal/llrp"
 	"rfipad/internal/obs"
+	"rfipad/internal/supervise"
 )
 
 // Config tunes a run.
@@ -41,6 +42,22 @@ type Config struct {
 	// obs.Default()). The same registry should be handed to the
 	// llrp.Session so Result.Telemetry snapshots both.
 	Obs *obs.Registry
+
+	// Checkpoints, when set, makes the run durable: a fresh-enough
+	// checkpoint restores calibration at startup (skipping the static
+	// prelude), and the calibration is re-saved periodically and on
+	// every exit path — including a drain triggered by SIGTERM — so a
+	// restarted process resumes recognizing immediately.
+	Checkpoints *supervise.Store
+	// StreamName keys the checkpoint file (default "live").
+	StreamName string
+	// CheckpointEvery is the periodic save interval (default 30 s).
+	CheckpointEvery time.Duration
+	// CheckpointMaxAge bounds restore staleness: an older checkpoint
+	// is ignored and the run falls back to live calibration (default
+	// 15 min; the static environment a calibration describes drifts on
+	// that scale when furniture or antennas move).
+	CheckpointMaxAge time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -52,6 +69,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FlushAfter <= 0 {
 		c.FlushAfter = 2 * time.Second
+	}
+	if c.StreamName == "" {
+		c.StreamName = "live"
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 30 * time.Second
+	}
+	if c.CheckpointMaxAge <= 0 {
+		c.CheckpointMaxAge = 15 * time.Minute
 	}
 	return c
 }
@@ -66,8 +92,12 @@ type Result struct {
 	DeadTags int
 	// Reconnects is the session's reconnect count at stream end.
 	Reconnects int
-	// Calibrated reports whether the static prelude completed.
+	// Calibrated reports whether the static prelude completed (or was
+	// restored from a checkpoint).
 	Calibrated bool
+	// CalibrationRestored reports whether calibration came from a
+	// checkpoint instead of a live prelude.
+	CalibrationRestored bool
 	// Telemetry is the final snapshot of the run's metrics registry:
 	// everything the session, recognizer, and stage spans recorded, so
 	// e2e and chaos tests can assert on runtime health without
@@ -104,13 +134,74 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 		"Whether the static-prelude calibration completed (0 or 1).")
 	deadTagsGauge := reg.Gauge("rfipad_dead_tags",
 		"Tags the calibration flagged dead (their cells are interpolated).")
+	readyGauge := reg.Gauge("rfipad_ready",
+		"Whether the run is ready to serve: calibration restored-or-complete (0 or 1).")
+	restoredCounter := reg.Counter("rfipad_calibration_restored_total",
+		"Calibrations restored from a checkpoint, skipping the static prelude.")
+	savedCounter := reg.Counter("rfipad_checkpoints_saved_total",
+		"Calibration checkpoints written.")
 	calibratedGauge.Set(0)
+	readyGauge.Set(0)
+	san := core.NewSanitizer(reg)
 
 	var res Result
 	st := NewStream(cfg)
+	markCalibrated := func() {
+		res.Calibrated = true
+		res.DeadTags = st.DeadTags()
+		calibratedGauge.Set(1)
+		deadTagsGauge.Set(float64(res.DeadTags))
+		readyGauge.Set(1)
+	}
+	if cfg.Checkpoints != nil {
+		switch cp, err := cfg.Checkpoints.LoadFresh(cfg.StreamName, cfg.CheckpointMaxAge); {
+		case err == nil:
+			if rst, rerr := RestoreStream(cfg, cp); rerr == nil {
+				st = rst
+				res.CalibrationRestored = true
+				restoredCounter.Inc()
+				markCalibrated()
+				logInfo("calibration restored from checkpoint",
+					"saved_at", cp.SavedAt, "stream_time", cp.StreamTime,
+					"dead_tags", res.DeadTags)
+				status("calibration restored from checkpoint; recognizing immediately")
+			} else if cfg.Logger != nil {
+				cfg.Logger.Warn("checkpoint unusable; calibrating live", "err", rerr)
+			}
+		case errors.Is(err, supervise.ErrNoCheckpoint):
+			// First run: nothing to restore.
+		default:
+			if cfg.Logger != nil {
+				cfg.Logger.Warn("checkpoint load failed; calibrating live", "err", err)
+			}
+		}
+	}
+	var lastSave time.Time
+	saveCheckpoint := func() {
+		if cfg.Checkpoints == nil {
+			return
+		}
+		cp, ok := st.Checkpoint(cfg.StreamName)
+		if !ok {
+			return
+		}
+		if err := cfg.Checkpoints.Save(cp); err != nil {
+			if cfg.Logger != nil {
+				cfg.Logger.Warn("checkpoint save failed", "err", err)
+			}
+			return
+		}
+		savedCounter.Inc()
+		lastSave = time.Now()
+	}
 	// finish stamps the session/telemetry state onto the result at
-	// every exit path, so even a failed run carries its evidence out.
+	// every exit path — and persists the calibration, so even a run
+	// killed mid-word (SIGTERM cancelling the session context) leaves
+	// a checkpoint its successor restores. The ready gauge drops first
+	// so a load balancer stops routing before the process exits.
 	finish := func() {
+		readyGauge.Set(0)
+		saveCheckpoint()
 		res.Reconnects = sess.Stats().Reconnects
 		res.Telemetry = reg.Snapshot()
 	}
@@ -145,16 +236,18 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 			return res, err
 		}
 		for _, rep := range batch {
-			evs, err := st.Ingest(ReadingFromReport(rep))
+			rd := ReadingFromReport(rep)
+			if !san.Admit(rd, st.LastTime()) {
+				continue
+			}
+			evs, err := st.Ingest(rd)
 			if err != nil {
 				finish()
 				return res, err
 			}
 			if !res.Calibrated && st.Calibrated() {
-				res.Calibrated = true
-				res.DeadTags = st.DeadTags()
-				calibratedGauge.Set(1)
-				deadTagsGauge.Set(float64(res.DeadTags))
+				markCalibrated()
+				saveCheckpoint()
 				logInfo("calibrated", "dead_tags", res.DeadTags,
 					"prelude", cfg.CalibDuration)
 				if res.DeadTags > 0 {
@@ -164,6 +257,9 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 				}
 			}
 			handle(evs)
+		}
+		if res.Calibrated && cfg.Checkpoints != nil && time.Since(lastSave) >= cfg.CheckpointEvery {
+			saveCheckpoint()
 		}
 	}
 	handle(st.Flush())

@@ -70,6 +70,9 @@ func TestEndToEndChaosTelemetry(t *testing.T) {
 				"reconnects": snap.Value("llrp_session_reconnects_total"),
 			},
 		}
+	}, func() obs.Health {
+		snap := reg.Snapshot()
+		return obs.Health{OK: snap.Value("rfipad_ready") == 1}
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 
 	"rfipad/internal/core"
 	"rfipad/internal/llrp"
+	"rfipad/internal/supervise"
 	"rfipad/internal/tagmodel"
 )
 
@@ -81,6 +82,45 @@ func (s *Stream) Flush() []core.Event {
 
 // Calibrated reports whether the static prelude completed.
 func (s *Stream) Calibrated() bool { return s.rec != nil }
+
+// Checkpoint exports the stream's durable recovery state: its
+// calibration plus the frame cursor recognition would resume from.
+// ok is false before calibration — an uncalibrated stream has nothing
+// worth persisting.
+func (s *Stream) Checkpoint(name string) (supervise.Checkpoint, bool) {
+	if s.cal == nil || s.rec == nil {
+		return supervise.Checkpoint{}, false
+	}
+	return supervise.Checkpoint{
+		Stream:      name,
+		StreamTime:  s.lastTime,
+		FrameCursor: s.rec.FrameCursor(),
+		Calibration: s.cal.Snapshot(),
+	}, true
+}
+
+// RestoreStream rebuilds a stream from a checkpoint, skipping the
+// calibration prelude: the restored recognizer resumes at the
+// checkpoint's frame cursor, dropping older (already recognized)
+// readings as late. The checkpoint's calibration is revalidated and
+// must match the configured grid; any mismatch returns an error so the
+// caller falls back to live calibration.
+func RestoreStream(cfg Config, cp supervise.Checkpoint) (*Stream, error) {
+	cfg = cfg.withDefaults()
+	cal, err := core.RestoreCalibration(cp.Calibration)
+	if err != nil {
+		return nil, fmt.Errorf("live: restore: %w", err)
+	}
+	if cal.NumTags() != cfg.Grid.NumTags() {
+		return nil, fmt.Errorf("live: restore: checkpoint has %d tags, grid wants %d",
+			cal.NumTags(), cfg.Grid.NumTags())
+	}
+	pipe := core.NewPipeline(cfg.Grid, cal)
+	pipe.Obs = cfg.Obs
+	rec := core.NewRecognizer(pipe, nil)
+	rec.SkipTo(cp.FrameCursor)
+	return &Stream{cfg: cfg, cal: cal, rec: rec, lastTime: cp.StreamTime}, nil
+}
 
 // DeadTags returns how many tags calibration flagged dead (0 before
 // calibration).

@@ -1,0 +1,122 @@
+package llrp
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rfipad/internal/obs"
+	"rfipad/internal/tagmodel"
+)
+
+// TestSessionBreakerGatesReconnects arms the reconnect circuit breaker
+// against a source whose first dials all fail: the breaker must trip
+// at the threshold, hold callers back through the cool-down (counted
+// on llrp_session_breaker_blocked_total), admit half-open probes, and
+// close again once a probe lands — with the state trajectory visible
+// on the llrp_session_breaker_state gauge.
+func TestSessionBreakerGatesReconnects(t *testing.T) {
+	h := &seekHarness{}
+	for i := 0; i < 5; i++ {
+		h.reports = append(h.reports, TagReport{
+			EPC:       tagmodel.MakeEPC(i + 1),
+			Timestamp: time.Duration(i+1) * 10 * time.Millisecond,
+		})
+	}
+	_, addr := startServer(t, h.newSource)
+
+	reg := obs.NewRegistry()
+	var states []float64
+	var dials atomic.Int32
+	const failingDials = 4
+	sess, err := DialSession(context.Background(), SessionConfig{
+		Dialer: func(ctx context.Context) (net.Conn, error) {
+			if dials.Add(1) <= failingDials {
+				// Record the breaker position at each attempt: attempts
+				// past the threshold must be half-open probes, not
+				// closed-state hammering.
+				states = append(states, reg.Snapshot().Value("llrp_session_breaker_state"))
+				return nil, errors.New("connection refused")
+			}
+			states = append(states, reg.Snapshot().Value("llrp_session_breaker_state"))
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		},
+		BackoffInitial:    time.Millisecond,
+		BackoffMax:        2 * time.Millisecond,
+		JitterSeed:        9,
+		KeepaliveInterval: -1,
+		BreakerThreshold:  2,
+		BreakerWindow:     10 * time.Second,
+		BreakerCooldown:   20 * time.Millisecond,
+		Obs:               reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	// Dials 1-2 ran with the breaker closed (0); dials 3+ are admitted
+	// as half-open probes (2).
+	if len(states) != failingDials+1 {
+		t.Fatalf("dial count %d, want %d", len(states), failingDials+1)
+	}
+	for i, st := range states {
+		want := float64(0)
+		if i >= 2 {
+			want = 2
+		}
+		if st != want {
+			t.Errorf("dial %d saw breaker state %v, want %v (trajectory %v)", i+1, st, want, states)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if v := snap.Value("llrp_session_breaker_state"); v != 0 {
+		t.Errorf("breaker state after successful connect = %v, want 0 (closed)", v)
+	}
+	if v := snap.Value("llrp_session_breaker_blocked_total"); v < 3 {
+		t.Errorf("llrp_session_breaker_blocked_total = %v, want >= 3 (one cool-down per open period)", v)
+	}
+
+	// The session works normally once through: the full capture streams.
+	seen := 0
+	for {
+		batch, err := sess.NextReports()
+		if errors.Is(err, ErrStreamEnded) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen += len(batch)
+	}
+	if seen != len(h.reports) {
+		t.Errorf("streamed %d reports, want %d", seen, len(h.reports))
+	}
+}
+
+// TestSessionBreakerDisabledByDefault pins that a zero threshold keeps
+// the old behavior: no breaker gauge movement, plain backoff only.
+func TestSessionBreakerDisabledByDefault(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, err := DialSession(context.Background(), SessionConfig{
+		Dialer: func(context.Context) (net.Conn, error) {
+			return nil, errors.New("connection refused")
+		},
+		BackoffInitial:    time.Millisecond,
+		BackoffMax:        2 * time.Millisecond,
+		MaxAttempts:       4,
+		KeepaliveInterval: -1,
+		Obs:               reg,
+	})
+	if !errors.Is(err, ErrGiveUp) {
+		t.Fatalf("dial err = %v, want ErrGiveUp", err)
+	}
+	if v := reg.Snapshot().Value("llrp_session_breaker_blocked_total"); v != 0 {
+		t.Errorf("disabled breaker blocked %v attempts", v)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rfipad/internal/obs"
+	"rfipad/internal/supervise"
 )
 
 // SessionConfig tunes a fault-tolerant reader session.
@@ -34,6 +35,21 @@ type SessionConfig struct {
 	// the session gives up (0 = retry forever). The counter resets on
 	// every successfully delivered batch.
 	MaxAttempts int
+
+	// BreakerThreshold, when positive, arms a reconnect circuit
+	// breaker: after this many consecutive failed connects within
+	// BreakerWindow the breaker opens and the session sleeps out a
+	// jittered BreakerCooldown in one wait — then admits a single
+	// half-open probe — instead of hammering a flapping reader with
+	// per-attempt backoff. Breaker state is exported as the
+	// llrp_session_breaker_state gauge (0 closed, 1 open, 2
+	// half-open). Zero disables the breaker.
+	BreakerThreshold int
+	// BreakerWindow bounds the failure streak (default 30 s).
+	BreakerWindow time.Duration
+	// BreakerCooldown is the base open duration before a probe
+	// (default 5 s; jittered up to 1.5× with JitterSeed).
+	BreakerCooldown time.Duration
 
 	// KeepaliveInterval is how often the session pings the reader so
 	// both ends can enforce deadlines (default 2 s, 0 keeps the
@@ -149,6 +165,8 @@ type Session struct {
 	// Consumer-goroutine-only state.
 	rng      *rand.Rand
 	attempts int
+	// breaker gates reconnect attempts when armed (nil otherwise).
+	breaker *supervise.Breaker
 
 	// mu guards everything below: the link (conn/client share a
 	// bufio.Writer with the keepalive pinger) and the counters. It is
@@ -193,6 +211,15 @@ func DialSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 		ctx: ctx,
 		tel: newSessionTel(cfg.Obs),
 		rng: rand.New(rand.NewSource(cfg.JitterSeed)),
+	}
+	if cfg.BreakerThreshold > 0 {
+		s.breaker = supervise.NewBreaker(supervise.BreakerConfig{
+			Threshold:  cfg.BreakerThreshold,
+			Window:     cfg.BreakerWindow,
+			Cooldown:   cfg.BreakerCooldown,
+			JitterSeed: cfg.JitterSeed,
+			OnState:    func(st supervise.BreakerState) { s.tel.breaker.Set(float64(st)) },
+		})
 	}
 	if err := s.connectWithRetry(); err != nil {
 		return nil, err
@@ -280,16 +307,28 @@ func (s *Session) readBatch(conn net.Conn, client *Client) ([]TagReport, error) 
 
 // connectWithRetry dials with capped exponential backoff and seeded
 // jitter until a link is up, the context dies, or MaxAttempts
-// consecutive attempts fail.
+// consecutive attempts fail. With a breaker armed, an open circuit
+// replaces the per-attempt backoff: the session sleeps out the
+// remaining cool-down in one wait, then the next admitted attempt is
+// the half-open probe.
 func (s *Session) connectWithRetry() error {
 	for {
+		if err := s.breakerWait(); err != nil {
+			return err
+		}
 		err := s.connectOnce()
 		if err == nil {
+			if s.breaker != nil {
+				s.breaker.Success()
+			}
 			return nil
 		}
 		if errors.Is(err, ErrSessionClosed) || errors.Is(err, context.Canceled) ||
 			errors.Is(err, context.DeadlineExceeded) {
 			return err
+		}
+		if s.breaker != nil {
+			s.breaker.Failure()
 		}
 		s.attempts++
 		s.tel.retries.Inc()
@@ -298,6 +337,28 @@ func (s *Session) connectWithRetry() error {
 		}
 		wait := s.backoff(s.attempts)
 		s.emit(SessionEvent{Kind: SessionRetrying, Attempt: s.attempts, Wait: wait, Err: err})
+		t := time.NewTimer(wait)
+		select {
+		case <-s.ctx.Done():
+			t.Stop()
+			return s.ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// breakerWait blocks (context-aware) until the breaker admits an
+// attempt. A no-op when the breaker is disarmed or closed.
+func (s *Session) breakerWait() error {
+	if s.breaker == nil {
+		return nil
+	}
+	for {
+		wait, ok := s.breaker.Allow()
+		if ok {
+			return nil
+		}
+		s.tel.brkBlocked.Inc()
 		t := time.NewTimer(wait)
 		select {
 		case <-s.ctx.Done():

@@ -13,6 +13,8 @@ type sessionTel struct {
 	batches     *obs.Counter
 	reports     *obs.Counter
 	connected   *obs.Gauge
+	breaker     *obs.Gauge
+	brkBlocked  *obs.Counter
 	resumeGap   *obs.Histogram
 	kaRTT       *obs.Histogram
 }
@@ -36,6 +38,10 @@ func newSessionTel(r *obs.Registry) *sessionTel {
 			"Tag reports delivered to the consumer."),
 		connected: r.Gauge("llrp_session_connected",
 			"Whether a reader link is currently established (0 or 1)."),
+		breaker: r.Gauge("llrp_session_breaker_state",
+			"Reconnect circuit breaker position (0 closed, 1 open, 2 half-open)."),
+		brkBlocked: r.Counter("llrp_session_breaker_blocked_total",
+			"Connect attempts held back by an open circuit breaker."),
 		resumeGap: r.Histogram("llrp_session_resume_gap_seconds",
 			"Wall-clock outage between losing a link and resuming the stream.", nil),
 		kaRTT: r.Histogram("llrp_session_keepalive_rtt_seconds",

@@ -24,35 +24,46 @@ type HealthFunc func() Health
 // -obs-addr:
 //
 //	/metrics         Prometheus text exposition of r
-//	/healthz         JSON health (200 ok / 503 degraded)
+//	/healthz         JSON liveness (200 ok / 503 degraded)
+//	/readyz          JSON readiness (200 ready / 503 not ready)
 //	/debug/vars      expvar (includes the Default registry mirror)
 //	/debug/pprof/*   runtime profiles
 //
-// health may be nil, in which case /healthz always reports ok.
-func AdminMux(r *Registry, health HealthFunc) *http.ServeMux {
+// Liveness and readiness are distinct probes: /healthz answers "is the
+// process functioning" (a load balancer restarts on sustained
+// failure), while /readyz answers "should traffic be routed here" —
+// for the live stack, ready only once calibration is restored from a
+// checkpoint or completed from the prelude and the engine is accepting
+// pushes, and deliberately unready again during a graceful drain.
+// Either func may be nil, in which case its probe always reports ok.
+func AdminMux(r *Registry, health, ready HealthFunc) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		h := Health{OK: true}
-		if health != nil {
-			h = health()
+	probe := func(fn HealthFunc, down string) http.HandlerFunc {
+		return func(w http.ResponseWriter, _ *http.Request) {
+			h := Health{OK: true}
+			if fn != nil {
+				h = fn()
+			}
+			body := map[string]any{"status": "ok"}
+			if !h.OK {
+				body["status"] = down
+			}
+			for k, v := range h.Detail {
+				body[k] = v
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if !h.OK {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			json.NewEncoder(w).Encode(body)
 		}
-		body := map[string]any{"status": "ok"}
-		if !h.OK {
-			body["status"] = "unhealthy"
-		}
-		for k, v := range h.Detail {
-			body[k] = v
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if !h.OK {
-			w.WriteHeader(http.StatusServiceUnavailable)
-		}
-		json.NewEncoder(w).Encode(body)
-	})
+	}
+	mux.HandleFunc("/healthz", probe(health, "unhealthy"))
+	mux.HandleFunc("/readyz", probe(ready, "unready"))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -68,15 +79,15 @@ type AdminServer struct {
 	srv *http.Server
 }
 
-// StartAdmin binds addr and serves AdminMux(r, health) in the
+// StartAdmin binds addr and serves AdminMux(r, health, ready) in the
 // background. Close releases the listener.
-func StartAdmin(addr string, r *Registry, health HealthFunc) (*AdminServer, error) {
+func StartAdmin(addr string, r *Registry, health, ready HealthFunc) (*AdminServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	srv := &http.Server{
-		Handler:           AdminMux(r, health),
+		Handler:           AdminMux(r, health, ready),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go srv.Serve(ln)

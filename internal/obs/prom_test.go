@@ -74,8 +74,11 @@ func TestAdminEndpoints(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("admin_hits_total", "hits").Add(2)
 	healthy := true
+	ready := false
 	srv, err := StartAdmin("127.0.0.1:0", r, func() Health {
 		return Health{OK: healthy, Detail: map[string]any{"calibrated": true}}
+	}, func() Health {
+		return Health{OK: ready}
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -102,6 +105,22 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 	if h["status"] != "unhealthy" {
 		t.Errorf("degraded healthz = %v", h)
+	}
+
+	// Readiness is a distinct probe: unready returns 503 even while
+	// liveness is fine, and flips independently.
+	if err := json.Unmarshal([]byte(get(t, base+"/readyz", http.StatusServiceUnavailable)), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "unready" {
+		t.Errorf("unready readyz = %v", h)
+	}
+	ready = true
+	if err := json.Unmarshal([]byte(get(t, base+"/readyz", http.StatusOK)), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" {
+		t.Errorf("ready readyz = %v", h)
 	}
 
 	if body := get(t, base+"/debug/pprof/cmdline", http.StatusOK); body == "" {

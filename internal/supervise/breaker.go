@@ -1,0 +1,202 @@
+// Package supervise is the self-healing layer of the live stack: a
+// per-source circuit breaker that stops a flapping reader from burning
+// reconnect bandwidth, and a durable checkpoint store that lets a
+// restarted daemon skip the calibration prelude. Both are dependency-
+// free (stdlib + obs types via callbacks) so every layer — llrp
+// sessions, the engine, the cmds — can use them without import cycles.
+package supervise
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+// Breaker states. The numeric values are stable — they are exported as
+// a gauge (0 closed, 1 open, 2 half-open).
+const (
+	// BreakerClosed passes every attempt through.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects attempts until the cool-down elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a single probe; its outcome decides
+	// whether the breaker closes again or re-opens.
+	BreakerHalfOpen
+)
+
+// String returns the conventional state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a Breaker.
+type BreakerConfig struct {
+	// Threshold is how many consecutive failures within Window trip
+	// the breaker open (default 5).
+	Threshold int
+	// Window bounds the failure streak: a streak whose first failure
+	// is older than this has its counter restarted, so sporadic
+	// failures spread over hours never trip (default 30 s).
+	Window time.Duration
+	// Cooldown is the base open duration before a half-open probe is
+	// admitted; the actual wait is jittered into [cooldown, 1.5 ×
+	// cooldown] so a fleet of breakers does not probe in lockstep
+	// (default 5 s).
+	Cooldown time.Duration
+	// JitterSeed seeds the deterministic cool-down jitter; equal seeds
+	// reproduce the exact probe schedule.
+	JitterSeed int64
+	// Now overrides the clock (tests; nil = time.Now).
+	Now func() time.Time
+	// OnState observes every transition — the hook breaker-state
+	// gauges hang off. Called with the breaker's lock held; keep it to
+	// a gauge set.
+	OnState func(BreakerState)
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Window <= 0 {
+		c.Window = 30 * time.Second
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a per-source circuit breaker: closed while the source
+// behaves, open after Threshold consecutive failures within Window,
+// half-open (one probe at a time) once the jittered cool-down elapses.
+// It replaces a bare retry loop's "hammer forever" behavior: when the
+// breaker is open the caller sleeps out the cool-down in one wait
+// instead of spinning through doomed attempts. All methods are safe
+// for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+	rng *rand.Rand
+
+	mu        sync.Mutex
+	state     BreakerState
+	fails     int
+	firstFail time.Time
+	probeAt   time.Time
+	probing   bool
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	b := &Breaker{
+		cfg: cfg.withDefaults(),
+		rng: rand.New(rand.NewSource(cfg.JitterSeed)),
+	}
+	if b.cfg.OnState != nil {
+		b.cfg.OnState(BreakerClosed)
+	}
+	return b
+}
+
+// Allow asks whether an attempt may proceed. When it may not, wait is
+// how long until the next Allow could admit a probe; the caller should
+// sleep that long (context-aware) and ask again. Half-open admits one
+// probe at a time: concurrent callers are held back until the probe's
+// Success or Failure settles the state.
+func (b *Breaker) Allow() (wait time.Duration, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.Now()
+	switch b.state {
+	case BreakerClosed:
+		return 0, true
+	case BreakerOpen:
+		if now.Before(b.probeAt) {
+			return b.probeAt.Sub(now), false
+		}
+		b.setState(BreakerHalfOpen)
+		b.probing = true
+		return 0, true
+	default: // half-open
+		if b.probing {
+			return b.cfg.Cooldown, false
+		}
+		b.probing = true
+		return 0, true
+	}
+}
+
+// Success reports a successful attempt: the breaker closes and the
+// failure streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	if b.state != BreakerClosed {
+		b.setState(BreakerClosed)
+	}
+}
+
+// Failure reports a failed attempt. A half-open probe failure re-opens
+// immediately; in the closed state the windowed streak counter advances
+// and trips the breaker at Threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.Now()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		b.open(now)
+	case BreakerClosed:
+		if b.fails == 0 || now.Sub(b.firstFail) > b.cfg.Window {
+			b.fails = 0
+			b.firstFail = now
+		}
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.open(now)
+		}
+	}
+	// Already open: the failure belongs to an attempt admitted before
+	// the trip; the cool-down is already running.
+}
+
+// open trips the breaker with a jittered cool-down.
+func (b *Breaker) open(now time.Time) {
+	d := float64(b.cfg.Cooldown)
+	d += d / 2 * b.rng.Float64()
+	b.probeAt = now.Add(time.Duration(d))
+	b.fails = 0
+	b.setState(BreakerOpen)
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// setState transitions and notifies; callers hold mu.
+func (b *Breaker) setState(s BreakerState) {
+	b.state = s
+	if b.cfg.OnState != nil {
+		b.cfg.OnState(s)
+	}
+}

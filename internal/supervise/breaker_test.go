@@ -1,0 +1,184 @@
+package supervise
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives breaker time deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(t *testing.T, cfg BreakerConfig) (*Breaker, *fakeClock, *[]BreakerState) {
+	t.Helper()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var transitions []BreakerState
+	cfg.Now = clk.now
+	cfg.OnState = func(s BreakerState) { transitions = append(transitions, s) }
+	return NewBreaker(cfg), clk, &transitions
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, _, _ := newTestBreaker(t, BreakerConfig{Threshold: 3, Window: 30 * time.Second, Cooldown: 5 * time.Second})
+
+	for i := 0; i < 2; i++ {
+		if _, ok := b.Allow(); !ok {
+			t.Fatalf("attempt %d: breaker rejected while closed", i)
+		}
+		b.Failure()
+		if st := b.State(); st != BreakerClosed {
+			t.Fatalf("after %d failures: state %v, want closed", i+1, st)
+		}
+	}
+	b.Failure()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("after threshold failures: state %v, want open", st)
+	}
+	wait, ok := b.Allow()
+	if ok {
+		t.Fatal("open breaker admitted an attempt")
+	}
+	// Jitter keeps the wait in [cooldown, 1.5 × cooldown].
+	if wait < 5*time.Second || wait > 7500*time.Millisecond {
+		t.Fatalf("cool-down wait %v outside jitter range [5s, 7.5s]", wait)
+	}
+}
+
+func TestBreakerWindowRestartsStreak(t *testing.T) {
+	b, clk, _ := newTestBreaker(t, BreakerConfig{Threshold: 3, Window: 10 * time.Second, Cooldown: time.Second})
+
+	b.Failure()
+	b.Failure()
+	// The streak's first failure falls out of the window; the next
+	// failure starts a fresh streak instead of tripping.
+	clk.advance(11 * time.Second)
+	b.Failure()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("sporadic failures tripped the breaker: state %v", st)
+	}
+	b.Failure()
+	b.Failure()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("dense streak did not trip: state %v", st)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _, _ := newTestBreaker(t, BreakerConfig{Threshold: 2, Window: time.Minute, Cooldown: time.Second})
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("streak survived a success: state %v", st)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk, transitions := newTestBreaker(t, BreakerConfig{Threshold: 1, Window: time.Minute, Cooldown: time.Second})
+	b.Failure()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state %v, want open", st)
+	}
+
+	// Before the cool-down elapses: rejected with the remaining wait.
+	if wait, ok := b.Allow(); ok || wait <= 0 {
+		t.Fatalf("Allow during cool-down = (%v, %v), want rejection with positive wait", wait, ok)
+	}
+
+	// After the (jittered, ≤ 1.5 × cooldown) cool-down: one probe admitted,
+	// concurrent callers held back.
+	clk.advance(1500 * time.Millisecond)
+	if _, ok := b.Allow(); !ok {
+		t.Fatal("probe not admitted after cool-down")
+	}
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", st)
+	}
+	if _, ok := b.Allow(); ok {
+		t.Fatal("second concurrent probe admitted while first is in flight")
+	}
+
+	// Probe failure re-opens immediately; probe success closes.
+	b.Failure()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("failed probe left state %v, want open", st)
+	}
+	clk.advance(1500 * time.Millisecond)
+	if _, ok := b.Allow(); !ok {
+		t.Fatal("second probe not admitted")
+	}
+	b.Success()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("successful probe left state %v, want closed", st)
+	}
+
+	want := []BreakerState{BreakerClosed, BreakerOpen, BreakerHalfOpen, BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	if len(*transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", *transitions, want)
+	}
+	for i, st := range want {
+		if (*transitions)[i] != st {
+			t.Fatalf("transition %d = %v, want %v (all: %v)", i, (*transitions)[i], st, *transitions)
+		}
+	}
+}
+
+func TestBreakerJitterDeterministic(t *testing.T) {
+	waits := func(seed int64) []time.Duration {
+		clk := &fakeClock{t: time.Unix(0, 0)}
+		b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second, JitterSeed: seed, Now: clk.now})
+		var out []time.Duration
+		for i := 0; i < 5; i++ {
+			b.Failure()
+			w, _ := b.Allow()
+			out = append(out, w)
+			clk.advance(2 * time.Second)
+			b.Allow() // admit the probe
+			b.Success()
+		}
+		return out
+	}
+	a, b2 := waits(42), waits(42)
+	for i := range a {
+		if a[i] != b2[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b2[i])
+		}
+	}
+}
+
+func TestBreakerConcurrency(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 3, Window: time.Minute, Cooldown: time.Millisecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if _, ok := b.Allow(); ok {
+					if j%3 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	b.State() // must not race or deadlock
+}

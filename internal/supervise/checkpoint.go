@@ -1,0 +1,240 @@
+package supervise
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rfipad/internal/core"
+)
+
+// Checkpoint is one stream's durable recovery state: everything a
+// restarted daemon needs to skip the static calibration prelude and
+// resume recognition at a frame boundary. The recognizer's in-flight
+// stroke state is deliberately not captured — a stroke cut in half by
+// a crash is unrecoverable anyway — so a restore may lose the letter
+// being written at the instant of death, never the calibration.
+type Checkpoint struct {
+	// Stream names the stream this state belongs to.
+	Stream string `json:"stream"`
+	// SavedAt is the wall-clock save time, bounding staleness.
+	SavedAt time.Time `json:"saved_at"`
+	// StreamTime is the newest reading timestamp the stream had
+	// ingested.
+	StreamTime time.Duration `json:"stream_time"`
+	// FrameCursor is the frame-aligned stream time recognition resumes
+	// from after a restore (readings before it are dropped as late).
+	FrameCursor time.Duration `json:"frame_cursor"`
+	// Calibration is the per-tag static statistics (mean phase,
+	// deviation bias, noise rate, dead set).
+	Calibration core.CalibrationSnapshot `json:"calibration"`
+}
+
+// Checkpoint file format: a fixed header followed by a JSON payload.
+//
+//	offset  size  field
+//	0       4     magic "RFCP"
+//	4       2     version (big endian)
+//	6       4     payload length (big endian)
+//	10      4     CRC-32 (IEEE) of the payload
+//	14      n     JSON-encoded Checkpoint
+//
+// The header is validated before the payload is touched, so truncated,
+// corrupted, or version-skewed files fail with a typed error instead
+// of feeding garbage calibration into the pipeline.
+const (
+	checkpointMagic   = "RFCP"
+	checkpointVersion = 1
+	headerLen         = 14
+	// maxPayload bounds decode allocations against corrupted length
+	// fields (a calibration for a few thousand tags is well under it).
+	maxPayload = 16 << 20
+)
+
+// Checkpoint decode/load errors.
+var (
+	// ErrCorrupt tags undecodable checkpoint bytes (bad magic, length,
+	// checksum, or payload).
+	ErrCorrupt = errors.New("supervise: corrupt checkpoint")
+	// ErrVersion tags a checkpoint written by an incompatible format
+	// version.
+	ErrVersion = errors.New("supervise: checkpoint version mismatch")
+	// ErrStale tags a checkpoint older than the caller's staleness
+	// bound.
+	ErrStale = errors.New("supervise: checkpoint stale")
+	// ErrNoCheckpoint is returned when the store has no file for the
+	// stream.
+	ErrNoCheckpoint = errors.New("supervise: no checkpoint")
+)
+
+// EncodeCheckpoint serializes cp into the versioned, checksummed file
+// format.
+func EncodeCheckpoint(cp Checkpoint) ([]byte, error) {
+	payload, err := json.Marshal(cp)
+	if err != nil {
+		return nil, fmt.Errorf("supervise: encode checkpoint: %w", err)
+	}
+	buf := make([]byte, headerLen+len(payload))
+	copy(buf, checkpointMagic)
+	binary.BigEndian.PutUint16(buf[4:], checkpointVersion)
+	binary.BigEndian.PutUint32(buf[6:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[10:], crc32.ChecksumIEEE(payload))
+	copy(buf[headerLen:], payload)
+	return buf, nil
+}
+
+// DecodeCheckpoint parses and validates checkpoint bytes. It returns
+// ErrCorrupt or ErrVersion (wrapped) on any malformed input and never
+// panics — the contract the fuzz target enforces.
+func DecodeCheckpoint(data []byte) (Checkpoint, error) {
+	var cp Checkpoint
+	if len(data) < headerLen {
+		return cp, fmt.Errorf("%w: %d bytes, want at least %d", ErrCorrupt, len(data), headerLen)
+	}
+	if string(data[:4]) != checkpointMagic {
+		return cp, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	if v := binary.BigEndian.Uint16(data[4:]); v != checkpointVersion {
+		return cp, fmt.Errorf("%w: version %d, want %d", ErrVersion, v, checkpointVersion)
+	}
+	n := binary.BigEndian.Uint32(data[6:])
+	if n > maxPayload || int(n) != len(data)-headerLen {
+		return cp, fmt.Errorf("%w: payload length %d does not match %d trailing bytes",
+			ErrCorrupt, n, len(data)-headerLen)
+	}
+	payload := data[headerLen:]
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.BigEndian.Uint32(data[10:]) {
+		return cp, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	if err := json.Unmarshal(payload, &cp); err != nil {
+		return cp, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return cp, nil
+}
+
+// Store persists checkpoints as one file per stream in a directory.
+// Saves are atomic (write to a temp file, fsync, rename), so a crash
+// mid-save leaves the previous checkpoint intact, never a torn one.
+type Store struct {
+	dir string
+	// Now overrides the staleness clock (tests; nil = time.Now).
+	Now func() time.Time
+}
+
+// NewStore opens (creating if needed) a checkpoint directory and
+// probes it for writability, so an unusable -checkpoint-dir fails at
+// startup instead of at the first drain.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("supervise: empty checkpoint dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("supervise: checkpoint dir: %w", err)
+	}
+	probe, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return nil, fmt.Errorf("supervise: checkpoint dir not writable: %w", err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the checkpoint file path for a stream (its name
+// sanitized to a safe filename).
+func (s *Store) Path(stream string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, stream)
+	if safe == "" {
+		safe = "_"
+	}
+	return filepath.Join(s.dir, safe+".ckpt")
+}
+
+// Save writes cp atomically. The stream name comes from cp.Stream; a
+// zero SavedAt is stamped with the store clock.
+func (s *Store) Save(cp Checkpoint) error {
+	if cp.SavedAt.IsZero() {
+		cp.SavedAt = s.now()
+	}
+	data, err := EncodeCheckpoint(cp)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("supervise: save checkpoint: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("supervise: save checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("supervise: save checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("supervise: save checkpoint: %w", err)
+	}
+	if err := os.Rename(name, s.Path(cp.Stream)); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("supervise: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates a stream's checkpoint. Missing files return
+// ErrNoCheckpoint; anything undecodable returns ErrCorrupt/ErrVersion.
+func (s *Store) Load(stream string) (Checkpoint, error) {
+	data, err := os.ReadFile(s.Path(stream))
+	if errors.Is(err, os.ErrNotExist) {
+		return Checkpoint{}, ErrNoCheckpoint
+	}
+	if err != nil {
+		return Checkpoint{}, fmt.Errorf("supervise: load checkpoint: %w", err)
+	}
+	return DecodeCheckpoint(data)
+}
+
+// LoadFresh loads a stream's checkpoint and enforces the staleness
+// bound: a checkpoint saved more than maxAge ago returns ErrStale
+// (maxAge <= 0 disables the bound). Callers fall back to live
+// calibration on any error.
+func (s *Store) LoadFresh(stream string, maxAge time.Duration) (Checkpoint, error) {
+	cp, err := s.Load(stream)
+	if err != nil {
+		return cp, err
+	}
+	if maxAge > 0 {
+		if age := s.now().Sub(cp.SavedAt); age > maxAge {
+			return cp, fmt.Errorf("%w: saved %v ago, bound %v", ErrStale, age.Round(time.Second), maxAge)
+		}
+	}
+	return cp, nil
+}
+
+func (s *Store) now() time.Time {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return time.Now()
+}

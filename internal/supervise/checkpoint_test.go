@@ -1,0 +1,228 @@
+package supervise
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rfipad/internal/core"
+)
+
+func testCheckpoint() Checkpoint {
+	return Checkpoint{
+		Stream:      "stream-07",
+		SavedAt:     time.Date(2024, 5, 1, 12, 0, 0, 0, time.UTC),
+		StreamTime:  17 * time.Second,
+		FrameCursor: 16 * time.Second,
+		Calibration: core.CalibrationSnapshot{
+			MeanPhase: []float64{0.1, 0.2, 0.3, 0.4},
+			Bias:      []float64{0.01, 0.02, 0.03, 0.04},
+			TVRate:    []float64{0.5, 0.6, 0.7, 0.8},
+			Dead:      []bool{false, true, false, false},
+		},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	want := testCheckpoint()
+	data, err := EncodeCheckpoint(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stream != want.Stream || !got.SavedAt.Equal(want.SavedAt) ||
+		got.StreamTime != want.StreamTime || got.FrameCursor != want.FrameCursor {
+		t.Fatalf("round trip mangled header fields: %+v", got)
+	}
+	for i := range want.Calibration.MeanPhase {
+		if got.Calibration.MeanPhase[i] != want.Calibration.MeanPhase[i] ||
+			got.Calibration.Bias[i] != want.Calibration.Bias[i] ||
+			got.Calibration.TVRate[i] != want.Calibration.TVRate[i] ||
+			got.Calibration.Dead[i] != want.Calibration.Dead[i] {
+			t.Fatalf("round trip mangled calibration at tag %d", i)
+		}
+	}
+}
+
+func TestDecodeCheckpointRejectsMalformed(t *testing.T) {
+	good, err := EncodeCheckpoint(testCheckpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrCorrupt},
+		{"truncated header", good[:7], ErrCorrupt},
+		{"truncated payload", good[:len(good)-5], ErrCorrupt},
+		{"bad magic", append([]byte("NOPE"), good[4:]...), ErrCorrupt},
+		{"flipped payload byte", flipByte(good, headerLen+3), ErrCorrupt},
+		{"flipped checksum byte", flipByte(good, 11), ErrCorrupt},
+		{"trailing garbage", append(append([]byte{}, good...), 0xFF), ErrCorrupt},
+		{"version skew", bumpVersion(good), ErrVersion},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeCheckpoint(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func flipByte(data []byte, i int) []byte {
+	out := append([]byte{}, data...)
+	out[i] ^= 0xFF
+	return out
+}
+
+func bumpVersion(data []byte) []byte {
+	out := append([]byte{}, data...)
+	out[5]++ // version low byte
+	return out
+}
+
+func TestStoreSaveLoad(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := testCheckpoint()
+	if err := st.Save(cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load(cp.Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StreamTime != cp.StreamTime || !got.SavedAt.Equal(cp.SavedAt) {
+		t.Fatalf("loaded %+v, want %+v", got, cp)
+	}
+
+	if _, err := st.Load("never-saved"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing stream err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestStoreStampsSavedAt(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	st.Now = func() time.Time { return now }
+	cp := testCheckpoint()
+	cp.SavedAt = time.Time{}
+	if err := st.Save(cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load(cp.Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.SavedAt.Equal(now) {
+		t.Fatalf("zero SavedAt stamped as %v, want %v", got.SavedAt, now)
+	}
+}
+
+func TestStoreLoadFreshStaleness(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	cp := testCheckpoint()
+	cp.SavedAt = saved
+	if err := st.Save(cp); err != nil {
+		t.Fatal(err)
+	}
+
+	st.Now = func() time.Time { return saved.Add(10 * time.Minute) }
+	if _, err := st.LoadFresh(cp.Stream, 15*time.Minute); err != nil {
+		t.Fatalf("fresh checkpoint rejected: %v", err)
+	}
+	st.Now = func() time.Time { return saved.Add(20 * time.Minute) }
+	if _, err := st.LoadFresh(cp.Stream, 15*time.Minute); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale checkpoint err = %v, want ErrStale", err)
+	}
+	// maxAge <= 0 disables the bound.
+	if _, err := st.LoadFresh(cp.Stream, 0); err != nil {
+		t.Fatalf("unbounded load rejected: %v", err)
+	}
+}
+
+func TestStoreSaveAtomicOverCorruption(t *testing.T) {
+	// A torn write must never replace a good checkpoint: saves go to a
+	// temp file first, so scribbling over the final path then saving
+	// again yields a clean file, and a failed decode identifies the
+	// scribble as corrupt rather than panicking.
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := testCheckpoint()
+	if err := st.Save(cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.Path(cp.Stream), []byte("RFCP garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(cp.Stream); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("scribbled file err = %v, want ErrCorrupt", err)
+	}
+	if err := st.Save(cp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(cp.Stream); err != nil {
+		t.Fatalf("re-save did not recover: %v", err)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".ckpt-") || strings.HasPrefix(e.Name(), ".probe-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestStorePathSanitizesStreamNames(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stream := range []string{"../escape", "a/b", "", "tcp://host:5084"} {
+		p := st.Path(stream)
+		if filepath.Dir(p) != st.Dir() {
+			t.Errorf("Path(%q) = %q escapes the store dir", stream, p)
+		}
+	}
+}
+
+func TestNewStoreRejectsUnwritableDir(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("running as root; permission bits are not enforced")
+	}
+	dir := filepath.Join(t.TempDir(), "ro")
+	if err := os.Mkdir(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(dir); err == nil {
+		t.Fatal("unwritable dir accepted")
+	}
+}
+
+func TestNewStoreRejectsEmptyDir(t *testing.T) {
+	if _, err := NewStore(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}

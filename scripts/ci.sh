@@ -32,6 +32,20 @@ go build ./...
 echo '== go test -race ./...'
 go test -race ./...
 
+# The self-healing paths are timing-sensitive (panic quarantine, drain
+# deadlines, kill/restore); run them twice under the race detector so a
+# flaky interleaving fails the gate instead of slipping through.
+echo '== chaos + recovery tests (-race -count=2)'
+go test -race -count=2 \
+    -run 'TestEnginePanic|TestEngineSourcePanic|TestEngineCheckpoint|TestEngineDrain|TestCheckpointRestore|TestCheckpointStale|TestSessionBreaker' \
+    ./internal/engine ./internal/live ./internal/llrp
+
+# Short fuzz pass over the checkpoint decoder: corrupt files must decode
+# to typed errors, never panic a daemon at boot. New crashers land in
+# internal/supervise/testdata/fuzz for the workflow to archive.
+echo '== checkpoint decoder fuzz smoke (10s)'
+go test -run '^$' -fuzz FuzzDecodeCheckpoint -fuzztime 10s ./internal/supervise
+
 # The exact AllocsPerRun assertions skip themselves under -race (the
 # detector allocates on instrumented paths), so run them again pure.
 echo '== alloc regression tests (pure build)'
