@@ -15,6 +15,8 @@
 //	rfipad-bench -pipeline       # only the pipeline bench (BENCH_pipeline.json)
 //	rfipad-bench -engine         # only the multi-stream engine bench (BENCH_engine.json)
 //	rfipad-bench -engine -engine-streams 16 -engine-workers 4
+//	rfipad-bench -cluster        # only the multi-node cluster bench (BENCH_cluster.json)
+//	rfipad-bench -cluster -cluster-nodes 4 -cluster-streams-per-node 4
 //	rfipad-bench -trials 10 -groups 3 -seed 7
 package main
 
@@ -60,6 +62,11 @@ func run() int {
 		engineJSON    = flag.String("engine-json", "BENCH_engine.json", "output path for the engine bench report")
 		engineStreams = flag.Int("engine-streams", 16, "concurrent streams the engine bench fans out")
 		engineWorkers = flag.Int("engine-workers", 0, "engine shard workers (0 = GOMAXPROCS)")
+
+		clusterBench   = flag.Bool("cluster", false, "run only the multi-node cluster bench (scaling sweep + node-kill failover)")
+		clusterJSON    = flag.String("cluster-json", "BENCH_cluster.json", "output path for the cluster bench report")
+		clusterNodes   = flag.Int("cluster-nodes", 3, "largest node count in the cluster scaling sweep")
+		clusterStreams = flag.Int("cluster-streams-per-node", 4, "streams per node in the cluster scaling sweep")
 	)
 	flag.Parse()
 
@@ -72,6 +79,10 @@ func run() int {
 		return usageError("-engine-streams must be positive (got %d)", *engineStreams)
 	case *engineWorkers < 0:
 		return usageError("-engine-workers must be non-negative (got %d)", *engineWorkers)
+	case *clusterNodes <= 0:
+		return usageError("-cluster-nodes must be positive (got %d)", *clusterNodes)
+	case *clusterStreams <= 0:
+		return usageError("-cluster-streams-per-node must be positive (got %d)", *clusterStreams)
 	case *pipelineWord == "":
 		return usageError("-pipeline-word must be non-empty")
 	}
@@ -90,6 +101,14 @@ func run() int {
 
 	if *engineBench {
 		if err := runEngineBench(*seed, *pipelineWord, *engineStreams, *engineWorkers, *engineJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	if *clusterBench {
+		if err := runClusterBench(*seed, *pipelineWord, *clusterNodes, *clusterStreams, *clusterJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

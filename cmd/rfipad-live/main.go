@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"rfipad"
+	"rfipad/internal/cluster"
 	"rfipad/internal/engine"
 	"rfipad/internal/live"
 	"rfipad/internal/llrp"
@@ -83,6 +84,7 @@ func run() int {
 
 		streams       = flag.Int("streams", 1, "concurrent reader sessions fed into one sharded engine (pair with rfipad-readerd -streams)")
 		engineWorkers = flag.Int("engine-workers", 0, "engine shard workers when -streams > 1 (0 = GOMAXPROCS)")
+		clusterNodes  = flag.Int("cluster-nodes", 0, "run an in-process multi-node cluster with this many members; streams place via consistent hashing and migrate by checkpoint handoff (0 = single engine)")
 		drainTimeout  = flag.Duration("drain-timeout", 5*time.Second, "bound on mailbox drain during graceful shutdown")
 
 		retryInitial = flag.Duration("retry-initial", 100*time.Millisecond, "first reconnect backoff delay")
@@ -118,6 +120,8 @@ func run() int {
 		return usageError("-streams must be positive (got %d)", *streams)
 	case *engineWorkers < 0:
 		return usageError("-engine-workers must be non-negative (got %d)", *engineWorkers)
+	case *clusterNodes < 0:
+		return usageError("-cluster-nodes must be non-negative (got %d)", *clusterNodes)
 	case *drainTimeout <= 0:
 		return usageError("-drain-timeout must be positive (got %v)", *drainTimeout)
 	case *retryMax < 0:
@@ -179,6 +183,20 @@ func run() int {
 			BreakerWindow:     *breakerWindow,
 			BreakerCooldown:   *breakerCooldown,
 			OnEvent:           func(ev llrp.SessionEvent) { logSessionEvent(sessLog, ev) },
+		})
+	}
+
+	if *clusterNodes > 0 {
+		return runClusterMode(log, dial, *addr, *streams, *clusterNodes, cluster.Config{
+			Stream: live.Config{
+				Grid:          rfipad.Grid{Rows: *rows, Cols: *cols},
+				CalibDuration: *calib,
+			},
+			EngineWorkers:    *engineWorkers,
+			Checkpoints:      store,
+			CheckpointEvery:  *checkpointEvery,
+			CheckpointMaxAge: *checkpointMaxAge,
+			Logger:           obs.Component(log, "cluster"),
 		})
 	}
 
@@ -288,6 +306,77 @@ func runEngineMode(log *slog.Logger, dial func() (*llrp.Session, error), addr st
 		}
 		fmt.Printf("[%s] recognized %q (%d stroke(s), %d dead tag(s))\n",
 			res.ID, res.Letters, res.Strokes, res.DeadTags)
+	}
+	if failed.Load() {
+		return 1
+	}
+	return 0
+}
+
+// runClusterMode spreads n reader sessions across an in-process
+// multi-node cluster: the coordinator places each stream on a member
+// by consistent hashing, membership runs on heartbeats, and any
+// ownership change mid-word moves the stream's calibration by
+// checkpoint handoff. Events stream to stdout tagged with node and
+// stream; per-node summaries print after every source ends.
+func runClusterMode(log *slog.Logger, dial func() (*llrp.Session, error), addr string, n, nodes int, cfg cluster.Config) int {
+	cfg.OnEvent = func(node cluster.NodeID, id engine.StreamID, ev rfipad.Event) {
+		switch ev.Kind {
+		case rfipad.StrokeDetected:
+			fmt.Printf("[%s/%s] stroke %-8v span %v–%v\n", node, id, ev.Stroke.Motion,
+				ev.Span.Start.Round(10*time.Millisecond), ev.Span.End.Round(10*time.Millisecond))
+		case rfipad.LetterDeduced:
+			fmt.Printf("[%s/%s] letter %q\n", node, id, ev.Letter)
+		}
+	}
+	c := cluster.New(cfg)
+	for i := 0; i < nodes; i++ {
+		id := cluster.NodeID(fmt.Sprintf("node-%02d", i))
+		if _, err := c.AddNode(id); err != nil {
+			log.Error("node join failed", "component", "cluster", "node", string(id), "err", err)
+			c.Close()
+			return 1
+		}
+	}
+	fmt.Printf("cluster up: %d node(s); connecting %d stream(s) to %s...\n", nodes, n, addr)
+	var (
+		wg     sync.WaitGroup
+		failed atomic.Bool
+	)
+	for i := 0; i < n; i++ {
+		sess, err := dial()
+		if err != nil {
+			log.Error("dial failed", "component", "session", "addr", addr, "stream", i, "err", err)
+			c.Close()
+			return 1
+		}
+		defer sess.Close()
+		id := engine.StreamID(fmt.Sprintf("stream-%02d", i))
+		if owner, ok := c.Owner(id); ok {
+			fmt.Printf("[%s] placed on %s\n", id, owner)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := c.RunStream(id, sess)
+			if err != nil && !errors.Is(err, context.Canceled) {
+				log.Error("stream failed", "component", "cluster", "stream", string(id), "err", err)
+				failed.Store(true)
+			}
+		}()
+	}
+	wg.Wait()
+	for node, results := range c.Close() {
+		for _, res := range results {
+			if res.Err != nil {
+				log.Error("stream ended with error", "component", "cluster",
+					"node", string(node), "stream", string(res.ID), "err", res.Err)
+				failed.Store(true)
+				continue
+			}
+			fmt.Printf("[%s/%s] recognized %q (%d stroke(s), %d dead tag(s))\n",
+				node, res.ID, res.Letters, res.Strokes, res.DeadTags)
+		}
 	}
 	if failed.Load() {
 		return 1

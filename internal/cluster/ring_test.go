@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingBalance demands virtual nodes spread keys roughly evenly: no
+// member of a 4-node ring should own a wildly disproportionate share
+// of 10k keys.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 4; i++ {
+		r.Add(NodeID(fmt.Sprintf("node-%d", i)))
+	}
+	counts := map[NodeID]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		owner, ok := r.Owner(fmt.Sprintf("stream-%d", i))
+		if !ok {
+			t.Fatal("owner lookup failed on populated ring")
+		}
+		counts[owner]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d of 4 nodes own keys: %v", len(counts), counts)
+	}
+	for id, n := range counts {
+		// Fair share is 2500; accept a generous 2x spread either way —
+		// the point is "no node starves or hogs", not perfect balance.
+		if n < keys/8 || n > keys/2 {
+			t.Errorf("node %s owns %d of %d keys — outside [%d, %d]",
+				id, n, keys, keys/8, keys/2)
+		}
+	}
+}
+
+// TestRingMinimalMovement pins the consistent part of consistent
+// hashing: removing one member of four must move only that member's
+// keys — every key owned by a survivor keeps its owner.
+func TestRingMinimalMovement(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 4; i++ {
+		r.Add(NodeID(fmt.Sprintf("node-%d", i)))
+	}
+	before := map[string]NodeID{}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("stream-%d", i)
+		owner, _ := r.Owner(key)
+		before[key] = owner
+	}
+	r.Remove("node-2")
+	moved := 0
+	for key, prev := range before {
+		now, ok := r.Owner(key)
+		if !ok {
+			t.Fatal("owner lookup failed")
+		}
+		if prev == "node-2" {
+			if now == "node-2" {
+				t.Fatalf("key %s still owned by removed node", key)
+			}
+			continue
+		}
+		if now != prev {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys moved between surviving nodes on removal; want 0", moved)
+	}
+}
+
+// TestRingDeterministicOrder demands placement be independent of
+// membership-change order: the same member set reached by different
+// add/remove sequences maps every key identically.
+func TestRingDeterministicOrder(t *testing.T) {
+	a := NewRing(32)
+	a.Add("alpha")
+	a.Add("beta")
+	a.Add("gamma")
+
+	b := NewRing(32)
+	b.Add("gamma")
+	b.Add("delta")
+	b.Add("alpha")
+	b.Remove("delta")
+	b.Add("beta")
+
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("stream-%d", i)
+		oa, _ := a.Owner(key)
+		ob, _ := b.Owner(key)
+		if oa != ob {
+			t.Fatalf("key %s: order-dependent placement (%s vs %s)", key, oa, ob)
+		}
+	}
+}
+
+// TestRingEmptyAndIdempotent covers the degenerate edges: an empty
+// ring owns nothing, double add/remove are no-ops.
+func TestRingEmptyAndIdempotent(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Owner("anything"); ok {
+		t.Error("empty ring claimed an owner")
+	}
+	r.Add("solo")
+	r.Add("solo")
+	if r.Len() != 1 {
+		t.Errorf("Len = %d after duplicate add, want 1", r.Len())
+	}
+	if owner, ok := r.Owner("anything"); !ok || owner != "solo" {
+		t.Errorf("single-node ring: owner = %q, %v", owner, ok)
+	}
+	r.Remove("ghost")
+	if r.Len() != 1 {
+		t.Errorf("Len = %d after removing non-member, want 1", r.Len())
+	}
+	r.Remove("solo")
+	r.Remove("solo")
+	if r.Len() != 0 {
+		t.Errorf("Len = %d after removals, want 0", r.Len())
+	}
+}

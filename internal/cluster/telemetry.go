@@ -1,0 +1,52 @@
+package cluster
+
+import "rfipad/internal/obs"
+
+// telemetry bundles the cluster_* instruments: membership, handoffs,
+// handoff latency, and orphaned streams — the observable surface of
+// the coordination layer.
+type telemetry struct {
+	nodes      *obs.Gauge   // live membership size
+	failures   *obs.Counter // nodes declared dead by the failure detector
+	heartbeats *obs.Counter // heartbeats received
+	placed     *obs.Gauge   // streams with a placement
+
+	handoffRestored *obs.Counter   // handoffs whose checkpoint was adopted
+	handoffFallback *obs.Counter   // handoffs that fell back to live calibration
+	retries         *obs.Counter   // transfer attempts retried
+	latency         *obs.Histogram // end-to-end handoff duration
+	rebalanced      *obs.Counter   // migrations triggered by join/leave rebalance
+	orphaned        *obs.Counter   // streams whose owner died with no usable checkpoint
+
+	droppedBatches  *obs.Counter // batches dropped by the router
+	droppedReadings *obs.Counter // readings dropped by the router
+}
+
+func newTelemetry(reg *obs.Registry) *telemetry {
+	return &telemetry{
+		nodes: reg.Gauge("cluster_nodes",
+			"Live cluster members (joined, not failed or left)."),
+		failures: reg.Counter("cluster_node_failures_total",
+			"Nodes declared dead after missing their heartbeat deadline."),
+		heartbeats: reg.Counter("cluster_heartbeats_total",
+			"Heartbeats the coordinator received."),
+		placed: reg.Gauge("cluster_streams_placed",
+			"Streams with a current node placement."),
+		handoffRestored: reg.Counter("cluster_handoffs_total",
+			"Stream migrations by outcome.", obs.L("outcome", "restored")),
+		handoffFallback: reg.Counter("cluster_handoffs_total",
+			"Stream migrations by outcome.", obs.L("outcome", "fallback_live")),
+		retries: reg.Counter("cluster_handoff_retries_total",
+			"Checkpoint transfer attempts retried after a failure."),
+		latency: reg.Histogram("cluster_handoff_seconds",
+			"End-to-end stream handoff latency (evict/load through adoption).", nil),
+		rebalanced: reg.Counter("cluster_rebalance_migrations_total",
+			"Migrations triggered by membership rebalance (join or leave)."),
+		orphaned: reg.Counter("cluster_streams_orphaned_total",
+			"Streams whose owner died with no usable checkpoint to hand off."),
+		droppedBatches: reg.Counter("cluster_dropped_batches_total",
+			"Batches the router dropped (no owner, dead owner, or pending overflow)."),
+		droppedReadings: reg.Counter("cluster_dropped_readings_total",
+			"Readings the router dropped."),
+	}
+}

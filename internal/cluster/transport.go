@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"rfipad/internal/supervise"
+)
+
+// Dialer opens a handoff connection to a peer's transfer listener.
+// Tests substitute a faultnet-wrapping dialer to inject partitions,
+// delays, and drops onto the handoff path.
+type Dialer func(network, addr string) (net.Conn, error)
+
+// errHandoffDeadline marks a transfer abandoned because its overall
+// deadline passed; the coordinator turns it into a fallback_live
+// outcome instead of wedging the stream.
+var errHandoffDeadline = errors.New("cluster: handoff deadline exceeded")
+
+// transferCheckpoint ships one checkpoint to a peer's handoff listener
+// and waits for its "OK" ack, retrying with capped backoff until the
+// overall deadline. Each attempt is bounded by attemptTimeout so a
+// half-open connection (partition after SYN) cannot absorb the whole
+// budget. Retries are safe: the receiver acks an already-adopted
+// stream as success, so a lost ack does not double-adopt.
+func transferCheckpoint(dial Dialer, addr string, cp supervise.Checkpoint,
+	deadline time.Time, attemptTimeout, retryInitial time.Duration,
+	onRetry func()) error {
+
+	if dial == nil {
+		dial = func(network, a string) (net.Conn, error) {
+			return net.DialTimeout(network, a, attemptTimeout)
+		}
+	}
+	backoff := retryInitial
+	if backoff <= 0 {
+		backoff = 25 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if !time.Now().Before(deadline) {
+			if lastErr != nil {
+				return fmt.Errorf("%w (last attempt: %v)", errHandoffDeadline, lastErr)
+			}
+			return errHandoffDeadline
+		}
+		if attempt > 0 {
+			if onRetry != nil {
+				onRetry()
+			}
+			sleep := backoff
+			if until := time.Until(deadline); sleep > until {
+				sleep = until
+			}
+			time.Sleep(sleep)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+		}
+		lastErr = attemptTransfer(dial, addr, cp, deadline, attemptTimeout)
+		if lastErr == nil {
+			return nil
+		}
+	}
+}
+
+// attemptTransfer is one dial → frame → ack round trip.
+func attemptTransfer(dial Dialer, addr string, cp supervise.Checkpoint,
+	deadline time.Time, attemptTimeout time.Duration) error {
+
+	conn, err := dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: handoff dial: %w", err)
+	}
+	defer conn.Close()
+	ioDeadline := time.Now().Add(attemptTimeout)
+	if ioDeadline.After(deadline) {
+		ioDeadline = deadline
+	}
+	conn.SetDeadline(ioDeadline)
+	if err := supervise.WriteCheckpoint(conn, cp); err != nil {
+		return err
+	}
+	var ack [2]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		return fmt.Errorf("cluster: handoff ack: %w", err)
+	}
+	if string(ack[:]) != handoffOK {
+		return fmt.Errorf("cluster: handoff rejected by peer (%q)", ack[:])
+	}
+	return nil
+}

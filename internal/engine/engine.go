@@ -38,6 +38,11 @@ type StreamID string
 // ErrClosed is returned by source-driven feeds once Close has begun.
 var ErrClosed = errors.New("engine: closed")
 
+// ErrStreamExists is returned by AdoptStream when the engine already
+// holds state for the stream — adopting over live state would silently
+// discard recognition in progress.
+var ErrStreamExists = errors.New("engine: stream already exists")
+
 // Config tunes an Engine.
 type Config struct {
 	// Workers is the shard count — the bound on recognition
@@ -141,6 +146,9 @@ type telemetry struct {
 	ckptSaved   *obs.Counter
 	ckptErrors  *obs.Counter
 	ckptLoaded  *obs.Counter
+	evicted     *obs.Counter
+	adopted     *obs.Counter
+	restore     live.RestoreCounters
 }
 
 func newTelemetry(reg *obs.Registry) *telemetry {
@@ -179,16 +187,45 @@ func newTelemetry(reg *obs.Registry) *telemetry {
 			"Checkpoint writes that failed."),
 		ckptLoaded: reg.Counter("engine_checkpoints_restored_total",
 			"Streams whose calibration was restored from a checkpoint."),
+		evicted: reg.Counter("engine_streams_evicted_total",
+			"Streams evicted for migration, with their checkpoint handed to the caller."),
+		adopted: reg.Counter("engine_streams_adopted_total",
+			"Streams adopted from a migrated checkpoint, skipping calibration."),
+		restore: live.NewRestoreCounters(reg),
 	}
 }
 
-// item is one unit of shard work: a batch of readings for a stream, or
-// a flush marker.
+// itemOp selects what a shard does with a mailbox item.
+type itemOp uint8
+
+const (
+	// opBatch ingests a batch of readings.
+	opBatch itemOp = iota
+	// opFlush forces the stream's pending stroke and letter out.
+	opFlush
+	// opEvict removes a calibrated stream and replies with its
+	// checkpoint (the cluster migration hook).
+	opEvict
+	// opAdopt seeds a stream from a migrated checkpoint.
+	opAdopt
+)
+
+// ctrlReply answers an evict or adopt control item.
+type ctrlReply struct {
+	cp  supervise.Checkpoint
+	ok  bool
+	err error
+}
+
+// item is one unit of shard work: a batch of readings for a stream, a
+// flush marker, or an evict/adopt control operation.
 type item struct {
+	op    itemOp
 	id    StreamID
 	batch []core.Reading // ownership transfers to the engine on enqueue
 	enq   time.Time
-	flush bool
+	cp    supervise.Checkpoint // adopt payload
+	reply chan ctrlReply       // evict/adopt reply (buffered, capacity 1)
 }
 
 // streamState is a shard-owned stream: its recognizer state machine
@@ -221,6 +258,9 @@ type Engine struct {
 	shards []*shard
 	wg     sync.WaitGroup
 	closed atomic.Bool
+
+	closeOnce sync.Once
+	final     []StreamResult
 
 	mu      sync.Mutex
 	results []StreamResult
@@ -308,11 +348,61 @@ func (e *Engine) pushWait(it item) bool {
 	}
 }
 
+// PushWait is the blocking variant of Push: when the owning shard's
+// mailbox is full it waits instead of shedding, propagating
+// backpressure to the caller. Ownership of the slice transfers to the
+// engine. Reports false once the engine is closing (the batch is
+// dropped and counted).
+func (e *Engine) PushWait(id StreamID, batch []core.Reading) bool {
+	if len(batch) == 0 {
+		return true
+	}
+	if !e.pushWait(item{id: id, batch: batch, enq: time.Now()}) {
+		e.drop(batch)
+		return false
+	}
+	return true
+}
+
 // FlushStream forces a stream's pending stroke and letter out, as if
 // its source had gone quiet past the flush horizon. Blocks until the
-// marker is enqueued (flushes are never load-shed).
+// marker is enqueued (flushes are never load-shed). A stream that
+// ingests more readings after a flush can be flushed again.
 func (e *Engine) FlushStream(id StreamID) {
-	e.pushWait(item{id: id, enq: time.Now(), flush: true})
+	e.pushWait(item{op: opFlush, id: id, enq: time.Now()})
+}
+
+// EvictStream removes a calibrated stream from its shard and returns
+// the checkpoint the new owner resumes from — the donor side of a
+// cluster migration. The stream's partial result is recorded for
+// Close. ok is false when the stream is unknown, not yet calibrated,
+// quarantined, or the engine is closing; in every ok=false case any
+// existing stream state is left untouched, because an uncalibrated
+// stream carries nothing worth migrating and dropping its prelude
+// would silently lose calibration progress.
+func (e *Engine) EvictStream(id StreamID) (supervise.Checkpoint, bool) {
+	reply := make(chan ctrlReply, 1)
+	if !e.pushWait(item{op: opEvict, id: id, enq: time.Now(), reply: reply}) {
+		return supervise.Checkpoint{}, false
+	}
+	r := <-reply
+	return r.cp, r.ok
+}
+
+// AdoptStream seeds a stream from a migrated checkpoint — the receiver
+// side of a cluster migration. The adopted stream is calibrated from
+// the checkpoint and resumes at its frame cursor via SkipTo, so the
+// first pushed batch is recognized with no recalibration. Returns
+// ErrStreamExists when the engine already holds state for the stream,
+// ErrClosed once Close has begun, or the restore error when the
+// checkpoint payload is unusable (the caller falls back to live
+// calibration).
+func (e *Engine) AdoptStream(id StreamID, cp supervise.Checkpoint) error {
+	reply := make(chan ctrlReply, 1)
+	if !e.pushWait(item{op: opAdopt, id: id, enq: time.Now(), cp: cp, reply: reply}) {
+		return ErrClosed
+	}
+	return (<-reply).err
 }
 
 // RunStream drains a report source (an llrp.Session, a replay, or any
@@ -361,36 +451,40 @@ func (e *Engine) RunStream(id StreamID, src live.ReportSource) (err error) {
 
 // Close stops intake, drains every mailbox (bounded by DrainTimeout),
 // flushes every stream, writes final checkpoints, and returns the
-// per-stream results sorted by ID. Safe to call once.
+// per-stream results sorted by ID. Idempotent: the drain runs once,
+// and every later (or concurrent) call blocks until it completes and
+// returns the same result slice.
 func (e *Engine) Close() []StreamResult {
-	if e.closed.CompareAndSwap(false, true) {
+	e.closeOnce.Do(func() {
+		e.closed.Store(true)
 		e.tel.accepting.Set(0)
 		for _, s := range e.shards {
 			close(s.stop)
 		}
-	}
-	e.wg.Wait()
-	if e.cfg.Logger != nil {
-		// Final telemetry: the run's aggregate counters, so a drained
-		// daemon leaves its evidence in the log even if nobody scraped
-		// /metrics in time.
-		e.cfg.Logger.Info("engine drained",
-			"streams", e.tel.streams.Value(),
-			"batches", e.tel.batches.Value(),
-			"readings", e.tel.readings.Value(),
-			"dropped_readings", e.tel.droppedR.Value(),
-			"abandoned_batches", e.tel.abandoned.Value(),
-			"stream_errors", e.tel.errors.Value(),
-			"panics", e.tel.panics.Value(),
-			"quarantined", e.tel.quarantined.Value(),
-			"checkpoints_saved", e.tel.ckptSaved.Value())
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	slices.SortFunc(e.results, func(a, b StreamResult) int {
-		return strings.Compare(string(a.ID), string(b.ID))
+		e.wg.Wait()
+		if e.cfg.Logger != nil {
+			// Final telemetry: the run's aggregate counters, so a drained
+			// daemon leaves its evidence in the log even if nobody scraped
+			// /metrics in time.
+			e.cfg.Logger.Info("engine drained",
+				"streams", e.tel.streams.Value(),
+				"batches", e.tel.batches.Value(),
+				"readings", e.tel.readings.Value(),
+				"dropped_readings", e.tel.droppedR.Value(),
+				"abandoned_batches", e.tel.abandoned.Value(),
+				"stream_errors", e.tel.errors.Value(),
+				"panics", e.tel.panics.Value(),
+				"quarantined", e.tel.quarantined.Value(),
+				"checkpoints_saved", e.tel.ckptSaved.Value())
+		}
+		e.mu.Lock()
+		slices.SortFunc(e.results, func(a, b StreamResult) int {
+			return strings.Compare(string(a.ID), string(b.ID))
+		})
+		e.final = e.results
+		e.mu.Unlock()
 	})
-	return e.results
+	return e.final
 }
 
 func (s *shard) run() {
@@ -416,6 +510,11 @@ func (s *shard) run() {
 				select {
 				case it := <-s.mail:
 					if time.Now().After(deadline) {
+						if it.reply != nil {
+							// An abandoned control item must still answer,
+							// or its caller hangs forever.
+							it.reply <- ctrlReply{err: ErrClosed}
+						}
 						s.eng.tel.abandoned.Inc()
 						s.eng.tel.droppedR.Add(uint64(len(it.batch)))
 						continue
@@ -452,19 +551,26 @@ func (s *shard) stream(id StreamID) *streamState {
 				st.res.Calibrated = true
 				st.res.DeadTags = restored.DeadTags()
 				s.eng.tel.ckptLoaded.Inc()
+				s.eng.tel.restore.Restored.Inc()
 				s.eng.tel.calibrated.Add(1)
 				if s.eng.cfg.Logger != nil {
 					s.eng.cfg.Logger.Info("stream calibration restored",
 						"stream", string(id), "saved_at", cp.SavedAt,
 						"stream_time", cp.StreamTime, "dead_tags", st.res.DeadTags)
 				}
-			} else if s.eng.cfg.Logger != nil {
-				s.eng.cfg.Logger.Warn("stream checkpoint unusable; calibrating live",
-					"stream", string(id), "err", rerr)
+			} else {
+				s.eng.tel.restore.Corrupt.Inc()
+				if s.eng.cfg.Logger != nil {
+					s.eng.cfg.Logger.Warn("stream checkpoint unusable; calibrating live",
+						"stream", string(id), "err", rerr)
+				}
 			}
-		} else if !errors.Is(err, supervise.ErrNoCheckpoint) && s.eng.cfg.Logger != nil {
-			s.eng.cfg.Logger.Warn("stream checkpoint load failed; calibrating live",
-				"stream", string(id), "err", err)
+		} else {
+			s.eng.tel.restore.ObserveLoad(err)
+			if !errors.Is(err, supervise.ErrNoCheckpoint) && s.eng.cfg.Logger != nil {
+				s.eng.cfg.Logger.Warn("stream checkpoint load failed; calibrating live",
+					"stream", string(id), "err", err)
+			}
 		}
 	}
 	if st.st == nil {
@@ -478,15 +584,24 @@ func (s *shard) stream(id StreamID) *streamState {
 // handle processes one item under the shard's recover boundary: a
 // panic anywhere in the stream's state machine (or the caller's
 // OnEvent) quarantines that stream while its shard siblings keep
-// flowing.
+// flowing. Evict/adopt control items have their own reply paths and
+// never touch the quarantine machinery.
 func (s *shard) handle(it item) {
+	switch it.op {
+	case opEvict:
+		s.evict(it)
+		return
+	case opAdopt:
+		s.adopt(it)
+		return
+	}
 	st := s.stream(it.id)
 	defer func() {
 		if r := recover(); r != nil {
 			s.quarantine(st, r)
 		}
 	}()
-	if it.flush {
+	if it.op == opFlush {
 		if !st.flushed && st.res.Err == nil {
 			st.flushed = true
 			s.deliver(st, st.st.Flush(), it.enq)
@@ -500,6 +615,9 @@ func (s *shard) handle(it item) {
 		s.eng.tel.droppedR.Add(uint64(len(it.batch)))
 		return
 	}
+	// New data re-arms the flush marker: a stream that keeps writing
+	// after an explicit flush can be flushed again.
+	st.flushed = false
 	s.eng.tel.batches.Inc()
 	s.eng.tel.readings.Add(uint64(len(it.batch)))
 	for _, rd := range it.batch {
@@ -549,6 +667,82 @@ func (s *shard) quarantine(st *streamState, cause any) {
 			"stream", string(st.id), "panic", fmt.Sprint(cause),
 			"stack", string(debug.Stack()))
 	}
+}
+
+// evict removes a calibrated stream from the shard, replying with its
+// checkpoint. Unknown, uncalibrated, and quarantined streams reply
+// ok=false and are left in place.
+func (s *shard) evict(it item) {
+	st, ok := s.streams[it.id]
+	if !ok || st.quarantined || st.st == nil || !st.st.Calibrated() {
+		it.reply <- ctrlReply{}
+		return
+	}
+	cp, cok := st.st.Checkpoint(string(it.id))
+	if !cok {
+		it.reply <- ctrlReply{}
+		return
+	}
+	delete(s.streams, it.id)
+	s.eng.tel.calibrated.Add(-1)
+	s.eng.tel.evicted.Inc()
+	s.eng.mu.Lock()
+	s.eng.results = append(s.eng.results, st.res)
+	s.eng.mu.Unlock()
+	if s.eng.cfg.Logger != nil {
+		s.eng.cfg.Logger.Info("stream evicted for migration",
+			"stream", string(it.id), "frame_cursor", cp.FrameCursor,
+			"letters", st.res.Letters)
+	}
+	it.reply <- ctrlReply{cp: cp, ok: true}
+}
+
+// adopt seeds a stream from a migrated checkpoint. The checkpoint
+// payload arrived over a network transfer, so the restore runs under a
+// recover boundary that turns any panic into an error reply instead of
+// a dead shard.
+func (s *shard) adopt(it item) {
+	replied := false
+	reply := func(r ctrlReply) {
+		if !replied {
+			replied = true
+			it.reply <- r
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			reply(ctrlReply{err: fmt.Errorf("engine: adopt %s: panic: %v", it.id, r)})
+		}
+	}()
+	if _, ok := s.streams[it.id]; ok {
+		reply(ctrlReply{err: fmt.Errorf("%w: %s", ErrStreamExists, it.id)})
+		return
+	}
+	restored, err := live.RestoreStream(s.eng.cfg.Stream, it.cp)
+	if err != nil {
+		reply(ctrlReply{err: err})
+		return
+	}
+	st := &streamState{
+		id: it.id,
+		st: restored,
+		latency: s.eng.tel.reg.Histogram("engine_event_latency_seconds",
+			"Enqueue-to-emission latency of recognition events.",
+			nil, obs.L("stream", string(it.id))),
+	}
+	st.res.ID = it.id
+	st.res.Calibrated = true
+	st.res.DeadTags = restored.DeadTags()
+	s.streams[it.id] = st
+	s.eng.tel.streams.Add(1)
+	s.eng.tel.calibrated.Add(1)
+	s.eng.tel.adopted.Inc()
+	if s.eng.cfg.Logger != nil {
+		s.eng.cfg.Logger.Info("stream adopted from migrated checkpoint",
+			"stream", string(it.id), "stream_time", it.cp.StreamTime,
+			"frame_cursor", it.cp.FrameCursor, "dead_tags", st.res.DeadTags)
+	}
+	reply(ctrlReply{ok: true})
 }
 
 // checkpoint persists one stream's calibration state, when enabled.

@@ -140,6 +140,7 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 		"Calibrations restored from a checkpoint, skipping the static prelude.")
 	savedCounter := reg.Counter("rfipad_checkpoints_saved_total",
 		"Calibration checkpoints written.")
+	restoreOutcomes := NewRestoreCounters(reg)
 	calibratedGauge.Set(0)
 	readyGauge.Set(0)
 	san := core.NewSanitizer(reg)
@@ -160,17 +161,23 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 				st = rst
 				res.CalibrationRestored = true
 				restoredCounter.Inc()
+				restoreOutcomes.Restored.Inc()
 				markCalibrated()
 				logInfo("calibration restored from checkpoint",
 					"saved_at", cp.SavedAt, "stream_time", cp.StreamTime,
 					"dead_tags", res.DeadTags)
 				status("calibration restored from checkpoint; recognizing immediately")
-			} else if cfg.Logger != nil {
-				cfg.Logger.Warn("checkpoint unusable; calibrating live", "err", rerr)
+			} else {
+				restoreOutcomes.Corrupt.Inc()
+				if cfg.Logger != nil {
+					cfg.Logger.Warn("checkpoint unusable; calibrating live", "err", rerr)
+				}
 			}
 		case errors.Is(err, supervise.ErrNoCheckpoint):
 			// First run: nothing to restore.
+			restoreOutcomes.Missing.Inc()
 		default:
+			restoreOutcomes.ObserveLoad(err)
 			if cfg.Logger != nil {
 				cfg.Logger.Warn("checkpoint load failed; calibrating live", "err", err)
 			}

@@ -1,0 +1,53 @@
+package live
+
+import (
+	"errors"
+
+	"rfipad/internal/obs"
+	"rfipad/internal/supervise"
+)
+
+// RestoreCounters is the labeled checkpoint_restore_total family: one
+// counter per restore outcome, so recovery behavior is observable on
+// /metrics instead of only in logs. Both the single-stream loop (Run)
+// and the sharded engine count their restore attempts through it.
+type RestoreCounters struct {
+	// Restored counts checkpoints that loaded, validated, and rebuilt a
+	// stream.
+	Restored *obs.Counter
+	// Stale counts checkpoints rejected by the staleness bound.
+	Stale *obs.Counter
+	// Corrupt counts undecodable or unusable checkpoints (bad bytes,
+	// version skew, or a payload the restore rejected).
+	Corrupt *obs.Counter
+	// Missing counts restore attempts with no checkpoint on disk.
+	Missing *obs.Counter
+}
+
+// NewRestoreCounters registers the checkpoint_restore_total outcomes
+// in reg.
+func NewRestoreCounters(reg *obs.Registry) RestoreCounters {
+	const name = "checkpoint_restore_total"
+	const help = "Checkpoint restore attempts by outcome."
+	return RestoreCounters{
+		Restored: reg.Counter(name, help, obs.L("outcome", "restored")),
+		Stale:    reg.Counter(name, help, obs.L("outcome", "stale")),
+		Corrupt:  reg.Counter(name, help, obs.L("outcome", "corrupt")),
+		Missing:  reg.Counter(name, help, obs.L("outcome", "missing")),
+	}
+}
+
+// ObserveLoad classifies a Store.LoadFresh error. A nil error is NOT
+// counted here — the caller counts Restored only after the restore
+// itself succeeds (a loaded-but-unusable payload counts as corrupt).
+func (rc RestoreCounters) ObserveLoad(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, supervise.ErrNoCheckpoint):
+		rc.Missing.Inc()
+	case errors.Is(err, supervise.ErrStale):
+		rc.Stale.Inc()
+	default:
+		rc.Corrupt.Inc()
+	}
+}

@@ -182,3 +182,61 @@ func TestBreakerConcurrency(t *testing.T) {
 	wg.Wait()
 	b.State() // must not race or deadlock
 }
+
+// TestBreakerHalfOpenSingleProbeRace hammers the half-open gate from
+// many goroutines at once: after the cool-down, exactly one caller may
+// carry the probe — every concurrent Allow must be held back until the
+// probe resolves. Run under -race, this also pins the probing flag's
+// synchronization.
+func TestBreakerHalfOpenSingleProbeRace(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{
+		Threshold: 1, Window: time.Minute, Cooldown: time.Second, Now: clk.now,
+	})
+	for round := 0; round < 10; round++ {
+		b.Failure()
+		if st := b.State(); st != BreakerOpen {
+			t.Fatalf("round %d: state %v, want open", round, st)
+		}
+		clk.advance(1500 * time.Millisecond) // past max jittered cool-down
+
+		var wg sync.WaitGroup
+		admitted := make(chan struct{}, 64)
+		for i := 0; i < 64; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, ok := b.Allow(); ok {
+					admitted <- struct{}{}
+				}
+			}()
+		}
+		wg.Wait()
+		close(admitted)
+		probes := 0
+		for range admitted {
+			probes++
+		}
+		if probes != 1 {
+			t.Fatalf("round %d: %d probes admitted concurrently, want exactly 1", round, probes)
+		}
+		// Resolve the probe so the next round starts from a known
+		// state; alternate outcomes to cover both transitions.
+		if round%2 == 0 {
+			b.Success()
+			if st := b.State(); st != BreakerClosed {
+				t.Fatalf("round %d: successful probe left %v", round, st)
+			}
+		} else {
+			b.Failure()
+			if st := b.State(); st != BreakerOpen {
+				t.Fatalf("round %d: failed probe left %v", round, st)
+			}
+			clk.advance(1500 * time.Millisecond)
+			if _, ok := b.Allow(); !ok {
+				t.Fatalf("round %d: recovery probe not admitted", round)
+			}
+			b.Success()
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -116,6 +117,49 @@ func DecodeCheckpoint(data []byte) (Checkpoint, error) {
 		return cp, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return cp, nil
+}
+
+// WriteCheckpoint frames cp onto a stream transport: a 4-byte
+// big-endian length prefix followed by the versioned, checksummed
+// EncodeCheckpoint bytes. This is the wire format of a cluster
+// checkpoint handoff — the same integrity envelope the on-disk store
+// uses, so a transfer corrupted in flight fails the receiver's CRC
+// instead of feeding garbage calibration into a recognizer. The frame
+// goes out in one Write so byte-level fault injectors see a single
+// unit.
+func WriteCheckpoint(w io.Writer, cp Checkpoint) error {
+	data, err := EncodeCheckpoint(cp)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(buf, uint32(len(data)))
+	copy(buf[4:], data)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("supervise: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint reads one length-prefixed checkpoint frame written by
+// WriteCheckpoint and validates it. The length field is bounded before
+// any allocation, and every malformed input returns a typed error
+// (ErrCorrupt/ErrVersion, wrapped) — the receiving node must survive
+// whatever a faulty link delivers.
+func ReadCheckpoint(r io.Reader) (Checkpoint, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Checkpoint{}, fmt.Errorf("supervise: read checkpoint: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < headerLen || n > maxPayload+headerLen {
+		return Checkpoint{}, fmt.Errorf("%w: transfer frame length %d", ErrCorrupt, n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return Checkpoint{}, fmt.Errorf("supervise: read checkpoint: %w", err)
+	}
+	return DecodeCheckpoint(data)
 }
 
 // Store persists checkpoints as one file per stream in a directory.

@@ -1,6 +1,7 @@
 package supervise
 
 import (
+	"bytes"
 	"errors"
 	"os"
 	"path/filepath"
@@ -224,5 +225,78 @@ func TestNewStoreRejectsUnwritableDir(t *testing.T) {
 func TestNewStoreRejectsEmptyDir(t *testing.T) {
 	if _, err := NewStore(""); err == nil {
 		t.Fatal("empty dir accepted")
+	}
+}
+
+// TestWriteReadCheckpointTransferFrame round-trips the wire framing a
+// cluster handoff uses, and demands the receiver reject what a faulty
+// link can produce: truncated frames, implausible length prefixes, and
+// payloads corrupted in flight.
+func TestWriteReadCheckpointTransferFrame(t *testing.T) {
+	want := testCheckpoint()
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	wire := append([]byte(nil), buf.Bytes()...)
+
+	got, err := ReadCheckpoint(bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stream != want.Stream || got.FrameCursor != want.FrameCursor ||
+		got.StreamTime != want.StreamTime {
+		t.Fatalf("round trip mangled checkpoint: %+v", got)
+	}
+
+	// Truncated mid-payload: the cut a dropped connection leaves.
+	if _, err := ReadCheckpoint(bytes.NewReader(wire[:len(wire)-5])); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	// Truncated mid-header.
+	if _, err := ReadCheckpoint(bytes.NewReader(wire[:2])); err == nil {
+		t.Error("truncated length prefix accepted")
+	}
+	// Implausible length prefix: must fail the bound before allocating.
+	huge := append([]byte{0xff, 0xff, 0xff, 0xff}, wire[4:]...)
+	if _, err := ReadCheckpoint(bytes.NewReader(huge)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized length err = %v, want ErrCorrupt", err)
+	}
+	tiny := append([]byte{0, 0, 0, 1}, wire[4:]...)
+	if _, err := ReadCheckpoint(bytes.NewReader(tiny)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("undersized length err = %v, want ErrCorrupt", err)
+	}
+	// One flipped payload byte: the CRC must catch it.
+	flipped := append([]byte(nil), wire...)
+	flipped[len(flipped)-3] ^= 0x40
+	if _, err := ReadCheckpoint(bytes.NewReader(flipped)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupted payload err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestStoreLoadFreshStalenessBoundary pins the exact boundary: a
+// checkpoint aged precisely maxAge is still fresh — the bound is
+// strictly greater-than, so "-checkpoint-max-age 15m" keeps a
+// checkpoint saved exactly 15 minutes ago.
+func TestStoreLoadFreshStalenessBoundary(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	cp := testCheckpoint()
+	cp.SavedAt = saved
+	if err := st.Save(cp); err != nil {
+		t.Fatal(err)
+	}
+	const maxAge = 15 * time.Minute
+
+	st.Now = func() time.Time { return saved.Add(maxAge) }
+	if _, err := st.LoadFresh(cp.Stream, maxAge); err != nil {
+		t.Errorf("age == maxAge rejected: %v (boundary must be inclusive)", err)
+	}
+	st.Now = func() time.Time { return saved.Add(maxAge + time.Nanosecond) }
+	if _, err := st.LoadFresh(cp.Stream, maxAge); !errors.Is(err, ErrStale) {
+		t.Errorf("age just past maxAge err = %v, want ErrStale", err)
 	}
 }

@@ -29,16 +29,18 @@ fi
 echo '== go build ./...'
 go build ./...
 
-echo '== go test -race ./...'
-go test -race ./...
+echo '== go test -race -shuffle=on ./...'
+go test -race -shuffle=on ./...
 
 # The self-healing paths are timing-sensitive (panic quarantine, drain
 # deadlines, kill/restore); run them twice under the race detector so a
-# flaky interleaving fails the gate instead of slipping through.
+# flaky interleaving fails the gate instead of slipping through. The
+# cluster node-kill chaos tests ride along: heartbeat failure
+# detection and checkpoint handoff are nothing but timing.
 echo '== chaos + recovery tests (-race -count=2)'
 go test -race -count=2 \
-    -run 'TestEnginePanic|TestEngineSourcePanic|TestEngineCheckpoint|TestEngineDrain|TestCheckpointRestore|TestCheckpointStale|TestSessionBreaker' \
-    ./internal/engine ./internal/live ./internal/llrp
+    -run 'TestEnginePanic|TestEngineSourcePanic|TestEngineCheckpoint|TestEngineDrain|TestCheckpointRestore|TestCheckpointStale|TestSessionBreaker|TestClusterNodeKill|TestClusterHandoff|TestClusterLeave' \
+    ./internal/engine ./internal/live ./internal/llrp ./internal/cluster
 
 # Short fuzz pass over the checkpoint decoder: corrupt files must decode
 # to typed errors, never panic a daemon at boot. New crashers land in
@@ -57,5 +59,8 @@ go test -run '^$' -bench 'BenchmarkRecognizerIngestSteadyState|BenchmarkEngineMu
 
 echo '== engine bench report (BENCH_engine.json)'
 go run ./cmd/rfipad-bench -engine -engine-streams 8 -engine-json BENCH_engine.json
+
+echo '== cluster bench report (BENCH_cluster.json)'
+go run ./cmd/rfipad-bench -cluster -cluster-nodes 3 -cluster-json BENCH_cluster.json
 
 echo 'CI OK'
