@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"rfipad/internal/core"
+	"rfipad/internal/obs"
+	"rfipad/internal/obs/trace"
 )
 
 // steadyStateRecognizer returns a recognizer warmed past its buffer
@@ -58,6 +60,49 @@ func TestRecognizerIngestSteadyStateAllocs(t *testing.T) {
 	feed := steadyStateRecognizer(t)
 	if avg := testing.AllocsPerRun(5000, func() { feed() }); avg != 0 {
 		t.Errorf("steady-state Ingest allocates %.4f objects/reading, want 0", avg)
+	}
+}
+
+// TestUnsampledTraceAllocs pins the unsampled tracing path at zero
+// allocations: an unsampled stream resolves to a nil *StreamTrace, and
+// recording through it — exactly what the engine's per-batch hot path
+// does when a stream lost the sampling lottery — must cost nothing
+// beyond the nil check. This guards the PR-7 contract that tracing is
+// free for the (SampleEvery-1)/SampleEvery majority of streams.
+func TestUnsampledTraceAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	tr := trace.New(trace.Config{SampleEvery: -1, Obs: obs.NewRegistry()})
+	st := tr.Stream("plate-0") // nil: sampling disabled
+	if st != nil {
+		t.Fatal("expected unsampled stream")
+	}
+	if avg := testing.AllocsPerRun(5000, func() {
+		st.Add(trace.Span{Name: trace.SpanIngest, Count: 64})
+	}); avg != 0 {
+		t.Errorf("unsampled StreamTrace.Add allocates %.4f objects/span, want 0", avg)
+	}
+	// Resolving an already-decided stream is also allocation-free: the
+	// engine hot path holds the handle, but the live pipeline re-resolves
+	// per reconnect and must not leak decisions.
+	if avg := testing.AllocsPerRun(5000, func() {
+		tr.Stream("plate-0")
+	}); avg != 0 {
+		t.Errorf("memoized Tracer.Stream allocates %.4f objects/lookup, want 0", avg)
+	}
+
+	// A sampled stream's ring reuses preallocated slots, so even the
+	// sampled path is allocation-free after the ring fills once.
+	sampled := trace.New(trace.Config{SampleEvery: 1, BufSpans: 64, Obs: obs.NewRegistry()})
+	hot := sampled.Stream("plate-1")
+	for i := 0; i < 64; i++ {
+		hot.Add(trace.Span{Name: trace.SpanIngest})
+	}
+	if avg := testing.AllocsPerRun(5000, func() {
+		hot.Add(trace.Span{Name: trace.SpanIngest, Count: 64})
+	}); avg != 0 {
+		t.Errorf("sampled StreamTrace.Add allocates %.4f objects/span after ring warm-up, want 0", avg)
 	}
 }
 

@@ -59,6 +59,7 @@ import (
 	"rfipad/internal/live"
 	"rfipad/internal/llrp"
 	"rfipad/internal/obs"
+	"rfipad/internal/obs/trace"
 	"rfipad/internal/supervise"
 )
 
@@ -103,9 +104,13 @@ func run() int {
 		checkpointEvery  = flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint save interval")
 		checkpointMaxAge = flag.Duration("checkpoint-max-age", 15*time.Minute, "ignore checkpoints older than this and calibrate live")
 
-		obsAddr   = flag.String("obs-addr", "", "admin listen address serving /metrics, /healthz, /readyz, /debug/pprof (empty disables)")
+		obsAddr   = flag.String("obs-addr", "", "admin listen address serving /metrics, /healthz, /readyz, /debug/traces, /debug/flight, /debug/pprof (empty disables)")
 		logFormat = flag.String("log-format", obs.FormatText, "log output format: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+
+		traceSample = flag.Int("trace-sample", 1, "trace one in N streams (1 = every stream, negative disables tracing)")
+		traceBuf    = flag.Int("trace-buf", 256, "per-stream trace ring capacity in spans")
+		flightDir   = flag.String("flight-dir", "", "directory for anomaly flight-recorder dumps (flight.jsonl; empty disables)")
 	)
 	flag.Parse()
 
@@ -134,6 +139,8 @@ func run() int {
 		return usageError("-breaker-cooldown and -breaker-window must be positive")
 	case *checkpointEvery <= 0 || *checkpointMaxAge <= 0:
 		return usageError("-checkpoint-every and -checkpoint-max-age must be positive")
+	case *traceBuf <= 0:
+		return usageError("-trace-buf must be positive (got %d)", *traceBuf)
 	}
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -158,13 +165,29 @@ func run() int {
 	defer stop()
 
 	reg := obs.Default()
+	tracer := trace.New(trace.Config{SampleEvery: *traceSample, BufSpans: *traceBuf, Obs: reg})
+	var flight *trace.Flight
+	if *flightDir != "" {
+		flight, err = trace.OpenFlight(*flightDir, reg, 0)
+		if err != nil {
+			return usageError("-flight-dir: %v", err)
+		}
+		defer flight.Close()
+		log.Info("flight recorder armed", "component", "obs", "file", flight.Path())
+	}
 	if *obsAddr != "" {
-		admin, err := obs.StartAdmin(*obsAddr, reg, liveHealth(reg), liveReady(reg))
+		admin, err := obs.StartAdmin(*obsAddr, reg, liveHealth(reg), liveReady(reg),
+			obs.Endpoint{Pattern: "/debug/traces", Handler: tracer.Handler()},
+			obs.Endpoint{Pattern: "/debug/flight", Handler: flight.Handler()})
 		if err != nil {
 			log.Error("admin listener failed", "addr", *obsAddr, "err", err)
 			return 1
 		}
-		defer admin.Close()
+		defer func() {
+			if cerr := admin.Close(); cerr != nil {
+				log.Warn("admin shutdown", "component", "obs", "err", cerr)
+			}
+		}()
 		log.Info("admin listening", "component", "obs", "addr", admin.Addr())
 	}
 
@@ -182,6 +205,7 @@ func run() int {
 			BreakerThreshold:  *breakerThreshold,
 			BreakerWindow:     *breakerWindow,
 			BreakerCooldown:   *breakerCooldown,
+			Flight:            flight,
 			OnEvent:           func(ev llrp.SessionEvent) { logSessionEvent(sessLog, ev) },
 		})
 	}
@@ -197,6 +221,8 @@ func run() int {
 			CheckpointEvery:  *checkpointEvery,
 			CheckpointMaxAge: *checkpointMaxAge,
 			Logger:           obs.Component(log, "cluster"),
+			Trace:            tracer,
+			Flight:           flight,
 		})
 	}
 
@@ -210,6 +236,8 @@ func run() int {
 			CheckpointEvery:  *checkpointEvery,
 			CheckpointMaxAge: *checkpointMaxAge,
 			DrainTimeout:     *drainTimeout,
+			Trace:            tracer,
+			Flight:           flight,
 		})
 	}
 
@@ -228,6 +256,8 @@ func run() int {
 		Checkpoints:      store,
 		CheckpointEvery:  *checkpointEvery,
 		CheckpointMaxAge: *checkpointMaxAge,
+		Trace:            tracer,
+		Flight:           flight,
 		OnEvent: func(ev rfipad.Event) {
 			switch ev.Kind {
 			case rfipad.StrokeDetected:

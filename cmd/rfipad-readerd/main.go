@@ -121,6 +121,10 @@ func run() int {
 	defer stop()
 
 	reg := obs.Default()
+	// The reader daemon has no recognition pipeline to trace, but its
+	// /metrics still carries the Go runtime panel (GC pauses, heap,
+	// goroutines, scheduling latency) like every other process.
+	obs.EnableRuntimeMetrics(reg)
 	// One capture per stream variant: the same word written by distinct
 	// simulated deployments, so a multi-stream backend exercises
 	// independent calibrations and recognizer states.
@@ -209,7 +213,11 @@ func run() int {
 			log.Error("admin listener failed", "addr", *obsAddr, "err", err)
 			return 1
 		}
-		defer admin.Close()
+		defer func() {
+			if cerr := admin.Close(); cerr != nil {
+				log.Warn("admin shutdown", "err", cerr)
+			}
+		}()
 		log.Info("admin listening", "addr", admin.Addr())
 	}
 

@@ -133,8 +133,11 @@ func TestClusterNodeKillMigratesViaCheckpoint(t *testing.T) {
 	if v := snap.Value("engine_streams_adopted_total"); v != float64(lost) {
 		t.Errorf("engine_streams_adopted_total = %v, want %d", v, lost)
 	}
-	if n := snap.HistCount("cluster_handoff_seconds"); n != uint64(lost) {
-		t.Errorf("cluster_handoff_seconds count = %d, want %d", n, lost)
+	if n := snap.HistCount("cluster_handoff_seconds", obs.L("trigger", "failure")); n != uint64(lost) {
+		t.Errorf("cluster_handoff_seconds{trigger=failure} count = %d, want %d", n, lost)
+	}
+	if n := snap.HistCount("cluster_handoff_seconds", obs.L("trigger", "graceful")); n != 0 {
+		t.Errorf("cluster_handoff_seconds{trigger=graceful} count = %d, want 0 (kill is failure-driven)", n)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"rfipad/internal/live"
 	"rfipad/internal/llrp"
 	"rfipad/internal/obs"
+	"rfipad/internal/obs/trace"
 	"rfipad/internal/supervise"
 )
 
@@ -77,6 +78,17 @@ type Config struct {
 	// Logger receives structured membership and handoff records
 	// (optional).
 	Logger *slog.Logger
+
+	// Trace, when set, is the tracer every node's engine and the
+	// coordinator share: migration spans (evict → transfer → adopt →
+	// skipto) land in the same per-stream ring as the owning shard's
+	// pipeline spans, stitched by the TraceID riding the checkpoint
+	// frame. Nil disables tracing.
+	Trace *trace.Tracer
+	// Flight, when set, receives anomaly dumps from every node and the
+	// coordinator: panic quarantines, corrupt handoff frames, and
+	// handoffs that fell back to live recalibration.
+	Flight *trace.Flight
 }
 
 func (c Config) withDefaults() Config {
@@ -185,6 +197,9 @@ func (c *Cluster) AddNode(id NodeID) (*Node, error) {
 		Stream:           c.cfg.Stream,
 		Obs:              c.reg,
 		Logger:           c.log,
+		Trace:            c.cfg.Trace,
+		TraceNode:        string(id),
+		Flight:           c.cfg.Flight,
 		Checkpoints:      c.cfg.Checkpoints,
 		CheckpointEvery:  c.cfg.CheckpointEvery,
 		CheckpointMaxAge: c.cfg.CheckpointMaxAge,
@@ -198,6 +213,7 @@ func (c *Cluster) AddNode(id NodeID) (*Node, error) {
 		eng:    engine.New(ecfg),
 		ln:     ln,
 		log:    c.log,
+		flight: c.cfg.Flight,
 		hbStop: make(chan struct{}),
 	}
 
@@ -404,10 +420,12 @@ func (c *Cluster) runMigration(m migration) {
 	defer c.migWG.Done()
 	start := time.Now()
 	deadline := start.Add(c.cfg.HandoffTimeout)
+	trig := m.trigger()
 
 	// 1. Obtain the checkpoint.
 	var cp supervise.Checkpoint
 	haveCP := false
+	evictErr := ""
 	if m.graceful {
 		cp, haveCP = m.fromNode.evict(m.id)
 		if !haveCP && !m.mustMove {
@@ -416,33 +434,78 @@ func (c *Cluster) runMigration(m migration) {
 			c.finalizeSticky(m)
 			return
 		}
+		if !haveCP {
+			evictErr = "nothing calibrated to evict"
+		}
 	} else if c.cfg.Checkpoints != nil {
 		loaded, err := c.cfg.Checkpoints.LoadFresh(string(m.id), c.cfg.CheckpointMaxAge)
 		if err == nil {
 			cp, haveCP = loaded, true
-		} else if c.log != nil {
-			c.log.Warn("no usable checkpoint for failed node's stream",
-				"stream", string(m.id), "err", err)
+		} else {
+			evictErr = err.Error()
+			if c.log != nil {
+				c.log.Warn("no usable checkpoint for failed node's stream",
+					"stream", string(m.id), "err", err)
+			}
 		}
+	} else {
+		evictErr = "no durable checkpoint store"
 	}
+
+	// The migration's spans land in the stream's existing ring: the
+	// coordinator shares the tracer with the node engines, and for a
+	// dead donor the checkpoint's TraceID recovers the identity the
+	// corpse was tracing under.
+	tr := c.traceFor(m.id, cp.TraceID)
+	tr.Add(trace.Span{Name: trace.SpanEvict, Node: string(m.from), Trigger: trig,
+		Start: start, Duration: time.Since(start), Err: evictErr})
 
 	// 2. Resolve the new owner and transfer.
 	restored := false
 	target, targetAddr, ok := c.resolveOwner(m.id)
 	if ok && haveCP {
+		transferStart := time.Now()
+		attempts := 1
 		err := transferCheckpoint(c.cfg.Dial, targetAddr, cp, deadline,
 			c.cfg.HandoffAttemptTimeout, c.cfg.HandoffRetryInitial,
-			c.tel.retries.Inc)
+			func() { attempts++; c.tel.retries.Inc() })
+		sp := trace.Span{Name: trace.SpanTransfer, Node: string(target), Trigger: trig,
+			Start: transferStart, Duration: time.Since(transferStart), Count: attempts}
 		if err == nil {
 			restored = true
-		} else if c.log != nil {
-			c.log.Warn("checkpoint handoff failed; stream falls back to live calibration",
-				"stream", string(m.id), "target", string(target), "err", err)
+		} else {
+			sp.Err = err.Error()
+			if c.log != nil {
+				c.log.Warn("checkpoint handoff failed; stream falls back to live calibration",
+					"stream", string(m.id), "target", string(target), "err", err)
+			}
 		}
+		tr.Add(sp)
 	}
 
 	// 3. Finalize.
-	c.finalize(m, target, ok, restored, haveCP, start)
+	c.finalize(m, tr, target, ok, restored, haveCP, start)
+}
+
+// trigger is the migration's attribution label — the same value the
+// cluster_handoff_seconds histogram and the evict/transfer spans carry,
+// so latency aggregates and traces never disagree about why a stream
+// moved.
+func (m migration) trigger() string {
+	if m.graceful {
+		return "graceful"
+	}
+	return "failure"
+}
+
+// traceFor resolves a stream's trace handle for migration spans,
+// preferring the identity carried by its checkpoint (stitching across a
+// dead donor) over a fresh local sampling decision.
+func (c *Cluster) traceFor(id engine.StreamID, traceID string) *trace.StreamTrace {
+	if tid, err := trace.ParseID(traceID); err == nil && tid != 0 {
+		return c.cfg.Trace.Adopt(string(id), tid)
+	}
+	return c.cfg.Trace.Stream(string(id))
 }
 
 // resolveOwner maps a stream to its current ring owner and handoff
@@ -481,7 +544,7 @@ func (c *Cluster) finalizeSticky(m migration) {
 // finalize re-points the placement and flushes buffered batches to the
 // new owner. If the target died mid-transfer the migration restarts
 // failure-driven; if the ring is empty the stream is orphaned.
-func (c *Cluster) finalize(m migration, target NodeID, haveTarget, restored, haveCP bool, start time.Time) {
+func (c *Cluster) finalize(m migration, tr *trace.StreamTrace, target NodeID, haveTarget, restored, haveCP bool, start time.Time) {
 	c.mu.Lock()
 	p := c.placements[m.id]
 	if haveTarget {
@@ -512,6 +575,7 @@ func (c *Cluster) finalize(m migration, target NodeID, haveTarget, restored, hav
 	c.mu.Unlock()
 
 	if haveTarget {
+		trig := m.trigger()
 		if restored {
 			c.tel.handoffRestored.Inc()
 		} else {
@@ -521,12 +585,25 @@ func (c *Cluster) finalize(m migration, target NodeID, haveTarget, restored, hav
 			if !m.graceful && !haveCP {
 				c.tel.orphaned.Inc()
 			}
+			tr.Add(trace.Span{Name: trace.SpanFallback, Node: string(target), Trigger: trig,
+				Start: start, Duration: time.Since(start)})
+			if c.cfg.Flight != nil {
+				c.cfg.Flight.Record(trace.Dump{
+					Trigger: trace.TriggerHandoffFallback,
+					Node:    string(target),
+					Stream:  string(m.id),
+					Trace:   tr.ID(),
+					Detail: fmt.Sprintf("handoff from %s (%s) fell back to live calibration (checkpoint: %v)",
+						m.from, trig, haveCP),
+					Spans: tr.Spans(),
+				})
+			}
 		}
-		c.tel.latency.Observe(time.Since(start).Seconds())
+		c.tel.handoffLatency(trig).Observe(time.Since(start).Seconds())
 		if c.log != nil {
 			c.log.Info("stream migrated", "stream", string(m.id),
 				"from", string(m.from), "to", string(target),
-				"restored", restored, "took", time.Since(start))
+				"trigger", trig, "restored", restored, "took", time.Since(start))
 		}
 	}
 	if m.done != nil {

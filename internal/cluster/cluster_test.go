@@ -152,8 +152,8 @@ func TestClusterLeaveHandsOffGracefully(t *testing.T) {
 	if v := snap.Value("engine_streams_evicted_total"); v != 1 {
 		t.Errorf("engine_streams_evicted_total = %v, want 1", v)
 	}
-	if n := reg.Snapshot().HistCount("cluster_handoff_seconds"); n != 1 {
-		t.Errorf("cluster_handoff_seconds count = %d, want 1", n)
+	if n := reg.Snapshot().HistCount("cluster_handoff_seconds", obs.L("trigger", "graceful")); n != 1 {
+		t.Errorf("cluster_handoff_seconds{trigger=graceful} count = %d, want 1", n)
 	}
 }
 

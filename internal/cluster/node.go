@@ -10,6 +10,7 @@ import (
 
 	"rfipad/internal/core"
 	"rfipad/internal/engine"
+	"rfipad/internal/obs/trace"
 	"rfipad/internal/supervise"
 )
 
@@ -19,10 +20,11 @@ import (
 // created through Cluster.AddNode, which wires the shared checkpoint
 // store, event fan-out, and membership.
 type Node struct {
-	id  NodeID
-	eng *engine.Engine
-	ln  net.Listener
-	log *slog.Logger
+	id     NodeID
+	eng    *engine.Engine
+	ln     net.Listener
+	log    *slog.Logger
+	flight *trace.Flight
 
 	// killed simulates a crash: the node stops heartbeating, stops
 	// accepting handoffs, and rejects pushes — unreachable to the rest
@@ -146,6 +148,13 @@ func (n *Node) handleHandoff(conn net.Conn, ioTimeout time.Duration) {
 	defer func() { conn.Write([]byte(status)) }()
 	cp, err := supervise.ReadCheckpoint(conn)
 	if err != nil {
+		// A frame that failed its integrity envelope is a flight-recorder
+		// anomaly: the link (or a fault injector) corrupted a handoff.
+		n.flight.Record(trace.Dump{
+			Trigger: trace.TriggerCorruptCheckpoint,
+			Node:    string(n.id),
+			Detail:  err.Error(),
+		})
 		if n.log != nil {
 			n.log.Warn("handoff frame rejected", "node", string(n.id), "err", err)
 		}

@@ -11,12 +11,17 @@ type telemetry struct {
 	heartbeats *obs.Counter // heartbeats received
 	placed     *obs.Gauge   // streams with a placement
 
-	handoffRestored *obs.Counter   // handoffs whose checkpoint was adopted
-	handoffFallback *obs.Counter   // handoffs that fell back to live calibration
-	retries         *obs.Counter   // transfer attempts retried
-	latency         *obs.Histogram // end-to-end handoff duration
-	rebalanced      *obs.Counter   // migrations triggered by join/leave rebalance
-	orphaned        *obs.Counter   // streams whose owner died with no usable checkpoint
+	handoffRestored *obs.Counter // handoffs whose checkpoint was adopted
+	handoffFallback *obs.Counter // handoffs that fell back to live calibration
+	retries         *obs.Counter // transfer attempts retried
+	// Handoff latency is split by trigger — graceful (join/leave
+	// rebalance evicting live state) vs failure (the detector declared
+	// the owner dead) — matching the Trigger label on migration spans,
+	// so histogram and trace attribute a slow handoff identically.
+	latencyGraceful *obs.Histogram
+	latencyFailure  *obs.Histogram
+	rebalanced      *obs.Counter // migrations triggered by join/leave rebalance
+	orphaned        *obs.Counter // streams whose owner died with no usable checkpoint
 
 	droppedBatches  *obs.Counter // batches dropped by the router
 	droppedReadings *obs.Counter // readings dropped by the router
@@ -38,8 +43,12 @@ func newTelemetry(reg *obs.Registry) *telemetry {
 			"Stream migrations by outcome.", obs.L("outcome", "fallback_live")),
 		retries: reg.Counter("cluster_handoff_retries_total",
 			"Checkpoint transfer attempts retried after a failure."),
-		latency: reg.Histogram("cluster_handoff_seconds",
-			"End-to-end stream handoff latency (evict/load through adoption).", nil),
+		latencyGraceful: reg.Histogram("cluster_handoff_seconds",
+			"End-to-end stream handoff latency (evict/load through adoption).",
+			nil, obs.L("trigger", "graceful")),
+		latencyFailure: reg.Histogram("cluster_handoff_seconds",
+			"End-to-end stream handoff latency (evict/load through adoption).",
+			nil, obs.L("trigger", "failure")),
 		rebalanced: reg.Counter("cluster_rebalance_migrations_total",
 			"Migrations triggered by membership rebalance (join or leave)."),
 		orphaned: reg.Counter("cluster_streams_orphaned_total",
@@ -49,4 +58,12 @@ func newTelemetry(reg *obs.Registry) *telemetry {
 		droppedReadings: reg.Counter("cluster_dropped_readings_total",
 			"Readings the router dropped."),
 	}
+}
+
+// handoffLatency selects the trigger-labeled handoff histogram.
+func (t *telemetry) handoffLatency(trigger string) *obs.Histogram {
+	if trigger == "failure" {
+		return t.latencyFailure
+	}
+	return t.latencyGraceful
 }

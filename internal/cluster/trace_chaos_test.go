@@ -1,0 +1,370 @@
+package cluster_test
+
+// Chaos tests for the observability tentpole: a node kill must leave
+// behind ONE stitched trace — pipeline spans from the dead owner,
+// migration spans from the coordinator, adopt/skipto/pipeline spans
+// from the new owner, all under the TraceID that rode the checkpoint —
+// and every injected anomaly must land a flight-recorder dump in the
+// JSONL file, queryable after the fact.
+
+import (
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"rfipad/internal/cluster"
+	"rfipad/internal/core"
+	"rfipad/internal/engine"
+	"rfipad/internal/obs"
+	"rfipad/internal/obs/trace"
+	"rfipad/internal/supervise"
+)
+
+// TestClusterNodeKillStitchedTrace kills a stream's owner mid-word and
+// then reads the stream's trace back through the tracer: the evict,
+// transfer, adopt, and skipto spans of the migration plus pipeline
+// spans from BOTH nodes must share one TraceID — the checkpoint
+// carried the trace context across the handoff, so the investigation
+// view is one causal story, not two disconnected fragments.
+func TestClusterNodeKillStitchedTrace(t *testing.T) {
+	store, err := supervise.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	tracer := trace.New(trace.Config{SampleEvery: 1, Seed: 1, Obs: reg})
+	tape := newLetterTape()
+	c := cluster.New(cluster.Config{
+		HeartbeatInterval: 25 * time.Millisecond,
+		FailAfter:         150 * time.Millisecond,
+		HandoffTimeout:    5 * time.Second,
+		EngineWorkers:     1,
+		Checkpoints:       store,
+		CheckpointEvery:   100 * time.Millisecond,
+		OnEvent:           tape.onEvent,
+		Obs:               reg,
+		Trace:             tracer,
+	})
+	defer c.Close()
+	for _, id := range []cluster.NodeID{"node-0", "node-1"} {
+		if _, err := c.AddNode(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const id = engine.StreamID("plate-0")
+	phase1, max1 := synthBatches(t, 80, "IT", 0)
+	pushAll(c, id, phase1)
+	c.FlushStream(id)
+	waitFor(t, 15*time.Second, `phase-1 letters`, func() bool { return tape.get(id) == "IT" })
+
+	victim, ok := c.Owner(id)
+	if !ok {
+		t.Fatal("no owner for plate-0")
+	}
+	if !c.Kill(victim) {
+		t.Fatalf("Kill(%s) found no node", victim)
+	}
+	waitFor(t, 15*time.Second, "failure handoff", func() bool {
+		return reg.Snapshot().Value("cluster_handoffs_total", obs.L("outcome", "restored")) >= 1
+	})
+	survivor, ok := c.Owner(id)
+	if !ok || survivor == victim {
+		t.Fatalf("owner after kill = %q, %v", survivor, ok)
+	}
+
+	phase2, _ := synthLetters(t, 80, "LC", max1+3*time.Second)
+	pushAll(c, id, phase2)
+	c.FlushStream(id)
+	waitFor(t, 15*time.Second, `phase-2 letters`, func() bool { return tape.get(id) == "ITLC" })
+
+	// One stream, one trace: every dump row for plate-0 carries the
+	// same ID, and that ID matches what the live handle reports.
+	var dump *trace.StreamDump
+	for _, d := range tracer.Traces() {
+		if d.Stream == string(id) {
+			if dump != nil {
+				t.Fatalf("stream %s has multiple traces: %v and %v — migration split the trace", id, dump.Trace, d.Trace)
+			}
+			cp := d
+			dump = &cp
+		}
+	}
+	if dump == nil {
+		t.Fatal("no trace recorded for plate-0")
+	}
+	if got := tracer.Stream(string(id)).ID(); got != dump.Trace {
+		t.Errorf("live handle trace ID %v != dumped %v", got, dump.Trace)
+	}
+
+	// The migration's causal chain is present, with the trigger
+	// attribution on the coordinator's spans matching the histograms
+	// (satellite: traces and cluster_handoff_seconds{trigger} must
+	// agree). Seq is a per-ring arrival order: the coordinator records
+	// its transfer span only after the blocking transfer returns, by
+	// which time the target has already adopted — so ordering is
+	// asserted where it is causal (evict starts the chain; adopt
+	// precedes skipto on the adopting node), not across concurrent
+	// recorders.
+	wantSpans := []string{trace.SpanEvict, trace.SpanTransfer, trace.SpanAdopt, trace.SpanSkipTo}
+	seq := map[string]uint64{}
+	nodes := map[string]bool{}
+	for _, sp := range dump.Spans {
+		if sp.Trace != dump.Trace {
+			t.Fatalf("span %s carries trace %v, want %v", sp.Name, sp.Trace, dump.Trace)
+		}
+		if sp.Node != "" {
+			nodes[sp.Node] = true
+		}
+		if _, seen := seq[sp.Name]; !seen {
+			seq[sp.Name] = sp.Seq
+		}
+		switch sp.Name {
+		case trace.SpanEvict, trace.SpanTransfer, trace.SpanFallback:
+			if sp.Trigger != "failure" {
+				t.Errorf("%s span trigger = %q, want failure (node was killed)", sp.Name, sp.Trigger)
+			}
+		}
+	}
+	for _, name := range wantSpans {
+		if _, ok := seq[name]; !ok {
+			t.Errorf("trace missing %s span; have %v", name, spanNames(dump.Spans))
+		}
+	}
+	if seq[trace.SpanEvict] >= seq[trace.SpanAdopt] {
+		t.Errorf("evict (seq %d) not before adopt (seq %d)", seq[trace.SpanEvict], seq[trace.SpanAdopt])
+	}
+	if seq[trace.SpanAdopt] >= seq[trace.SpanSkipTo] {
+		t.Errorf("adopt (seq %d) not before skipto (seq %d)", seq[trace.SpanAdopt], seq[trace.SpanSkipTo])
+	}
+	if !nodes[string(victim)] || !nodes[string(survivor)] {
+		t.Errorf("trace spans attribute nodes %v, want both %s and %s — not stitched across the kill",
+			keys(nodes), victim, survivor)
+	}
+	// Both halves of the pipeline ran under this trace: ingest spans
+	// exist from before AND after the migration.
+	var ingestVictim, ingestSurvivor bool
+	for _, sp := range dump.Spans {
+		if sp.Name == trace.SpanIngest {
+			ingestVictim = ingestVictim || sp.Node == string(victim)
+			ingestSurvivor = ingestSurvivor || sp.Node == string(survivor)
+		}
+	}
+	if !ingestSurvivor {
+		t.Error("no ingest spans from the adopting node — post-migration pipeline not traced")
+	}
+	// The victim's ingest spans may have been displaced by ring wrap on
+	// a long run; with BufSpans defaulted to 256 they survive here.
+	if !ingestVictim {
+		t.Error("no ingest spans from the killed node — pre-migration pipeline not traced")
+	}
+}
+
+func spanNames(spans []trace.Span) []string {
+	var names []string
+	for _, sp := range spans {
+		names = append(names, sp.Name)
+	}
+	return names
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestClusterFlightRecorderCapturesAnomalies injects three distinct
+// anomalies — an event-handler panic, a corrupt on-disk checkpoint,
+// and a handoff that exhausts its deadline against a total partition —
+// and asserts each trigger leaves at least one dump in the shared
+// flight JSONL, carrying enough context (stream, node, spans, summary)
+// to investigate without a debugger attached.
+func TestClusterFlightRecorderCapturesAnomalies(t *testing.T) {
+	reg := obs.NewRegistry()
+	fl, err := trace.OpenFlight(flightDir(t), reg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := trace.New(trace.Config{SampleEvery: 1, Seed: 1, Obs: reg})
+
+	// Scenario 1: panic quarantine + corrupt checkpoint, one cluster.
+	store, err := supervise.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const boomStream = engine.StreamID("plate-boom")
+	const corruptStream = engine.StreamID("plate-corrupt")
+	// A checkpoint file full of garbage: the restore-at-creation path
+	// must reject it, fall back to live calibration, and dump.
+	if err := os.WriteFile(store.Path(string(corruptStream)), []byte("not an RFCP frame"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tape := newLetterTape()
+	c := cluster.New(cluster.Config{
+		HeartbeatInterval: 25 * time.Millisecond,
+		FailAfter:         150 * time.Millisecond,
+		HandoffTimeout:    5 * time.Second,
+		EngineWorkers:     1,
+		Checkpoints:       store,
+		OnEvent: func(node cluster.NodeID, id engine.StreamID, ev core.Event) {
+			if id == boomStream && ev.Kind == core.LetterDeduced {
+				panic("injected event-handler fault")
+			}
+			tape.onEvent(node, id, ev)
+		},
+		Obs:    reg,
+		Trace:  tracer,
+		Flight: fl,
+	})
+	if _, err := c.AddNode("node-0"); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []engine.StreamID{boomStream, corruptStream} {
+		batches, _ := synthBatches(t, 97, "IT", 0)
+		pushAll(c, id, batches)
+		c.FlushStream(id)
+	}
+	// The corrupt-checkpoint stream calibrates live and recognizes; the
+	// panicking stream is quarantined instead.
+	waitFor(t, 15*time.Second, "live recognition past the corrupt checkpoint", func() bool {
+		return tape.get(corruptStream) == "IT"
+	})
+	waitFor(t, 15*time.Second, "panic quarantine dump", func() bool {
+		return reg.Snapshot().Value("obs_flight_dumps_total", obs.L("trigger", trace.TriggerPanic)) >= 1
+	})
+	c.Close()
+
+	// Scenario 2: graceful leave against a total partition, no durable
+	// store — the handoff deadline forces fallback-to-live. The node
+	// and stream names mirror TestClusterHandoffDeadlineFallsBackToLive:
+	// this placement keeps the stream on the leaver until Leave itself
+	// migrates it (a join-rebalance racing the leave would go sticky
+	// instead and never reach the handoff path).
+	tape2 := newLetterTape()
+	c2 := cluster.New(cluster.Config{
+		HeartbeatInterval:     25 * time.Millisecond,
+		FailAfter:             150 * time.Millisecond,
+		HandoffTimeout:        300 * time.Millisecond,
+		HandoffAttemptTimeout: 50 * time.Millisecond,
+		HandoffRetryInitial:   10 * time.Millisecond,
+		EngineWorkers:         1,
+		Dial: func(network, addr string) (net.Conn, error) {
+			return nil, errors.New("injected total partition")
+		},
+		OnEvent: tape2.onEvent,
+		Obs:     reg,
+		Trace:   tracer,
+		Flight:  fl,
+	})
+	if _, err := c2.AddNode("node-0"); err != nil {
+		t.Fatal(err)
+	}
+	const fbStream = engine.StreamID("plate-0")
+	batches, _ := synthBatches(t, 92, "IT", 0)
+	pushAll(c2, fbStream, batches)
+	c2.FlushStream(fbStream)
+	waitFor(t, 15*time.Second, "phase-1 letters", func() bool { return tape2.get(fbStream) == "IT" })
+	if _, err := c2.AddNode("node-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Leave("node-0"); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read the JSONL back the way an operator (or CI's artifact
+	// collector) would and assert one dump per injected trigger.
+	dumps, err := trace.ReadDumps(fl.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTrigger := map[string][]trace.Dump{}
+	for _, d := range dumps {
+		byTrigger[d.Trigger] = append(byTrigger[d.Trigger], d)
+	}
+
+	panics := byTrigger[trace.TriggerPanic]
+	if len(panics) == 0 {
+		t.Fatalf("no %s dumps; triggers on file: %v", trace.TriggerPanic, triggersOf(dumps))
+	}
+	pd := panics[0]
+	if pd.Stream != string(boomStream) {
+		t.Errorf("panic dump stream = %q, want %s", pd.Stream, boomStream)
+	}
+	if pd.Node != "node-0" {
+		t.Errorf("panic dump node = %q, want node-0", pd.Node)
+	}
+	if pd.Summary == nil || pd.Summary.Readings == 0 {
+		t.Errorf("panic dump summary = %+v, want ingest progress captured before teardown", pd.Summary)
+	}
+	if len(pd.Spans) == 0 {
+		t.Error("panic dump carries no spans — the last-moments window is empty")
+	}
+	if pd.Trace == 0 {
+		t.Error("panic dump not linked to the stream's trace")
+	}
+
+	corrupts := byTrigger[trace.TriggerCorruptCheckpoint]
+	if len(corrupts) == 0 {
+		t.Fatalf("no %s dumps; triggers on file: %v", trace.TriggerCorruptCheckpoint, triggersOf(dumps))
+	}
+	if corrupts[0].Stream != string(corruptStream) {
+		t.Errorf("corrupt dump stream = %q, want %s", corrupts[0].Stream, corruptStream)
+	}
+	if corrupts[0].Detail == "" {
+		t.Error("corrupt dump has no detail — the decode error must be preserved")
+	}
+
+	fallbacks := byTrigger[trace.TriggerHandoffFallback]
+	if len(fallbacks) == 0 {
+		t.Fatalf("no %s dumps; triggers on file: %v", trace.TriggerHandoffFallback, triggersOf(dumps))
+	}
+	if fallbacks[0].Stream != string(fbStream) {
+		t.Errorf("fallback dump stream = %q, want %s", fallbacks[0].Stream, fbStream)
+	}
+
+	// The counter agrees with the file.
+	snap := reg.Snapshot()
+	for _, trig := range []string{trace.TriggerPanic, trace.TriggerCorruptCheckpoint, trace.TriggerHandoffFallback} {
+		if v := snap.Value("obs_flight_dumps_total", obs.L("trigger", trig)); v != float64(len(byTrigger[trig])) {
+			t.Errorf("obs_flight_dumps_total{trigger=%s} = %v, file has %d", trig, v, len(byTrigger[trig]))
+		}
+	}
+}
+
+func triggersOf(dumps []trace.Dump) []string {
+	var out []string
+	for _, d := range dumps {
+		out = append(out, d.Trigger)
+	}
+	return out
+}
+
+// flightDir picks where this test's flight recorder writes. Under CI,
+// RFIPAD_FLIGHT_DIR points somewhere the workflow uploads as an
+// artifact when the job fails, so a red chaos run ships its black box
+// with it; each test still gets a unique subdirectory so repeated runs
+// (-count=2) never append to a prior iteration's JSONL.
+func flightDir(t *testing.T) string {
+	base := os.Getenv("RFIPAD_FLIGHT_DIR")
+	if base == "" {
+		return t.TempDir()
+	}
+	if err := os.MkdirAll(base, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := os.MkdirTemp(base, t.Name()+"-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}

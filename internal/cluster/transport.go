@@ -22,7 +22,9 @@ var errHandoffDeadline = errors.New("cluster: handoff deadline exceeded")
 
 // transferCheckpoint ships one checkpoint to a peer's handoff listener
 // and waits for its "OK" ack, retrying with capped backoff until the
-// overall deadline. Each attempt is bounded by attemptTimeout so a
+// overall deadline. The frame carries the stream's trace context
+// (Checkpoint.TraceID) alongside its calibration, so the adopting node
+// continues the donor's trace instead of starting a severed one. Each attempt is bounded by attemptTimeout so a
 // half-open connection (partition after SYN) cannot absorb the whole
 // budget. Retries are safe: the receiver acks an already-adopted
 // stream as success, so a lost ack does not double-adopt.

@@ -27,6 +27,7 @@ import (
 	"rfipad/internal/live"
 	"rfipad/internal/llrp"
 	"rfipad/internal/obs"
+	"rfipad/internal/obs/trace"
 	"rfipad/internal/supervise"
 )
 
@@ -66,6 +67,19 @@ type Config struct {
 	// Logger receives structured per-stream lifecycle records
 	// (optional; nil disables).
 	Logger *slog.Logger
+
+	// Trace, when set, records each sampled stream's lifecycle spans
+	// (mailbox wait, sanitize, ingest, calibrate/restore, result,
+	// quarantine, adopt/skipto) into its per-stream ring. Nil disables
+	// tracing; an unsampled stream costs one nil check per batch.
+	Trace *trace.Tracer
+	// TraceNode attributes this engine's spans to a cluster member
+	// (set by cluster.AddNode; empty for a standalone engine).
+	TraceNode string
+	// Flight, when set, receives anomaly dumps: a panic quarantine or
+	// a corrupt checkpoint dumps the stream's recent spans and
+	// readings summary to the flight log.
+	Flight *trace.Flight
 
 	// Checkpoints, when set, makes streams durable: each stream's
 	// calibration and frame cursor are saved on calibration
@@ -236,6 +250,9 @@ type streamState struct {
 	st      *live.Stream
 	res     StreamResult
 	latency *obs.Histogram
+	// tr is the stream's trace handle; nil when the stream is
+	// unsampled, making every span site a single-branch no-op.
+	tr      *trace.StreamTrace
 	flushed bool
 	// quarantined marks a stream whose handler panicked: its state
 	// was dropped and every later item is discarded (but accounted).
@@ -270,7 +287,9 @@ type Engine struct {
 // mailbox of cfg.QueueDepth batches.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	e := &Engine{cfg: cfg, tel: newTelemetry(obs.Or(cfg.Obs))}
+	reg := obs.Or(cfg.Obs)
+	obs.EnableRuntimeMetrics(reg)
+	e := &Engine{cfg: cfg, tel: newTelemetry(reg)}
 	e.tel.accepting.Set(1)
 	for i := 0; i < cfg.Workers; i++ {
 		s := &shard{
@@ -544,8 +563,10 @@ func (s *shard) stream(id StreamID) *streamState {
 			nil, obs.L("stream", string(id))),
 	}
 	st.res.ID = id
+	st.tr = s.eng.cfg.Trace.Stream(string(id))
 	if store := s.eng.cfg.Checkpoints; store != nil {
 		if cp, err := store.LoadFresh(string(id), s.eng.cfg.CheckpointMaxAge); err == nil {
+			restoreStart := time.Now()
 			if restored, rerr := live.RestoreStream(s.eng.cfg.Stream, cp); rerr == nil {
 				st.st = restored
 				st.res.Calibrated = true
@@ -553,6 +574,15 @@ func (s *shard) stream(id StreamID) *streamState {
 				s.eng.tel.ckptLoaded.Inc()
 				s.eng.tel.restore.Restored.Inc()
 				s.eng.tel.calibrated.Add(1)
+				// A durable checkpoint carries the trace identity of the
+				// previous incarnation: continue it rather than starting a
+				// fresh ring, so a restart shows up as restore inside one
+				// stitched trace.
+				if tid, terr := trace.ParseID(cp.TraceID); terr == nil && tid != 0 {
+					st.tr = s.eng.cfg.Trace.Adopt(string(id), tid)
+				}
+				st.tr.Add(trace.Span{Name: trace.SpanRestore, Node: s.eng.cfg.TraceNode,
+					Start: restoreStart, Duration: time.Since(restoreStart), Count: st.res.DeadTags})
 				if s.eng.cfg.Logger != nil {
 					s.eng.cfg.Logger.Info("stream calibration restored",
 						"stream", string(id), "saved_at", cp.SavedAt,
@@ -560,6 +590,7 @@ func (s *shard) stream(id StreamID) *streamState {
 				}
 			} else {
 				s.eng.tel.restore.Corrupt.Inc()
+				s.flight(trace.TriggerCorruptCheckpoint, string(id), rerr.Error(), st.tr, nil)
 				if s.eng.cfg.Logger != nil {
 					s.eng.cfg.Logger.Warn("stream checkpoint unusable; calibrating live",
 						"stream", string(id), "err", rerr)
@@ -567,6 +598,9 @@ func (s *shard) stream(id StreamID) *streamState {
 			}
 		} else {
 			s.eng.tel.restore.ObserveLoad(err)
+			if errors.Is(err, supervise.ErrCorrupt) || errors.Is(err, supervise.ErrVersion) {
+				s.flight(trace.TriggerCorruptCheckpoint, string(id), err.Error(), st.tr, nil)
+			}
 			if !errors.Is(err, supervise.ErrNoCheckpoint) && s.eng.cfg.Logger != nil {
 				s.eng.cfg.Logger.Warn("stream checkpoint load failed; calibrating live",
 					"stream", string(id), "err", err)
@@ -620,14 +654,26 @@ func (s *shard) handle(it item) {
 	st.flushed = false
 	s.eng.tel.batches.Inc()
 	s.eng.tel.readings.Add(uint64(len(it.batch)))
+	var ingestStart time.Time
+	if st.tr != nil {
+		ingestStart = time.Now()
+		st.tr.Add(trace.Span{Name: trace.SpanMailbox, Node: s.eng.cfg.TraceNode,
+			Start: it.enq, Duration: ingestStart.Sub(it.enq), Count: len(it.batch)})
+	}
+	admitted, rejected := 0, 0
 	for _, rd := range it.batch {
 		if !s.eng.tel.rejected.Admit(rd, st.st.LastTime()) {
+			rejected++
 			continue
 		}
+		admitted++
 		evs, err := st.st.Ingest(rd)
 		if err != nil {
 			st.res.Err = err
 			s.eng.tel.errors.Inc()
+			if st.tr != nil {
+				s.ingestSpans(st, ingestStart, admitted, rejected, err)
+			}
 			if s.eng.cfg.Logger != nil {
 				s.eng.cfg.Logger.Error("stream failed", "stream", string(st.id), "err", err)
 			}
@@ -638,6 +684,8 @@ func (s *shard) handle(it item) {
 			st.res.Calibrated = true
 			st.res.DeadTags = st.st.DeadTags()
 			s.eng.tel.calibrated.Add(1)
+			st.tr.Add(trace.Span{Name: trace.SpanCalibrate, Node: s.eng.cfg.TraceNode,
+				Start: time.Now(), Count: st.res.DeadTags})
 			s.checkpoint(st)
 			if s.eng.cfg.Logger != nil {
 				s.eng.cfg.Logger.Info("stream calibrated",
@@ -646,6 +694,26 @@ func (s *shard) handle(it item) {
 		}
 		s.deliver(st, evs, it.enq)
 	}
+	if st.tr != nil {
+		s.ingestSpans(st, ingestStart, admitted, rejected, nil)
+	}
+}
+
+// ingestSpans closes out one traced batch: the sanitize span (emitted
+// only when readings were rejected) and the ingest span covering the
+// recognizer pass, carrying the terminal error when the batch killed
+// the stream. Callers check st.tr != nil.
+func (s *shard) ingestSpans(st *streamState, start time.Time, admitted, rejected int, err error) {
+	if rejected > 0 {
+		st.tr.Add(trace.Span{Name: trace.SpanSanitize, Node: s.eng.cfg.TraceNode,
+			Start: start, Count: rejected})
+	}
+	sp := trace.Span{Name: trace.SpanIngest, Node: s.eng.cfg.TraceNode,
+		Start: start, Duration: time.Since(start), Count: admitted}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	st.tr.Add(sp)
 }
 
 // quarantine isolates a stream whose handler panicked: its state is
@@ -653,6 +721,10 @@ func (s *shard) handle(it item) {
 // discarded, and the panic is logged with its stack. Shard siblings
 // are untouched — the next mailbox item processes normally.
 func (s *shard) quarantine(st *streamState, cause any) {
+	detail := fmt.Sprint(cause)
+	// Digest the stream's progress before its state is dropped — the
+	// flight dump wants to say what the word had accomplished.
+	sum := flightSummary(st)
 	st.quarantined = true
 	st.st = nil // drop the stream's state; every guard checks Err first
 	st.flushed = true
@@ -662,11 +734,49 @@ func (s *shard) quarantine(st *streamState, cause any) {
 	}
 	s.eng.tel.panics.Inc()
 	s.eng.tel.quarantined.Add(1)
+	st.tr.Add(trace.Span{Name: trace.SpanQuarantine, Node: s.eng.cfg.TraceNode,
+		Start: time.Now(), Err: detail})
+	s.flight(trace.TriggerPanic, string(st.id), detail, st.tr, sum)
 	if s.eng.cfg.Logger != nil {
 		s.eng.cfg.Logger.Error("stream handler panicked; stream quarantined",
-			"stream", string(st.id), "panic", fmt.Sprint(cause),
+			"stream", string(st.id), "panic", detail,
 			"stack", string(debug.Stack()))
 	}
+}
+
+// flightSummary digests a stream's accumulated result for a flight
+// dump: counts only, never raw readings.
+func flightSummary(st *streamState) *trace.Summary {
+	sum := &trace.Summary{
+		Readings:   st.res.Readings,
+		Dropped:    st.res.Dropped,
+		Strokes:    st.res.Strokes,
+		Letters:    st.res.Letters,
+		Calibrated: st.res.Calibrated,
+		DeadTags:   st.res.DeadTags,
+	}
+	if st.st != nil {
+		sum.LastTime = st.st.LastTime()
+	}
+	return sum
+}
+
+// flight records one anomaly dump — the trigger, the stream's summary,
+// and the tail of its trace ring. No-op without a recorder.
+func (s *shard) flight(trigger, stream, detail string, tr *trace.StreamTrace, sum *trace.Summary) {
+	fl := s.eng.cfg.Flight
+	if fl == nil {
+		return
+	}
+	fl.Record(trace.Dump{
+		Trigger: trigger,
+		Node:    s.eng.cfg.TraceNode,
+		Stream:  stream,
+		Trace:   tr.ID(),
+		Detail:  detail,
+		Summary: sum,
+		Spans:   tr.Spans(),
+	})
 }
 
 // evict removes a calibrated stream from the shard, replying with its
@@ -682,6 +792,9 @@ func (s *shard) evict(it item) {
 	if !cok {
 		it.reply <- ctrlReply{}
 		return
+	}
+	if st.tr != nil {
+		cp.TraceID = st.tr.ID().String()
 	}
 	delete(s.streams, it.id)
 	s.eng.tel.calibrated.Add(-1)
@@ -718,14 +831,24 @@ func (s *shard) adopt(it item) {
 		reply(ctrlReply{err: fmt.Errorf("%w: %s", ErrStreamExists, it.id)})
 		return
 	}
+	// Continue the donor's trace: the checkpoint frame carries its
+	// TraceID, so the adopted stream's spans land in the same stitched
+	// trace (a zero/absent ID keeps the stream unsampled here too).
+	adoptStart := time.Now()
+	tid, _ := trace.ParseID(it.cp.TraceID)
+	tr := s.eng.cfg.Trace.Adopt(string(it.id), tid)
 	restored, err := live.RestoreStream(s.eng.cfg.Stream, it.cp)
 	if err != nil {
+		tr.Add(trace.Span{Name: trace.SpanAdopt, Node: s.eng.cfg.TraceNode,
+			Start: adoptStart, Duration: time.Since(adoptStart), Err: err.Error()})
+		s.flight(trace.TriggerCorruptCheckpoint, string(it.id), err.Error(), tr, nil)
 		reply(ctrlReply{err: err})
 		return
 	}
 	st := &streamState{
 		id: it.id,
 		st: restored,
+		tr: tr,
 		latency: s.eng.tel.reg.Histogram("engine_event_latency_seconds",
 			"Enqueue-to-emission latency of recognition events.",
 			nil, obs.L("stream", string(it.id))),
@@ -733,6 +856,10 @@ func (s *shard) adopt(it item) {
 	st.res.ID = it.id
 	st.res.Calibrated = true
 	st.res.DeadTags = restored.DeadTags()
+	tr.Add(trace.Span{Name: trace.SpanAdopt, Node: s.eng.cfg.TraceNode,
+		Start: adoptStart, Duration: time.Since(adoptStart)})
+	tr.Add(trace.Span{Name: trace.SpanSkipTo, Node: s.eng.cfg.TraceNode,
+		Start: adoptStart, Duration: time.Since(adoptStart), Count: st.res.DeadTags})
 	s.streams[it.id] = st
 	s.eng.tel.streams.Add(1)
 	s.eng.tel.calibrated.Add(1)
@@ -755,6 +882,9 @@ func (s *shard) checkpoint(st *streamState) {
 	if !ok {
 		return
 	}
+	if st.tr != nil {
+		cp.TraceID = st.tr.ID().String()
+	}
 	if err := store.Save(cp); err != nil {
 		s.eng.tel.ckptErrors.Inc()
 		if s.eng.cfg.Logger != nil {
@@ -773,6 +903,13 @@ func (s *shard) checkpointAll() {
 }
 
 func (s *shard) deliver(st *streamState, evs []core.Event, enq time.Time) {
+	if len(evs) == 0 {
+		return
+	}
+	if st.tr != nil {
+		st.tr.Add(trace.Span{Name: trace.SpanResult, Node: s.eng.cfg.TraceNode,
+			Start: enq, Duration: time.Since(enq), Count: len(evs)})
+	}
 	for _, ev := range evs {
 		st.latency.ObserveDuration(time.Since(enq))
 		switch ev.Kind {

@@ -16,6 +16,7 @@ import (
 	"rfipad/internal/core"
 	"rfipad/internal/llrp"
 	"rfipad/internal/obs"
+	"rfipad/internal/obs/trace"
 	"rfipad/internal/supervise"
 )
 
@@ -42,6 +43,14 @@ type Config struct {
 	// obs.Default()). The same registry should be handed to the
 	// llrp.Session so Result.Telemetry snapshots both.
 	Obs *obs.Registry
+	// Trace, when set, records the run's lifecycle spans (restore or
+	// calibrate, per-batch ingest, results) under StreamName. A restored
+	// run continues the trace identity its checkpoint carries. Nil
+	// disables tracing.
+	Trace *trace.Tracer
+	// Flight, when set, receives anomaly dumps — here, checkpoints that
+	// failed restore.
+	Flight *trace.Flight
 
 	// Checkpoints, when set, makes the run durable: a fresh-enough
 	// checkpoint restores calibration at startup (skipping the static
@@ -130,6 +139,7 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 	}
 
 	reg := obs.Or(cfg.Obs)
+	obs.EnableRuntimeMetrics(reg)
 	calibratedGauge := reg.Gauge("rfipad_calibrated",
 		"Whether the static-prelude calibration completed (0 or 1).")
 	deadTagsGauge := reg.Gauge("rfipad_dead_tags",
@@ -147,6 +157,19 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 
 	var res Result
 	st := NewStream(cfg)
+	tr := cfg.Trace.Stream(cfg.StreamName)
+	flightDump := func(detail string) {
+		if cfg.Flight == nil {
+			return
+		}
+		cfg.Flight.Record(trace.Dump{
+			Trigger: trace.TriggerCorruptCheckpoint,
+			Stream:  cfg.StreamName,
+			Trace:   tr.ID(),
+			Detail:  detail,
+			Spans:   tr.Spans(),
+		})
+	}
 	markCalibrated := func() {
 		res.Calibrated = true
 		res.DeadTags = st.DeadTags()
@@ -155,6 +178,7 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 		readyGauge.Set(1)
 	}
 	if cfg.Checkpoints != nil {
+		restoreStart := time.Now()
 		switch cp, err := cfg.Checkpoints.LoadFresh(cfg.StreamName, cfg.CheckpointMaxAge); {
 		case err == nil:
 			if rst, rerr := RestoreStream(cfg, cp); rerr == nil {
@@ -163,12 +187,20 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 				restoredCounter.Inc()
 				restoreOutcomes.Restored.Inc()
 				markCalibrated()
+				// Continue the previous incarnation's trace: the restart
+				// shows up as a restore span inside one stitched trace.
+				if tid, terr := trace.ParseID(cp.TraceID); terr == nil && tid != 0 {
+					tr = cfg.Trace.Adopt(cfg.StreamName, tid)
+				}
+				tr.Add(trace.Span{Name: trace.SpanRestore, Start: restoreStart,
+					Duration: time.Since(restoreStart), Count: res.DeadTags})
 				logInfo("calibration restored from checkpoint",
 					"saved_at", cp.SavedAt, "stream_time", cp.StreamTime,
 					"dead_tags", res.DeadTags)
 				status("calibration restored from checkpoint; recognizing immediately")
 			} else {
 				restoreOutcomes.Corrupt.Inc()
+				flightDump(rerr.Error())
 				if cfg.Logger != nil {
 					cfg.Logger.Warn("checkpoint unusable; calibrating live", "err", rerr)
 				}
@@ -178,6 +210,9 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 			restoreOutcomes.Missing.Inc()
 		default:
 			restoreOutcomes.ObserveLoad(err)
+			if errors.Is(err, supervise.ErrCorrupt) || errors.Is(err, supervise.ErrVersion) {
+				flightDump(err.Error())
+			}
 			if cfg.Logger != nil {
 				cfg.Logger.Warn("checkpoint load failed; calibrating live", "err", err)
 			}
@@ -191,6 +226,9 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 		cp, ok := st.Checkpoint(cfg.StreamName)
 		if !ok {
 			return
+		}
+		if tr != nil {
+			cp.TraceID = tr.ID().String()
 		}
 		if err := cfg.Checkpoints.Save(cp); err != nil {
 			if cfg.Logger != nil {
@@ -213,6 +251,12 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 		res.Telemetry = reg.Snapshot()
 	}
 	handle := func(evs []core.Event) {
+		if len(evs) == 0 {
+			return
+		}
+		if tr != nil {
+			tr.Add(trace.Span{Name: trace.SpanResult, Start: time.Now(), Count: len(evs)})
+		}
 		for _, ev := range evs {
 			switch ev.Kind {
 			case core.StrokeDetected:
@@ -233,6 +277,18 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 		}
 	}
 
+	// ingestSpans closes out one traced batch (callers check tr != nil).
+	ingestSpans := func(start time.Time, admitted, rejected int, err error) {
+		if rejected > 0 {
+			tr.Add(trace.Span{Name: trace.SpanSanitize, Start: start, Count: rejected})
+		}
+		sp := trace.Span{Name: trace.SpanIngest, Start: start,
+			Duration: time.Since(start), Count: admitted}
+		if err != nil {
+			sp.Err = err.Error()
+		}
+		tr.Add(sp)
+	}
 	for {
 		batch, err := sess.NextReports()
 		if errors.Is(err, llrp.ErrStreamEnded) {
@@ -242,18 +298,30 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 			finish()
 			return res, err
 		}
+		var batchStart time.Time
+		if tr != nil {
+			batchStart = time.Now()
+		}
+		admitted, rejected := 0, 0
 		for _, rep := range batch {
 			rd := ReadingFromReport(rep)
 			if !san.Admit(rd, st.LastTime()) {
+				rejected++
 				continue
 			}
+			admitted++
 			evs, err := st.Ingest(rd)
 			if err != nil {
+				if tr != nil {
+					ingestSpans(batchStart, admitted, rejected, err)
+				}
 				finish()
 				return res, err
 			}
 			if !res.Calibrated && st.Calibrated() {
 				markCalibrated()
+				tr.Add(trace.Span{Name: trace.SpanCalibrate, Start: time.Now(),
+					Count: res.DeadTags})
 				saveCheckpoint()
 				logInfo("calibrated", "dead_tags", res.DeadTags,
 					"prelude", cfg.CalibDuration)
@@ -264,6 +332,9 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 				}
 			}
 			handle(evs)
+		}
+		if tr != nil && len(batch) > 0 {
+			ingestSpans(batchStart, admitted, rejected, nil)
 		}
 		if res.Calibrated && cfg.Checkpoints != nil && time.Since(lastSave) >= cfg.CheckpointEvery {
 			saveCheckpoint()

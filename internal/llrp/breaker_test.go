@@ -4,13 +4,34 @@ import (
 	"context"
 	"errors"
 	"net"
+	"os"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"rfipad/internal/obs"
+	"rfipad/internal/obs/trace"
 	"rfipad/internal/tagmodel"
 )
+
+// flightDir picks where this test's flight recorder writes: a unique
+// subdirectory of RFIPAD_FLIGHT_DIR when CI sets it (the workflow
+// uploads that tree as an artifact on failure), a test temp dir
+// otherwise.
+func flightDir(t *testing.T) string {
+	base := os.Getenv("RFIPAD_FLIGHT_DIR")
+	if base == "" {
+		return t.TempDir()
+	}
+	if err := os.MkdirAll(base, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := os.MkdirTemp(base, t.Name()+"-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
 
 // TestSessionBreakerGatesReconnects arms the reconnect circuit breaker
 // against a source whose first dials all fail: the breaker must trip
@@ -29,6 +50,10 @@ func TestSessionBreakerGatesReconnects(t *testing.T) {
 	_, addr := startServer(t, h.newSource)
 
 	reg := obs.NewRegistry()
+	fl, err := trace.OpenFlight(flightDir(t), reg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var states []float64
 	var dials atomic.Int32
 	const failingDials = 4
@@ -53,6 +78,8 @@ func TestSessionBreakerGatesReconnects(t *testing.T) {
 		BreakerWindow:     10 * time.Second,
 		BreakerCooldown:   20 * time.Millisecond,
 		Obs:               reg,
+		Flight:            fl,
+		FlightStream:      "reader-0",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -96,6 +123,37 @@ func TestSessionBreakerGatesReconnects(t *testing.T) {
 	}
 	if seen != len(h.reports) {
 		t.Errorf("streamed %d reports, want %d", seen, len(h.reports))
+	}
+
+	// Each breaker-open is an anomaly the flight recorder must capture:
+	// the JSONL holds one breaker_open dump per trip, attributed to the
+	// configured stream, and the counter agrees with the file.
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dumps, err := trace.ReadDumps(fl.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opens := 0
+	for _, d := range dumps {
+		if d.Trigger != trace.TriggerBreakerOpen {
+			t.Errorf("unexpected dump trigger %q", d.Trigger)
+			continue
+		}
+		opens++
+		if d.Stream != "reader-0" {
+			t.Errorf("breaker dump stream = %q, want reader-0", d.Stream)
+		}
+		if d.Detail == "" {
+			t.Error("breaker dump has no detail")
+		}
+	}
+	if opens == 0 {
+		t.Fatal("no breaker_open flight dumps recorded")
+	}
+	if v := snap.Value("obs_flight_dumps_total", obs.L("trigger", trace.TriggerBreakerOpen)); v != float64(opens) {
+		t.Errorf("obs_flight_dumps_total{breaker_open} = %v, file has %d", v, opens)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rfipad/internal/obs"
+	"rfipad/internal/obs/trace"
 	"rfipad/internal/supervise"
 )
 
@@ -71,6 +72,13 @@ type SessionConfig struct {
 	// reconnects, resume gaps, keepalive RTT, decode errors) lands in.
 	// Nil selects obs.Default().
 	Obs *obs.Registry
+
+	// Flight, when set, receives a flight-recorder dump every time the
+	// reconnect circuit breaker opens — the black-box record of a
+	// flapping reader link. Nil disables.
+	Flight *trace.Flight
+	// FlightStream names the stream in breaker dumps (default Addr).
+	FlightStream string
 }
 
 func (c SessionConfig) withDefaults() SessionConfig {
@@ -212,13 +220,31 @@ func DialSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 		tel: newSessionTel(cfg.Obs),
 		rng: rand.New(rand.NewSource(cfg.JitterSeed)),
 	}
+	obs.EnableRuntimeMetrics(obs.Or(cfg.Obs))
 	if cfg.BreakerThreshold > 0 {
+		flightStream := cfg.FlightStream
+		if flightStream == "" {
+			flightStream = cfg.Addr
+		}
 		s.breaker = supervise.NewBreaker(supervise.BreakerConfig{
 			Threshold:  cfg.BreakerThreshold,
 			Window:     cfg.BreakerWindow,
 			Cooldown:   cfg.BreakerCooldown,
 			JitterSeed: cfg.JitterSeed,
-			OnState:    func(st supervise.BreakerState) { s.tel.breaker.Set(float64(st)) },
+			OnState: func(st supervise.BreakerState) {
+				s.tel.breaker.Set(float64(st))
+				if st == supervise.BreakerOpen {
+					// The breaker opening IS the anomaly — the link
+					// flapped past its failure budget. Record it even
+					// with no trace attached; the dump carries the streak.
+					cfg.Flight.Record(trace.Dump{
+						Trigger: trace.TriggerBreakerOpen,
+						Stream:  flightStream,
+						Detail: fmt.Sprintf("reconnect breaker opened after %d failures in %v",
+							cfg.BreakerThreshold, cfg.BreakerWindow),
+					})
+				}
+			},
 		})
 	}
 	if err := s.connectWithRetry(); err != nil {

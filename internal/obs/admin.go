@@ -1,8 +1,11 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -20,6 +23,17 @@ type Health struct {
 // HealthFunc evaluates liveness at request time.
 type HealthFunc func() Health
 
+// Endpoint is one extra admin surface mounted alongside the built-in
+// set — the tracing and flight-recorder debug endpoints
+// (/debug/traces, /debug/flight) arrive this way, keeping package obs
+// free of an import on the layers it observes.
+type Endpoint struct {
+	// Pattern is the mux pattern (e.g. "/debug/traces").
+	Pattern string
+	// Handler serves it.
+	Handler http.Handler
+}
+
 // AdminMux builds the admin endpoint set both daemons serve behind
 // -obs-addr:
 //
@@ -29,6 +43,9 @@ type HealthFunc func() Health
 //	/debug/vars      expvar (includes the Default registry mirror)
 //	/debug/pprof/*   runtime profiles
 //
+// plus any extra Endpoints (daemons mount /debug/traces and
+// /debug/flight here when tracing is armed).
+//
 // Liveness and readiness are distinct probes: /healthz answers "is the
 // process functioning" (a load balancer restarts on sustained
 // failure), while /readyz answers "should traffic be routed here" —
@@ -36,7 +53,7 @@ type HealthFunc func() Health
 // checkpoint or completed from the prelude and the engine is accepting
 // pushes, and deliberately unready again during a graceful drain.
 // Either func may be nil, in which case its probe always reports ok.
-func AdminMux(r *Registry, health, ready HealthFunc) *http.ServeMux {
+func AdminMux(r *Registry, health, ready HealthFunc, extra ...Endpoint) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -70,32 +87,70 @@ func AdminMux(r *Registry, health, ready HealthFunc) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, e := range extra {
+		if e.Pattern != "" && e.Handler != nil {
+			mux.Handle(e.Pattern, e.Handler)
+		}
+	}
 	return mux
 }
 
 // AdminServer is a started admin listener.
 type AdminServer struct {
-	ln  net.Listener
-	srv *http.Server
+	ln       net.Listener
+	srv      *http.Server
+	serveErr chan error
+
+	// ShutdownTimeout bounds how long Close waits for in-flight
+	// requests (a /metrics scrape mid-write, a pprof profile) before
+	// cutting them off (default 2 s).
+	ShutdownTimeout time.Duration
 }
 
-// StartAdmin binds addr and serves AdminMux(r, health, ready) in the
-// background. Close releases the listener.
-func StartAdmin(addr string, r *Registry, health, ready HealthFunc) (*AdminServer, error) {
+// StartAdmin binds addr and serves AdminMux(r, health, ready, extra)
+// in the background. Close drains gracefully.
+func StartAdmin(addr string, r *Registry, health, ready HealthFunc, extra ...Endpoint) (*AdminServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	srv := &http.Server{
-		Handler:           AdminMux(r, health, ready),
+		Handler:           AdminMux(r, health, ready, extra...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	go srv.Serve(ln)
-	return &AdminServer{ln: ln, srv: srv}, nil
+	a := &AdminServer{ln: ln, srv: srv, serveErr: make(chan error, 1), ShutdownTimeout: 2 * time.Second}
+	go func() { a.serveErr <- srv.Serve(ln) }()
+	return a, nil
 }
 
 // Addr returns the bound address (useful with ":0").
 func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
 
-// Close shuts the admin listener down.
-func (a *AdminServer) Close() error { return a.srv.Close() }
+// Close shuts the admin listener down gracefully: the listener stops
+// accepting immediately, in-flight requests get ShutdownTimeout to
+// finish (so a scrape racing a drain sees a complete exposition, not a
+// cut connection), and only then are stragglers cut. The background
+// Serve error — previously discarded — is collected and returned when
+// it was a real fault rather than the expected close.
+func (a *AdminServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), a.ShutdownTimeout)
+	defer cancel()
+	shutdownErr := a.srv.Shutdown(ctx)
+	if shutdownErr != nil {
+		// Deadline passed with requests still in flight: cut them.
+		a.srv.Close()
+	}
+	serveErr := <-a.serveErr
+	if errors.Is(serveErr, http.ErrServerClosed) {
+		serveErr = nil
+	}
+	if serveErr != nil {
+		return serveErr
+	}
+	if errors.Is(shutdownErr, context.DeadlineExceeded) {
+		// In-flight requests were cut at the deadline; the listener
+		// itself closed fine. Report it — callers log, not crash.
+		return fmt.Errorf("obs: admin shutdown cut in-flight requests after %v", a.ShutdownTimeout)
+	}
+	return shutdownErr
+}

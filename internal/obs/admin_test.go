@@ -1,0 +1,196 @@
+package obs_test
+
+// Admin surface tests live in an external package so they can mount
+// the trace debug endpoints through the Endpoint extension point the
+// daemons use — obs itself must not import obs/trace.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rfipad/internal/obs"
+	"rfipad/internal/obs/trace"
+)
+
+func TestAdminMetricsContentType(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("demo_total", "Demo.").Add(3)
+	mux := obs.AdminMux(reg, nil, nil)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "demo_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+}
+
+func TestAdminProbes(t *testing.T) {
+	degraded := false
+	health := func() obs.Health {
+		return obs.Health{OK: !degraded, Detail: map[string]any{"active_conns": 2}}
+	}
+	// readyz left nil: must default to ok.
+	mux := obs.AdminMux(obs.NewRegistry(), health, nil)
+
+	get := func(path string) (int, map[string]any) {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s content type = %q", path, ct)
+		}
+		var body map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s body not JSON: %v", path, err)
+		}
+		return rec.Code, body
+	}
+
+	code, body := get("/healthz")
+	if code != 200 || body["status"] != "ok" {
+		t.Errorf("healthy probe = %d %v, want 200 ok", code, body)
+	}
+	if body["active_conns"] != float64(2) {
+		t.Errorf("detail not merged into probe body: %v", body)
+	}
+
+	degraded = true
+	code, body = get("/healthz")
+	if code != 503 || body["status"] != "unhealthy" {
+		t.Errorf("degraded probe = %d %v, want 503 unhealthy", code, body)
+	}
+	if body["active_conns"] != float64(2) {
+		t.Errorf("detail dropped when degraded: %v", body)
+	}
+
+	if code, body := get("/readyz"); code != 200 || body["status"] != "ok" {
+		t.Errorf("nil readyz func = %d %v, want 200 ok", code, body)
+	}
+}
+
+func TestAdminMountsTraceEndpoints(t *testing.T) {
+	// End-to-end through the same extension point the daemons use:
+	// tracing and flight-recorder debug surfaces ride AdminMux extras.
+	reg := obs.NewRegistry()
+	tracer := trace.New(trace.Config{SampleEvery: 1, Seed: 1, Obs: reg})
+	st := tracer.Stream("plate-0")
+	st.Add(trace.Span{Name: trace.SpanIngest, Duration: time.Millisecond})
+	st.Add(trace.Span{Name: trace.SpanResult, Duration: 40 * time.Millisecond})
+
+	fl, err := trace.OpenFlight(t.TempDir(), reg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	fl.Record(trace.Dump{Trigger: trace.TriggerPanic, Stream: "plate-0"})
+
+	mux := obs.AdminMux(reg, nil, nil,
+		obs.Endpoint{Pattern: "/debug/traces", Handler: tracer.Handler()},
+		obs.Endpoint{Pattern: "/debug/flight", Handler: fl.Handler()},
+		obs.Endpoint{Pattern: "", Handler: tracer.Handler()}, // ignored
+		obs.Endpoint{Pattern: "/debug/nil", Handler: nil},    // ignored
+	)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?min_duration=10ms", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/traces status = %d", rec.Code)
+	}
+	var traces struct {
+		Traces []trace.StreamDump `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces.Traces) != 1 || len(traces.Traces[0].Spans) != 1 ||
+		traces.Traces[0].Spans[0].Name != trace.SpanResult {
+		t.Errorf("filtered traces = %+v, want only the 40ms result span", traces.Traces)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/flight status = %d", rec.Code)
+	}
+	var flight struct {
+		Total int              `json:"total"`
+		Dumps []trace.DumpMeta `json:"dumps"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &flight); err != nil {
+		t.Fatal(err)
+	}
+	if flight.Total != 1 || len(flight.Dumps) != 1 || flight.Dumps[0].Trigger != trace.TriggerPanic {
+		t.Errorf("flight index = %+v", flight)
+	}
+
+	// The built-in set survives alongside extras.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "obs_trace_spans_total") {
+		t.Errorf("/metrics lost trace counters: %d", rec.Code)
+	}
+}
+
+func TestAdminServerGracefulClose(t *testing.T) {
+	admin, err := obs.StartAdmin("127.0.0.1:0", obs.NewRegistry(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", admin.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err := admin.Close(); err != nil {
+		t.Errorf("graceful Close with no in-flight requests = %v, want nil", err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/metrics", admin.Addr())); err == nil {
+		t.Error("listener still accepting after Close")
+	}
+}
+
+func TestAdminServerCloseCutsSlowRequests(t *testing.T) {
+	// A request that outlives ShutdownTimeout must be cut, and Close
+	// must say so rather than hang or silently succeed.
+	admin, err := obs.StartAdmin("127.0.0.1:0", obs.NewRegistry(), func() obs.Health {
+		time.Sleep(2 * time.Second)
+		return obs.Health{OK: true}
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin.ShutdownTimeout = 50 * time.Millisecond
+
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		resp, err := http.Get(fmt.Sprintf("http://%s/healthz", admin.Addr()))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	time.Sleep(100 * time.Millisecond) // let the handler enter its sleep
+
+	start := time.Now()
+	err = admin.Close()
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("Close took %v, want bounded by ShutdownTimeout", elapsed)
+	}
+	if err == nil || !strings.Contains(err.Error(), "cut in-flight") {
+		t.Errorf("Close with stuck request = %v, want cut-in-flight report", err)
+	}
+}

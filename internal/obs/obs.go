@@ -75,6 +75,32 @@ var LatencyBuckets = []float64{
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+
+	collMu     sync.Mutex
+	collectors []func(*Registry)
+	runtimeOn  bool
+}
+
+// AddCollector registers a pull-style collector: fn runs at the start
+// of every Snapshot (and therefore every /metrics scrape and expvar
+// read), refreshing whatever gauges it owns. Collectors run outside
+// the registry lock, so they are free to call Gauge/Counter/Histogram.
+// This is how the runtime/metrics panel stays current without a
+// polling goroutine per subsystem.
+func (r *Registry) AddCollector(fn func(*Registry)) {
+	r.collMu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.collMu.Unlock()
+}
+
+// collect runs the registered collectors (outside r.mu).
+func (r *Registry) collect() {
+	r.collMu.Lock()
+	fns := append([]func(*Registry){}, r.collectors...)
+	r.collMu.Unlock()
+	for _, fn := range fns {
+		fn(r)
+	}
 }
 
 type family struct {

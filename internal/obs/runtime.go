@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// EnableRuntimeMetrics arms the Go runtime instrument panel on a
+// registry: goroutine count, heap and total memory, GC cycle and
+// allocation totals, and the GC-pause and scheduler-latency
+// distributions (as quantile gauges), all sampled from runtime/metrics
+// at snapshot time via AddCollector — no polling goroutine, no stop
+// handle, always fresh at scrape. Idempotent per registry, so every
+// layer of the stack (session, engine, live loop, cluster, daemons)
+// calls it unconditionally and exactly one collector runs.
+//
+// Exported series:
+//
+//	go_goroutines                         live goroutines
+//	go_threads                            OS threads owned by the runtime
+//	go_heap_objects_bytes                 bytes in live + unswept heap objects
+//	go_memory_total_bytes                 all memory mapped by the runtime
+//	go_gc_cycles_total                    completed GC cycles
+//	go_alloc_bytes_total                  cumulative bytes allocated
+//	go_gc_pause_seconds{quantile=...}     stop-the-world pause distribution
+//	go_sched_latency_seconds{quantile=...} goroutine scheduling latency
+func EnableRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.collMu.Lock()
+	armed := r.runtimeOn
+	r.runtimeOn = true
+	r.collMu.Unlock()
+	if armed {
+		return
+	}
+	r.AddCollector(newRuntimeCollector())
+}
+
+// runtimeSamples names the runtime/metrics series the panel reads; the
+// order is fixed so the collector can index instead of matching names.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/sched/gomaxprocs:threads",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/heap/allocs:bytes",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// runtimeQuantiles are the distribution cut points exported for the
+// pause and scheduling-latency histograms. "1" is the observed max.
+var runtimeQuantiles = []float64{0.5, 0.99, 1}
+
+func newRuntimeCollector() func(*Registry) {
+	// The sample buffer is reused across collections; Snapshot
+	// serializes collector runs per call site, and runtime/metrics.Read
+	// fills in place without allocating per sample.
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	return func(r *Registry) {
+		metrics.Read(samples)
+		setRuntimeGauge(r, "go_goroutines",
+			"Live goroutines.", samples[0])
+		setRuntimeGauge(r, "go_threads",
+			"Scheduler parallelism (GOMAXPROCS).", samples[1])
+		setRuntimeGauge(r, "go_heap_objects_bytes",
+			"Bytes occupied by live and unswept heap objects.", samples[2])
+		setRuntimeGauge(r, "go_memory_total_bytes",
+			"All memory mapped into the process by the Go runtime.", samples[3])
+		setRuntimeGauge(r, "go_gc_cycles_total",
+			"Completed garbage-collection cycles.", samples[4])
+		setRuntimeGauge(r, "go_alloc_bytes_total",
+			"Cumulative bytes allocated on the heap.", samples[5])
+		setRuntimeHistQuantiles(r, "go_gc_pause_seconds",
+			"Distribution of GC stop-the-world pause latencies.", samples[6])
+		setRuntimeHistQuantiles(r, "go_sched_latency_seconds",
+			"Distribution of goroutine scheduling latencies (runnable to running).", samples[7])
+	}
+}
+
+// setRuntimeGauge stores one scalar runtime sample, tolerating
+// KindBad (a metric absent from this Go version reads as nothing).
+func setRuntimeGauge(r *Registry, name, help string, s metrics.Sample) {
+	var v float64
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		v = float64(s.Value.Uint64())
+	case metrics.KindFloat64:
+		v = s.Value.Float64()
+	default:
+		return
+	}
+	r.Gauge(name, help).Set(v)
+}
+
+// setRuntimeHistQuantiles summarizes a runtime Float64Histogram into
+// quantile gauges. The runtime's bucket layout differs per metric and
+// per release, so the panel exports interpolated quantiles rather than
+// re-bucketing into a Prometheus histogram.
+func setRuntimeHistQuantiles(r *Registry, name, help string, s metrics.Sample) {
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return
+	}
+	h := s.Value.Float64Histogram()
+	if h == nil {
+		return
+	}
+	for _, q := range runtimeQuantiles {
+		label := formatFloat(q)
+		r.Gauge(name, help, L("quantile", label)).Set(runtimeHistQuantile(h, q))
+	}
+}
+
+// runtimeHistQuantile estimates the q-th quantile of a runtime
+// histogram by linear interpolation inside the bucket holding the
+// target rank; -Inf/+Inf bucket edges clamp to their finite neighbor.
+// Returns 0 for an empty histogram (a gauge must hold something).
+func runtimeHistQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		// Bucket i spans Buckets[i] .. Buckets[i+1].
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if math.IsInf(lo, -1) {
+			lo = hi
+		}
+		if math.IsInf(hi, 1) {
+			hi = lo
+		}
+		if cum+float64(c) >= rank {
+			frac := (rank - cum) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += float64(c)
+	}
+	// Unreachable with total > 0; keep the compiler honest.
+	return 0
+}

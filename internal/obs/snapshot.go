@@ -44,8 +44,11 @@ type Snapshot struct {
 }
 
 // Snapshot freezes the registry. Points are ordered by family name,
-// then series creation order.
+// then series creation order. Registered collectors (AddCollector) run
+// first, so pull-style panels — the runtime/metrics gauges — are
+// refreshed in the same snapshot.
 func (r *Registry) Snapshot() Snapshot {
+	r.collect()
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	fams := make([]*family, 0, len(r.families))

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"rfipad/internal/obs"
+)
+
+// TestTraceAddAllocs pins the tracing cost contract at the package
+// boundary (the engine-integration variant lives in the root alloc
+// suite): recording through a nil handle — the unsampled majority of
+// streams — and through a warmed ring are both zero allocations per
+// span, so tracing never shows up as GC pressure on the ingest path.
+func TestTraceAddAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	var unsampled *StreamTrace
+	if avg := testing.AllocsPerRun(10000, func() {
+		unsampled.Add(Span{Name: SpanIngest, Duration: time.Millisecond, Count: 400})
+	}); avg != 0 {
+		t.Errorf("nil StreamTrace.Add allocates %.4f objects/span, want 0", avg)
+	}
+
+	tr := New(Config{SampleEvery: 1, BufSpans: 32, Seed: 1, Obs: obs.NewRegistry()})
+	st := tr.Stream("s")
+	for i := 0; i < 32; i++ {
+		st.Add(Span{Name: SpanIngest})
+	}
+	if avg := testing.AllocsPerRun(10000, func() {
+		st.Add(Span{Name: SpanIngest, Duration: time.Millisecond, Count: 400})
+	}); avg != 0 {
+		t.Errorf("warmed StreamTrace.Add allocates %.4f objects/span, want 0", avg)
+	}
+}

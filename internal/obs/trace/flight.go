@@ -1,0 +1,246 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"rfipad/internal/obs"
+)
+
+// Anomaly triggers — the events that fire a flight-recorder dump.
+// Each maps to one obs_flight_dumps_total{trigger} series.
+const (
+	// TriggerPanic is a stream handler panic that quarantined the
+	// stream.
+	TriggerPanic = "panic_quarantine"
+	// TriggerBreakerOpen is a reconnect circuit breaker opening on a
+	// flapping reader link.
+	TriggerBreakerOpen = "breaker_open"
+	// TriggerHandoffFallback is a cluster handoff that missed its
+	// deadline (or had no usable checkpoint) and fell back to live
+	// recalibration.
+	TriggerHandoffFallback = "handoff_fallback"
+	// TriggerCorruptCheckpoint is a checkpoint that failed its
+	// integrity envelope (bad magic, CRC, version, or payload) at
+	// restore or adoption.
+	TriggerCorruptCheckpoint = "corrupt_checkpoint"
+)
+
+// Summary is the recent-readings digest attached to a dump: enough to
+// say what the stream had accomplished when the anomaly fired, without
+// shipping raw readings.
+type Summary struct {
+	Readings   int           `json:"readings"`
+	Dropped    int           `json:"dropped,omitempty"`
+	Strokes    int           `json:"strokes,omitempty"`
+	Letters    string        `json:"letters,omitempty"`
+	Calibrated bool          `json:"calibrated"`
+	DeadTags   int           `json:"dead_tags,omitempty"`
+	LastTime   time.Duration `json:"last_time,omitempty"`
+}
+
+// Dump is one flight-recorder record: the anomaly, the stream's
+// recent-readings summary, and the last spans of its trace — the black
+// box a post-mortem replays instead of re-running the chaos blind.
+type Dump struct {
+	Time    time.Time `json:"time"`
+	Trigger string    `json:"trigger"`
+	Node    string    `json:"node,omitempty"`
+	Stream  string    `json:"stream,omitempty"`
+	Trace   ID        `json:"trace,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+	Summary *Summary  `json:"summary,omitempty"`
+	Spans   []Span    `json:"spans,omitempty"`
+}
+
+// DumpMeta is the index entry /debug/flight serves per dump (metadata
+// only; the spans live in the JSONL file).
+type DumpMeta struct {
+	Time    time.Time `json:"time"`
+	Trigger string    `json:"trigger"`
+	Node    string    `json:"node,omitempty"`
+	Stream  string    `json:"stream,omitempty"`
+	Trace   ID        `json:"trace,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+	Spans   int       `json:"spans"`
+}
+
+// maxIndex bounds the in-memory dump index; the JSONL file keeps
+// everything.
+const maxIndex = 256
+
+// Flight is the anomaly flight recorder: Record appends one JSON line
+// per dump to flight.jsonl under the configured directory (the
+// -flight-dir flag on the daemons), counts it on
+// obs_flight_dumps_total{trigger}, and keeps a bounded in-memory index
+// for /debug/flight. A nil *Flight records nothing — callers wire it
+// through unconditionally, exactly like the nil Tracer.
+type Flight struct {
+	reg  *obs.Registry
+	path string
+
+	mu    sync.Mutex
+	f     *os.File
+	total uint64
+	index []DumpMeta
+	// MaxSpans bounds spans per dump (default 64: "the last N spans").
+	maxSpans int
+	// Now overrides the dump clock (tests; nil = time.Now).
+	Now func() time.Time
+}
+
+// OpenFlight opens (creating if needed) a flight-recorder directory
+// and its flight.jsonl append-only log. Counters land in reg (nil =
+// obs.Default()). maxSpans bounds how many trailing spans each dump
+// keeps (0 = 64).
+func OpenFlight(dir string, reg *obs.Registry, maxSpans int) (*Flight, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("trace: empty flight dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: flight dir: %w", err)
+	}
+	path := filepath.Join(dir, "flight.jsonl")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trace: flight log: %w", err)
+	}
+	if maxSpans <= 0 {
+		maxSpans = 64
+	}
+	return &Flight{reg: obs.Or(reg), path: path, f: f, maxSpans: maxSpans}, nil
+}
+
+// Path returns the JSONL log path.
+func (fl *Flight) Path() string {
+	if fl == nil {
+		return ""
+	}
+	return fl.path
+}
+
+// Record writes one dump: a zero Time is stamped now, spans beyond
+// MaxSpans are trimmed oldest-first, and the trigger counter advances
+// even if the disk write fails (the anomaly happened either way).
+// No-op on the nil recorder.
+func (fl *Flight) Record(d Dump) {
+	if fl == nil {
+		return
+	}
+	fl.reg.Counter("obs_flight_dumps_total",
+		"Anomaly flight-recorder dumps written, by trigger.",
+		obs.L("trigger", d.Trigger)).Inc()
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if d.Time.IsZero() {
+		if fl.Now != nil {
+			d.Time = fl.Now()
+		} else {
+			d.Time = time.Now()
+		}
+	}
+	if len(d.Spans) > fl.maxSpans {
+		d.Spans = d.Spans[len(d.Spans)-fl.maxSpans:]
+	}
+	line, err := json.Marshal(d)
+	if err != nil {
+		// A dump that cannot marshal (should be impossible for these
+		// plain types) must not take the recorder down.
+		return
+	}
+	line = append(line, '\n')
+	fl.f.Write(line)
+	fl.total++
+	fl.index = append(fl.index, DumpMeta{
+		Time: d.Time, Trigger: d.Trigger, Node: d.Node,
+		Stream: d.Stream, Trace: d.Trace, Detail: d.Detail,
+		Spans: len(d.Spans),
+	})
+	if len(fl.index) > maxIndex {
+		fl.index = fl.index[len(fl.index)-maxIndex:]
+	}
+}
+
+// Index returns the recent dump metadata, oldest first (bounded at
+// maxIndex entries; Total counts everything ever recorded).
+func (fl *Flight) Index() (total uint64, dumps []DumpMeta) {
+	if fl == nil {
+		return 0, nil
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	return fl.total, append([]DumpMeta(nil), fl.index...)
+}
+
+// Handler serves the /debug/flight index: where the black box lives
+// and what it has captured, filterable with ?trigger= and ?stream=.
+func (fl *Flight) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		wantTrigger, wantStream := q.Get("trigger"), q.Get("stream")
+		total, dumps := fl.Index()
+		out := make([]DumpMeta, 0, len(dumps))
+		for _, d := range dumps {
+			if wantTrigger != "" && d.Trigger != wantTrigger {
+				continue
+			}
+			if wantStream != "" && d.Stream != wantStream {
+				continue
+			}
+			out = append(out, d)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{
+			"file":  fl.Path(),
+			"total": total,
+			"dumps": out,
+		})
+	})
+}
+
+// Close syncs and closes the JSONL log (nil-safe, idempotent enough
+// for deferred use).
+func (fl *Flight) Close() error {
+	if fl == nil {
+		return nil
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.f == nil {
+		return nil
+	}
+	err := fl.f.Sync()
+	if cerr := fl.f.Close(); err == nil {
+		err = cerr
+	}
+	fl.f = nil
+	return err
+}
+
+// ReadDumps parses a flight.jsonl file back into dumps — the test-side
+// inverse of Record, so chaos assertions read the same black box an
+// operator would.
+func ReadDumps(path string) ([]Dump, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var dumps []Dump
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for dec.More() {
+		var d Dump
+		if err := dec.Decode(&d); err != nil {
+			return dumps, fmt.Errorf("trace: flight log line %d: %w", len(dumps)+1, err)
+		}
+		dumps = append(dumps, d)
+	}
+	return dumps, nil
+}

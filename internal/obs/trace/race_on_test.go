@@ -1,0 +1,7 @@
+//go:build race
+
+package trace
+
+// raceEnabled mirrors the root package's guard: exact AllocsPerRun
+// assertions are unreliable under the race detector's instrumentation.
+const raceEnabled = true

@@ -1,0 +1,467 @@
+// Package trace is the causal tracing layer for the live stack: each
+// tag stream carries one TraceID for the lifetime of a word, and every
+// stage of that word's journey — ingest, sanitize, mailbox queueing,
+// shard recognition, calibration or restore, result emission, and the
+// cluster's evict → transfer → adopt → skipto migration chain — emits
+// a span into the stream's fixed-capacity ring buffer. Where the
+// aggregate histograms in package obs answer "how fast is each stage
+// on average", a trace answers "what happened to *this* stream's
+// word": which handoff it rode, how long it sat in a mailbox, which
+// node adopted it.
+//
+// Design constraints, in priority order:
+//
+//   - The unsampled hot path is free: an unsampled (or untraced)
+//     stream resolves to a nil *StreamTrace, every method of which is
+//     a nil-receiver no-op — one predictable branch, zero allocations.
+//   - The sampled path never allocates per span: spans are plain
+//     values written into a preallocated ring slot; the ring
+//     overwrites its oldest spans rather than growing.
+//   - Trace context crosses node boundaries inside the checkpoint
+//     transfer frame (supervise.Checkpoint.TraceID), so a migrated
+//     stream's trace is stitched — same TraceID, node-attributed spans
+//     on both sides — not severed.
+//
+// Span writes synchronize with snapshot reads through a per-stream
+// mutex: a Lock/Unlock pair on an uncontended mutex is a few
+// nanoseconds and allocation-free, and it keeps torn span reads (and
+// race-detector reports) structurally impossible, which matters more
+// here than lock-freedom — the only contended case is a coordinator
+// recording a migration span while the owning shard records ingest
+// spans, a once-per-handoff event.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"rfipad/internal/obs"
+)
+
+// ID is one stream's trace identity for the lifetime of a word. It
+// travels with the stream across node boundaries (inside the
+// checkpoint transfer frame), so spans recorded by different nodes
+// stitch into one causal story. The zero ID means "unsampled".
+type ID uint64
+
+// String renders the ID as 16 hex digits (zero-padded, lowercase).
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// MarshalJSON renders the ID as a quoted hex string.
+func (id ID) MarshalJSON() ([]byte, error) { return []byte(`"` + id.String() + `"`), nil }
+
+// UnmarshalJSON parses the quoted hex form (and accepts bare numbers
+// for forward compatibility).
+func (id *ID) UnmarshalJSON(data []byte) error {
+	s := string(data)
+	if len(s) >= 2 && s[0] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	if s == "" {
+		*id = 0
+		return nil
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return fmt.Errorf("trace: bad id %q: %w", s, err)
+	}
+	*id = ID(v)
+	return nil
+}
+
+// ParseID parses the 16-hex-digit form produced by ID.String. The
+// empty string parses to the zero (unsampled) ID.
+func ParseID(s string) (ID, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("trace: bad id %q: %w", s, err)
+	}
+	return ID(v), nil
+}
+
+// Span names — the stage taxonomy of a word's lifecycle. Pipeline
+// spans are recorded by the engine shard that owns the stream; cluster
+// spans by the coordinator and the adopting engine.
+const (
+	// SpanIngest covers one batch's pass through the recognizer
+	// (segmentation + recognition); Count is readings admitted.
+	SpanIngest = "ingest"
+	// SpanSanitize records readings the ingest sanitizer rejected from
+	// a batch (Count); only emitted when at least one was rejected.
+	SpanSanitize = "sanitize"
+	// SpanMailbox is the time a batch waited in its shard's mailbox
+	// between enqueue and the worker picking it up.
+	SpanMailbox = "mailbox"
+	// SpanCalibrate marks the static-prelude calibration completing;
+	// Count is the dead-tag count.
+	SpanCalibrate = "calibrate"
+	// SpanRestore marks a calibration restored from a durable
+	// checkpoint at stream creation (skipping the prelude).
+	SpanRestore = "restore"
+	// SpanResult covers recognition events leaving the stream; Count
+	// is events delivered and Duration is enqueue-to-emission latency.
+	SpanResult = "result"
+	// SpanQuarantine marks a panic quarantine ending the stream.
+	SpanQuarantine = "quarantine"
+
+	// SpanEvict marks a stream's state leaving its owner for
+	// migration: Trigger "graceful" means live state was evicted from
+	// the donor engine, "failure" means the owner was dead and the
+	// checkpoint came from the durable store.
+	SpanEvict = "evict"
+	// SpanTransfer covers the retrying TCP checkpoint transfer; Count
+	// is dial attempts, Err the final failure if it never landed.
+	SpanTransfer = "transfer"
+	// SpanAdopt covers the receiving engine adopting the migrated
+	// checkpoint.
+	SpanAdopt = "adopt"
+	// SpanSkipTo covers the restore + frame-cursor skip that resumes
+	// recognition on the new owner without recalibration.
+	SpanSkipTo = "skipto"
+	// SpanFallback marks a handoff that missed its deadline (or had no
+	// usable checkpoint) and fell back to live recalibration.
+	SpanFallback = "fallback_live"
+)
+
+// Span is one timed (or point) event in a stream's lifecycle. Spans
+// are plain values — recording one copies it into a preallocated ring
+// slot, so the only heap traffic is whatever strings the caller
+// formats (constant names and pre-existing IDs are free).
+type Span struct {
+	// Trace is the stream's trace identity (stamped by Add).
+	Trace ID `json:"trace"`
+	// Stream names the stream (stamped by Add).
+	Stream string `json:"stream"`
+	// Seq is the per-ring causal sequence number (stamped by Add).
+	// Spans recorded by different nodes order by Start time; within
+	// one ring, Seq breaks clock ties.
+	Seq uint64 `json:"seq"`
+	// Name is the stage (one of the Span* constants).
+	Name string `json:"name"`
+	// Node attributes the span to a cluster member ("" standalone).
+	Node string `json:"node,omitempty"`
+	// Trigger attributes migration spans: "graceful" (evict from live
+	// state) vs "failure" (checkpoint from the durable store) — the
+	// same labels the cluster_handoff_seconds histogram carries.
+	Trigger string `json:"trigger,omitempty"`
+	// Start is the span's wall-clock start.
+	Start time.Time `json:"start"`
+	// Duration is the span's length (0 for point events).
+	Duration time.Duration `json:"duration"`
+	// Count is a stage-dependent magnitude: readings ingested,
+	// readings rejected, events delivered, transfer attempts.
+	Count int `json:"count,omitempty"`
+	// Err carries the failure that ended the span, if any.
+	Err string `json:"err,omitempty"`
+}
+
+// Config tunes a Tracer.
+type Config struct {
+	// SampleEvery samples one in N streams (by creation order): 1 (or
+	// less) traces every stream, 4 traces every fourth. A negative
+	// value disables sampling entirely — every stream resolves nil.
+	SampleEvery int
+	// BufSpans is each sampled stream's ring capacity in spans
+	// (default 256). The ring overwrites oldest-first; overwrites are
+	// counted on obs_trace_spans_dropped_total.
+	BufSpans int
+	// Seed makes TraceID generation deterministic (tests); 0 seeds
+	// from the clock.
+	Seed int64
+	// Obs selects the registry the obs_trace_* series land in (nil =
+	// obs.Default()).
+	Obs *obs.Registry
+}
+
+// Tracer owns the per-stream trace rings and the sampling decision.
+// All methods are safe for concurrent use. A nil *Tracer is valid and
+// traces nothing — callers wire it through unconditionally.
+type Tracer struct {
+	cfg Config
+
+	mu      sync.Mutex
+	streams map[string]*StreamTrace // nil value = stream seen, unsampled
+	created uint64                  // streams seen, drives SampleEvery
+	idState uint64                  // splitmix64 state for ID generation
+
+	sampled   *obs.Counter
+	unsampled *obs.Counter
+	spans     *obs.Counter
+	dropped   *obs.Counter
+}
+
+// New builds a Tracer.
+func New(cfg Config) *Tracer {
+	if cfg.BufSpans <= 0 {
+		cfg.BufSpans = 256
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	reg := obs.Or(cfg.Obs)
+	return &Tracer{
+		cfg:     cfg,
+		streams: map[string]*StreamTrace{},
+		idState: uint64(seed),
+		sampled: reg.Counter("obs_trace_streams_total",
+			"Streams seen by the tracer, by sampling decision.", obs.L("sampled", "true")),
+		unsampled: reg.Counter("obs_trace_streams_total",
+			"Streams seen by the tracer, by sampling decision.", obs.L("sampled", "false")),
+		spans: reg.Counter("obs_trace_spans_total",
+			"Spans recorded into trace rings."),
+		dropped: reg.Counter("obs_trace_spans_dropped_total",
+			"Spans overwritten by ring wrap before being read."),
+	}
+}
+
+// splitmix64 is the ID generator step: well-mixed, zero-dependency,
+// never returns 0 from a non-pathological walk (0 output is skipped by
+// the caller since 0 means unsampled).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream resolves the trace handle for a stream, deciding sampling on
+// first sight. Returns nil — the free no-op handle — for unsampled
+// streams or a nil Tracer. The decision is sticky: every later call
+// for the same stream returns the same handle.
+func (t *Tracer) Stream(stream string) *StreamTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, seen := t.streams[stream]
+	if seen {
+		return st
+	}
+	t.created++
+	every := t.cfg.SampleEvery
+	switch {
+	case every < 0:
+		st = nil
+	case every <= 1 || (t.created-1)%uint64(every) == 0:
+		st = t.newStreamLocked(stream, 0)
+	}
+	t.streams[stream] = st
+	if st != nil {
+		t.sampled.Inc()
+	} else {
+		t.unsampled.Inc()
+	}
+	return st
+}
+
+// Adopt resolves the trace handle for a stream arriving with trace
+// context from another node (the checkpoint frame's TraceID). A zero
+// id means the donor never sampled the stream — the local decision is
+// also "unsampled", so a trace is never half-recorded. When the stream
+// is already known under the same ID (the in-process cluster shares
+// one tracer), the existing ring is reused and the trace simply
+// continues; a different ID starts a fresh ring under the adopted
+// identity.
+func (t *Tracer) Adopt(stream string, id ID) *StreamTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st, seen := t.streams[stream]; seen && st != nil && st.id == id {
+		return st
+	} else if seen && st == nil && id == 0 {
+		return nil
+	}
+	var st *StreamTrace
+	if id != 0 {
+		st = t.newStreamLocked(stream, id)
+		t.sampled.Inc()
+	} else {
+		t.unsampled.Inc()
+	}
+	t.streams[stream] = st
+	return st
+}
+
+// newStreamLocked builds a sampled stream's ring. Callers hold t.mu.
+func (t *Tracer) newStreamLocked(stream string, id ID) *StreamTrace {
+	for id == 0 {
+		t.idState = splitmix64(t.idState)
+		id = ID(t.idState)
+	}
+	return &StreamTrace{
+		tracer: t,
+		id:     id,
+		stream: stream,
+		slots:  make([]Span, t.cfg.BufSpans),
+	}
+}
+
+// StreamTrace is one sampled stream's span ring. The nil *StreamTrace
+// is the unsampled handle: every method no-ops, so hot paths hold one
+// pointer and need no further branching.
+type StreamTrace struct {
+	tracer *Tracer
+	id     ID
+	stream string
+
+	mu    sync.Mutex
+	next  uint64 // total spans ever recorded; next%len(slots) is the write slot
+	slots []Span
+}
+
+// ID returns the stream's trace identity (0 on the nil handle).
+func (st *StreamTrace) ID() ID {
+	if st == nil {
+		return 0
+	}
+	return st.id
+}
+
+// Add records one span, stamping its Trace, Stream, and Seq. The span
+// value is copied into a preallocated ring slot — no allocation, no
+// retention of caller memory beyond the strings already in sp. No-op
+// on the nil handle.
+func (st *StreamTrace) Add(sp Span) {
+	if st == nil {
+		return
+	}
+	sp.Trace = st.id
+	sp.Stream = st.stream
+	st.mu.Lock()
+	sp.Seq = st.next
+	if st.next >= uint64(len(st.slots)) {
+		st.tracer.dropped.Inc()
+	}
+	st.slots[st.next%uint64(len(st.slots))] = sp
+	st.next++
+	st.mu.Unlock()
+	st.tracer.spans.Inc()
+}
+
+// Spans returns the ring's retained spans in causal (Seq) order,
+// oldest first. Nil on the nil handle.
+func (st *StreamTrace) Spans() []Span {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := st.next
+	cap64 := uint64(len(st.slots))
+	count := n
+	if count > cap64 {
+		count = cap64
+	}
+	out := make([]Span, 0, count)
+	for i := n - count; i < n; i++ {
+		out = append(out, st.slots[i%cap64])
+	}
+	return out
+}
+
+// StreamDump is one stream's trace as exposed on /debug/traces and in
+// flight-recorder dumps.
+type StreamDump struct {
+	Stream string `json:"stream"`
+	Trace  ID     `json:"trace"`
+	// Recorded is the total spans ever recorded; when it exceeds
+	// len(Spans) the ring wrapped and the oldest spans are gone.
+	Recorded uint64 `json:"recorded"`
+	Spans    []Span `json:"spans"`
+}
+
+// Traces snapshots every sampled stream's ring, sorted by stream ID.
+// Nil Tracer returns nil.
+func (t *Tracer) Traces() []StreamDump {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	handles := make([]*StreamTrace, 0, len(t.streams))
+	for _, st := range t.streams {
+		if st != nil {
+			handles = append(handles, st)
+		}
+	}
+	t.mu.Unlock()
+	out := make([]StreamDump, 0, len(handles))
+	for _, st := range handles {
+		st.mu.Lock()
+		recorded := st.next
+		st.mu.Unlock()
+		out = append(out, StreamDump{
+			Stream:   st.stream,
+			Trace:    st.id,
+			Recorded: recorded,
+			Spans:    st.Spans(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stream < out[j].Stream })
+	return out
+}
+
+// Handler serves the /debug/traces endpoint: a JSON document of every
+// sampled stream's spans. Query parameters filter the view:
+//
+//	?stream=plate-0        only that stream
+//	?trace=4a1f...         only the stream carrying that TraceID
+//	?min_duration=250us    drop spans shorter than the bound
+//
+// Filtered-out spans stay counted in "recorded", so a trimmed view
+// still says how much it hides.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		wantStream := q.Get("stream")
+		wantTrace, err := ParseID(q.Get("trace"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var minDur time.Duration
+		if s := q.Get("min_duration"); s != "" {
+			minDur, err = time.ParseDuration(s)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("trace: bad min_duration %q: %v", s, err), http.StatusBadRequest)
+				return
+			}
+		}
+		dumps := t.Traces()
+		out := make([]StreamDump, 0, len(dumps))
+		for _, d := range dumps {
+			if wantStream != "" && d.Stream != wantStream {
+				continue
+			}
+			if wantTrace != 0 && d.Trace != wantTrace {
+				continue
+			}
+			if minDur > 0 {
+				kept := make([]Span, 0, len(d.Spans))
+				for _, sp := range d.Spans {
+					if sp.Duration >= minDur {
+						kept = append(kept, sp)
+					}
+				}
+				d.Spans = kept
+			}
+			out = append(out, d)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"traces": out})
+	})
+}

@@ -1,0 +1,341 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rfipad/internal/obs"
+)
+
+func TestIDRoundTrip(t *testing.T) {
+	id := ID(0xdeadbeef01020304)
+	s := id.String()
+	if len(s) != 16 || s != "deadbeef01020304" {
+		t.Fatalf("ID.String() = %q, want 16 lowercase hex digits", s)
+	}
+	back, err := ParseID(s)
+	if err != nil || back != id {
+		t.Fatalf("ParseID(%q) = %v, %v; want %v", s, back, err, id)
+	}
+	if got, err := ParseID(""); err != nil || got != 0 {
+		t.Fatalf("ParseID(\"\") = %v, %v; want 0, nil", got, err)
+	}
+	if _, err := ParseID("not-hex"); err == nil {
+		t.Fatal("ParseID accepted garbage")
+	}
+
+	data, err := json.Marshal(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec ID
+	if err := json.Unmarshal(data, &dec); err != nil || dec != id {
+		t.Fatalf("JSON round trip = %v, %v; want %v", dec, err, id)
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var tr *Tracer
+	if st := tr.Stream("s"); st != nil {
+		t.Fatal("nil Tracer.Stream should return nil")
+	}
+	if st := tr.Adopt("s", 7); st != nil {
+		t.Fatal("nil Tracer.Adopt should return nil")
+	}
+	if d := tr.Traces(); d != nil {
+		t.Fatal("nil Tracer.Traces should return nil")
+	}
+	var st *StreamTrace
+	st.Add(Span{Name: SpanIngest}) // must not panic
+	if st.ID() != 0 {
+		t.Fatal("nil StreamTrace.ID should be 0")
+	}
+	if st.Spans() != nil {
+		t.Fatal("nil StreamTrace.Spans should be nil")
+	}
+	var fl *Flight
+	fl.Record(Dump{Trigger: TriggerPanic}) // must not panic
+	if total, dumps := fl.Index(); total != 0 || dumps != nil {
+		t.Fatal("nil Flight.Index should be empty")
+	}
+	if err := fl.Close(); err != nil {
+		t.Fatal("nil Flight.Close should be nil")
+	}
+}
+
+func TestSamplingEveryNIsSticky(t *testing.T) {
+	tr := New(Config{SampleEvery: 3, Seed: 1, Obs: obs.NewRegistry()})
+	var sampled, unsampled int
+	handles := map[string]*StreamTrace{}
+	for i := 0; i < 9; i++ {
+		name := string(rune('a' + i))
+		st := tr.Stream(name)
+		handles[name] = st
+		if st != nil {
+			sampled++
+		} else {
+			unsampled++
+		}
+	}
+	if sampled != 3 || unsampled != 6 {
+		t.Fatalf("SampleEvery=3 over 9 streams: %d sampled, %d unsampled; want 3/6", sampled, unsampled)
+	}
+	// Sticky: re-resolving returns the identical decision and handle.
+	for name, want := range handles {
+		if got := tr.Stream(name); got != want {
+			t.Fatalf("stream %q resolved %p then %p: decision not sticky", name, want, got)
+		}
+	}
+	// Negative disables everything.
+	off := New(Config{SampleEvery: -1, Seed: 1, Obs: obs.NewRegistry()})
+	if st := off.Stream("x"); st != nil {
+		t.Fatal("SampleEvery=-1 must sample nothing")
+	}
+}
+
+func TestRingWrapKeepsNewestAndCountsDrops(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := New(Config{SampleEvery: 1, BufSpans: 4, Seed: 1, Obs: reg})
+	st := tr.Stream("s")
+	for i := 0; i < 10; i++ {
+		st.Add(Span{Name: SpanIngest, Count: i})
+	}
+	spans := st.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring retained %d spans, want 4", len(spans))
+	}
+	for i, sp := range spans {
+		if want := 6 + i; sp.Count != want {
+			t.Errorf("span[%d].Count = %d, want %d (newest-4 retained in order)", i, sp.Count, want)
+		}
+		if sp.Seq != uint64(6+i) {
+			t.Errorf("span[%d].Seq = %d, want %d", i, sp.Seq, 6+i)
+		}
+		if sp.Trace != st.ID() || sp.Stream != "s" {
+			t.Errorf("span[%d] not stamped: trace=%v stream=%q", i, sp.Trace, sp.Stream)
+		}
+	}
+	snap := reg.Snapshot()
+	if v := snap.Value("obs_trace_spans_total"); v != 10 {
+		t.Errorf("obs_trace_spans_total = %v, want 10", v)
+	}
+	if v := snap.Value("obs_trace_spans_dropped_total"); v != 6 {
+		t.Errorf("obs_trace_spans_dropped_total = %v, want 6", v)
+	}
+	if v := snap.Value("obs_trace_streams_total", obs.L("sampled", "true")); v != 1 {
+		t.Errorf("sampled streams = %v, want 1", v)
+	}
+}
+
+func TestAdoptStitchesAcrossTracers(t *testing.T) {
+	// Two tracers standing in for two nodes' processes: the donor
+	// samples a stream, its ID crosses inside the checkpoint, and the
+	// receiver's spans land under the same identity.
+	donor := New(Config{SampleEvery: 1, Seed: 1, Obs: obs.NewRegistry()})
+	src := donor.Stream("plate-0")
+	src.Add(Span{Name: SpanIngest})
+	id := src.ID()
+
+	receiver := New(Config{SampleEvery: -1, Seed: 2, Obs: obs.NewRegistry()})
+	dst := receiver.Adopt("plate-0", id)
+	if dst == nil {
+		t.Fatal("Adopt with a non-zero ID must sample regardless of local policy")
+	}
+	if dst.ID() != id {
+		t.Fatalf("adopted trace ID = %v, want donor's %v", dst.ID(), id)
+	}
+	dst.Add(Span{Name: SpanAdopt})
+	if spans := dst.Spans(); len(spans) != 1 || spans[0].Trace != id {
+		t.Fatalf("receiver spans = %+v, want one adopt span under %v", spans, id)
+	}
+
+	// Shared-tracer adoption (in-process cluster): same ID reuses the
+	// existing ring, so the trace simply continues.
+	same := donor.Adopt("plate-0", id)
+	if same != src {
+		t.Fatal("Adopt with the existing ID must reuse the ring")
+	}
+	// A zero ID means the donor never sampled: stays unsampled.
+	if st := receiver.Adopt("plate-1", 0); st != nil {
+		t.Fatal("Adopt with zero ID must stay unsampled")
+	}
+}
+
+func TestTracesSortedAndHandlerFilters(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, Seed: 1, Obs: obs.NewRegistry()})
+	b := tr.Stream("b")
+	a := tr.Stream("a")
+	a.Add(Span{Name: SpanIngest, Duration: time.Millisecond})
+	a.Add(Span{Name: SpanMailbox, Duration: time.Microsecond})
+	b.Add(Span{Name: SpanResult, Duration: 2 * time.Millisecond})
+
+	dumps := tr.Traces()
+	if len(dumps) != 2 || dumps[0].Stream != "a" || dumps[1].Stream != "b" {
+		t.Fatalf("Traces() = %+v, want [a b] sorted", dumps)
+	}
+	if dumps[0].Recorded != 2 {
+		t.Errorf("stream a Recorded = %d, want 2", dumps[0].Recorded)
+	}
+
+	get := func(query string) map[string][]StreamDump {
+		rec := httptest.NewRecorder()
+		tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces"+query, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s = %d: %s", query, rec.Code, rec.Body.String())
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content type = %q, want application/json", ct)
+		}
+		var out map[string][]StreamDump
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("bad JSON from %s: %v", query, err)
+		}
+		return out
+	}
+
+	if all := get(""); len(all["traces"]) != 2 {
+		t.Errorf("unfiltered traces = %d, want 2", len(all["traces"]))
+	}
+	byStream := get("?stream=a")["traces"]
+	if len(byStream) != 1 || byStream[0].Stream != "a" {
+		t.Errorf("?stream=a = %+v, want only a", byStream)
+	}
+	byTrace := get("?trace=" + b.ID().String())["traces"]
+	if len(byTrace) != 1 || byTrace[0].Stream != "b" {
+		t.Errorf("?trace= = %+v, want only b", byTrace)
+	}
+	byDur := get("?stream=a&min_duration=500us")["traces"]
+	if len(byDur) != 1 || len(byDur[0].Spans) != 1 || byDur[0].Spans[0].Name != SpanIngest {
+		t.Errorf("min_duration filter = %+v, want only the 1ms ingest span", byDur)
+	}
+	if byDur[0].Recorded != 2 {
+		t.Errorf("filtered view Recorded = %d, want 2 (hiding is declared)", byDur[0].Recorded)
+	}
+
+	// Bad filters are 400s, not panics.
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?trace=zzz", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad trace filter status = %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?min_duration=fast", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad min_duration status = %d, want 400", rec.Code)
+	}
+}
+
+func TestFlightRecorderRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	fl, err := OpenFlight(dir, reg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Path() != filepath.Join(dir, "flight.jsonl") {
+		t.Fatalf("Path() = %q", fl.Path())
+	}
+	fl.Record(Dump{
+		Trigger: TriggerPanic,
+		Node:    "node-00",
+		Stream:  "plate-0",
+		Trace:   ID(42),
+		Detail:  "boom",
+		Summary: &Summary{Readings: 7, Letters: "IT", Calibrated: true},
+		Spans: []Span{
+			{Name: SpanIngest, Seq: 1},
+			{Name: SpanResult, Seq: 2},
+			{Name: SpanQuarantine, Seq: 3},
+		},
+	})
+	fl.Record(Dump{Trigger: TriggerBreakerOpen, Detail: "flapping"})
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dumps, err := ReadDumps(fl.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) != 2 {
+		t.Fatalf("ReadDumps = %d dumps, want 2", len(dumps))
+	}
+	d := dumps[0]
+	if d.Trigger != TriggerPanic || d.Node != "node-00" || d.Stream != "plate-0" ||
+		d.Trace != ID(42) || d.Detail != "boom" {
+		t.Errorf("dump[0] = %+v", d)
+	}
+	if d.Summary == nil || d.Summary.Readings != 7 || d.Summary.Letters != "IT" || !d.Summary.Calibrated {
+		t.Errorf("dump[0].Summary = %+v", d.Summary)
+	}
+	// maxSpans=2 trims oldest-first: the quarantine span survives.
+	if len(d.Spans) != 2 || d.Spans[0].Name != SpanResult || d.Spans[1].Name != SpanQuarantine {
+		t.Errorf("dump[0].Spans = %+v, want newest 2", d.Spans)
+	}
+	if d.Time.IsZero() {
+		t.Error("dump time not stamped")
+	}
+
+	snap := reg.Snapshot()
+	if v := snap.Value("obs_flight_dumps_total", obs.L("trigger", TriggerPanic)); v != 1 {
+		t.Errorf("dumps{panic} = %v, want 1", v)
+	}
+	if v := snap.Value("obs_flight_dumps_total", obs.L("trigger", TriggerBreakerOpen)); v != 1 {
+		t.Errorf("dumps{breaker} = %v, want 1", v)
+	}
+}
+
+func TestFlightIndexAndHandler(t *testing.T) {
+	fl, err := OpenFlight(t.TempDir(), obs.NewRegistry(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	fl.Record(Dump{Trigger: TriggerPanic, Stream: "a"})
+	fl.Record(Dump{Trigger: TriggerHandoffFallback, Stream: "b"})
+	fl.Record(Dump{Trigger: TriggerPanic, Stream: "b"})
+
+	total, dumps := fl.Index()
+	if total != 3 || len(dumps) != 3 {
+		t.Fatalf("Index = %d, %d entries; want 3, 3", total, len(dumps))
+	}
+
+	get := func(query string) map[string]json.RawMessage {
+		rec := httptest.NewRecorder()
+		fl.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight"+query, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s = %d", query, rec.Code)
+		}
+		var out map[string]json.RawMessage
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	count := func(raw json.RawMessage) int {
+		var metas []DumpMeta
+		if err := json.Unmarshal(raw, &metas); err != nil {
+			t.Fatal(err)
+		}
+		return len(metas)
+	}
+	if n := count(get("")["dumps"]); n != 3 {
+		t.Errorf("unfiltered dumps = %d, want 3", n)
+	}
+	if n := count(get("?trigger=" + TriggerPanic)["dumps"]); n != 2 {
+		t.Errorf("?trigger=panic dumps = %d, want 2", n)
+	}
+	if n := count(get("?stream=b")["dumps"]); n != 2 {
+		t.Errorf("?stream=b dumps = %d, want 2", n)
+	}
+	if n := count(get("?trigger=" + TriggerPanic + "&stream=b")["dumps"]); n != 1 {
+		t.Errorf("combined filter dumps = %d, want 1", n)
+	}
+	if file := string(get("")["file"]); !strings.Contains(file, "flight.jsonl") {
+		t.Errorf("index file = %s, want the jsonl path", file)
+	}
+}

@@ -32,6 +32,13 @@ type Checkpoint struct {
 	// FrameCursor is the frame-aligned stream time recognition resumes
 	// from after a restore (readings before it are dropped as late).
 	FrameCursor time.Duration `json:"frame_cursor"`
+	// TraceID carries the stream's trace identity (hex, from
+	// internal/obs/trace) across the checkpoint boundary — both the
+	// durable store and the cluster transfer frame — so a migrated or
+	// restarted stream's trace is stitched rather than severed. Empty
+	// when the stream was unsampled; older checkpoints simply lack the
+	// field, which decodes to the same thing.
+	TraceID string `json:"trace_id,omitempty"`
 	// Calibration is the per-tag static statistics (mean phase,
 	// deviation bias, noise rate, dead set).
 	Calibration core.CalibrationSnapshot `json:"calibration"`

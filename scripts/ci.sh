@@ -36,10 +36,14 @@ go test -race -shuffle=on ./...
 # deadlines, kill/restore); run them twice under the race detector so a
 # flaky interleaving fails the gate instead of slipping through. The
 # cluster node-kill chaos tests ride along: heartbeat failure
-# detection and checkpoint handoff are nothing but timing.
+# detection and checkpoint handoff are nothing but timing. The trace
+# and flight-recorder chaos tests (stitched traces, anomaly dumps) are
+# part of the same set; with RFIPAD_FLIGHT_DIR exported (the workflow
+# does), their flight.jsonl dumps survive for artifact upload when the
+# job fails.
 echo '== chaos + recovery tests (-race -count=2)'
 go test -race -count=2 \
-    -run 'TestEnginePanic|TestEngineSourcePanic|TestEngineCheckpoint|TestEngineDrain|TestCheckpointRestore|TestCheckpointStale|TestSessionBreaker|TestClusterNodeKill|TestClusterHandoff|TestClusterLeave' \
+    -run 'TestEnginePanic|TestEngineSourcePanic|TestEngineCheckpoint|TestEngineDrain|TestCheckpointRestore|TestCheckpointStale|TestSessionBreaker|TestClusterNodeKill|TestClusterHandoff|TestClusterLeave|TestClusterFlight' \
     ./internal/engine ./internal/live ./internal/llrp ./internal/cluster
 
 # Short fuzz pass over the checkpoint decoder: corrupt files must decode
@@ -50,8 +54,10 @@ go test -run '^$' -fuzz FuzzDecodeCheckpoint -fuzztime 10s ./internal/supervise
 
 # The exact AllocsPerRun assertions skip themselves under -race (the
 # detector allocates on instrumented paths), so run them again pure.
+# This covers the recognizer hot path, the disturbance scratch map,
+# and the unsampled/sampled tracing paths (0 allocs per span).
 echo '== alloc regression tests (pure build)'
-go test -run 'Allocs' .
+go test -run 'Allocs' . ./internal/obs/trace
 
 echo '== bench smoke (hot path + engine, 1 iteration)'
 go test -run '^$' -bench 'BenchmarkRecognizerIngestSteadyState|BenchmarkEngineMultiStream' \
