@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -105,6 +106,9 @@ type AdminServer struct {
 	// requests (a /metrics scrape mid-write, a pprof profile) before
 	// cutting them off (default 2 s).
 	ShutdownTimeout time.Duration
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // StartAdmin binds addr and serves AdminMux(r, health, ready, extra)
@@ -131,8 +135,15 @@ func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
 // finish (so a scrape racing a drain sees a complete exposition, not a
 // cut connection), and only then are stragglers cut. The background
 // Serve error — previously discarded — is collected and returned when
-// it was a real fault rather than the expected close.
+// it was a real fault rather than the expected close. Idempotent:
+// later calls return the first call's result instead of blocking on
+// the already-consumed Serve error.
 func (a *AdminServer) Close() error {
+	a.closeOnce.Do(func() { a.closeErr = a.close() })
+	return a.closeErr
+}
+
+func (a *AdminServer) close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), a.ShutdownTimeout)
 	defer cancel()
 	shutdownErr := a.srv.Shutdown(ctx)

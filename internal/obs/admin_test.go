@@ -161,6 +161,28 @@ func TestAdminServerGracefulClose(t *testing.T) {
 	}
 }
 
+func TestAdminServerCloseIdempotent(t *testing.T) {
+	admin, err := obs.StartAdmin("127.0.0.1:0", obs.NewRegistry(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.Close(); err != nil {
+		t.Fatalf("first Close = %v", err)
+	}
+	// The second Close must return the cached result instead of
+	// blocking on the already-consumed Serve error.
+	done := make(chan error, 1)
+	go func() { done <- admin.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("second Close = %v, want nil (first call's result)", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("second Close blocked: not idempotent")
+	}
+}
+
 func TestAdminServerCloseCutsSlowRequests(t *testing.T) {
 	// A request that outlives ShutdownTimeout must be cut, and Close
 	// must say so rather than hang or silently succeed.

@@ -17,7 +17,7 @@ import (
 // Exported series:
 //
 //	go_goroutines                         live goroutines
-//	go_threads                            OS threads owned by the runtime
+//	go_gomaxprocs                         scheduler parallelism (GOMAXPROCS)
 //	go_heap_objects_bytes                 bytes in live + unswept heap objects
 //	go_memory_total_bytes                 all memory mapped by the runtime
 //	go_gc_cycles_total                    completed GC cycles
@@ -56,18 +56,20 @@ var runtimeSamples = []string{
 var runtimeQuantiles = []float64{0.5, 0.99, 1}
 
 func newRuntimeCollector() func(*Registry) {
-	// The sample buffer is reused across collections; Snapshot
-	// serializes collector runs per call site, and runtime/metrics.Read
-	// fills in place without allocating per sample.
-	samples := make([]metrics.Sample, len(runtimeSamples))
-	for i, name := range runtimeSamples {
-		samples[i].Name = name
-	}
 	return func(r *Registry) {
+		// The sample buffer is per invocation: Registry.collect runs
+		// collectors outside any lock, so concurrent Snapshot calls
+		// (overlapping /metrics scrapes, a scrape racing /healthz) may
+		// run this closure at the same time — a shared buffer would be
+		// a data race under metrics.Read's in-place fill.
+		samples := make([]metrics.Sample, len(runtimeSamples))
+		for i, name := range runtimeSamples {
+			samples[i].Name = name
+		}
 		metrics.Read(samples)
 		setRuntimeGauge(r, "go_goroutines",
 			"Live goroutines.", samples[0])
-		setRuntimeGauge(r, "go_threads",
+		setRuntimeGauge(r, "go_gomaxprocs",
 			"Scheduler parallelism (GOMAXPROCS).", samples[1])
 		setRuntimeGauge(r, "go_heap_objects_bytes",
 			"Bytes occupied by live and unswept heap objects.", samples[2])

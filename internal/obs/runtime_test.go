@@ -1,0 +1,50 @@
+package obs_test
+
+import (
+	"sync"
+	"testing"
+
+	"rfipad/internal/obs"
+)
+
+func TestRuntimeMetricsExported(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.EnableRuntimeMetrics(reg)
+	obs.EnableRuntimeMetrics(reg) // idempotent: one collector, not two
+
+	snap := reg.Snapshot()
+	if v := snap.Value("go_goroutines"); v < 1 {
+		t.Errorf("go_goroutines = %v, want >= 1", v)
+	}
+	if v := snap.Value("go_gomaxprocs"); v < 1 {
+		t.Errorf("go_gomaxprocs = %v, want >= 1", v)
+	}
+	if v := snap.Value("go_memory_total_bytes"); v <= 0 {
+		t.Errorf("go_memory_total_bytes = %v, want > 0", v)
+	}
+}
+
+// The registry runs collectors outside any lock, so overlapping
+// Snapshot calls (concurrent /metrics scrapes, a scrape racing a
+// health probe) execute the runtime collector concurrently. Under
+// -race this pins the collector to per-invocation sample buffers.
+func TestRuntimeCollectorConcurrentSnapshots(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.EnableRuntimeMetrics(reg)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				reg.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if v := reg.Snapshot().Value("go_goroutines"); v < 1 {
+		t.Errorf("go_goroutines after concurrent snapshots = %v, want >= 1", v)
+	}
+}

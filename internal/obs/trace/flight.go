@@ -127,8 +127,10 @@ func (fl *Flight) Path() string {
 
 // Record writes one dump: a zero Time is stamped now, spans beyond
 // MaxSpans are trimmed oldest-first, and the trigger counter advances
-// even if the disk write fails (the anomaly happened either way).
-// No-op on the nil recorder.
+// even if the disk write fails (the anomaly happened either way). A
+// dump that never reaches disk — a write error, or Record after Close
+// — is kept out of the /debug/flight index and counted on
+// obs_flight_write_failures_total instead. No-op on the nil recorder.
 func (fl *Flight) Record(d Dump) {
 	if fl == nil {
 		return
@@ -155,7 +157,19 @@ func (fl *Flight) Record(d Dump) {
 		return
 	}
 	line = append(line, '\n')
-	fl.f.Write(line)
+	if fl.f == nil {
+		// Record after Close (a racing anomaly during shutdown): the
+		// dump never reaches disk, so it must not appear in the index
+		// either — /debug/flight only reports what flight.jsonl holds.
+		fl.reg.Counter("obs_flight_write_failures_total",
+			"Flight-recorder dumps lost to a failed or closed JSONL write.").Inc()
+		return
+	}
+	if _, werr := fl.f.Write(line); werr != nil {
+		fl.reg.Counter("obs_flight_write_failures_total",
+			"Flight-recorder dumps lost to a failed or closed JSONL write.").Inc()
+		return
+	}
 	fl.total++
 	fl.index = append(fl.index, DumpMeta{
 		Time: d.Time, Trigger: d.Trigger, Node: d.Node,

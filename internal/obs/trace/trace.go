@@ -279,16 +279,24 @@ func (t *Tracer) Adopt(stream string, id ID) *StreamTrace {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if st, seen := t.streams[stream]; seen && st != nil && st.id == id {
-		return st
-	} else if seen && st == nil && id == 0 {
+	prev, seen := t.streams[stream]
+	if seen && prev != nil && prev.id == id {
+		return prev
+	}
+	if seen && prev == nil && id == 0 {
 		return nil
 	}
 	var st *StreamTrace
 	if id != 0 {
 		st = t.newStreamLocked(stream, id)
-		t.sampled.Inc()
-	} else {
+		// Count each stream's sampling decision once: the engine's
+		// restore path resolves Stream() first and then rebrands via
+		// Adopt with the checkpoint's ID, which replaces the ring but
+		// is still the same sampled stream.
+		if !seen || prev == nil {
+			t.sampled.Inc()
+		}
+	} else if !seen {
 		t.unsampled.Inc()
 	}
 	t.streams[stream] = st

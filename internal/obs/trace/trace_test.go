@@ -165,6 +165,28 @@ func TestAdoptStitchesAcrossTracers(t *testing.T) {
 	}
 }
 
+func TestAdoptRebrandCountsStreamOnce(t *testing.T) {
+	// The engine restore path resolves Stream() first and then calls
+	// Adopt with the checkpoint's trace ID: the same stream must not be
+	// counted twice on obs_trace_streams_total{sampled="true"}.
+	reg := obs.NewRegistry()
+	tr := New(Config{SampleEvery: 1, Seed: 1, Obs: reg})
+	if st := tr.Stream("plate-0"); st == nil {
+		t.Fatal("SampleEvery=1 must sample plate-0")
+	}
+	adopted := tr.Adopt("plate-0", 42)
+	if adopted == nil || adopted.ID() != 42 {
+		t.Fatalf("Adopt rebrand handle = %v, want ID 42", adopted.ID())
+	}
+	snap := reg.Snapshot()
+	if v := snap.Value("obs_trace_streams_total", obs.L("sampled", "true")); v != 1 {
+		t.Errorf("sampled streams after Stream()+Adopt rebrand = %v, want 1", v)
+	}
+	if v := snap.Value("obs_trace_streams_total", obs.L("sampled", "false")); v != 0 {
+		t.Errorf("unsampled streams = %v, want 0", v)
+	}
+}
+
 func TestTracesSortedAndHandlerFilters(t *testing.T) {
 	tr := New(Config{SampleEvery: 1, Seed: 1, Obs: obs.NewRegistry()})
 	b := tr.Stream("b")
@@ -337,5 +359,41 @@ func TestFlightIndexAndHandler(t *testing.T) {
 	}
 	if file := string(get("")["file"]); !strings.Contains(file, "flight.jsonl") {
 		t.Errorf("index file = %s, want the jsonl path", file)
+	}
+}
+
+func TestFlightRecordAfterCloseNotIndexed(t *testing.T) {
+	// A dump racing shutdown never reaches disk; it must not appear in
+	// the /debug/flight index, and the loss must be visible on the
+	// write-failure counter (the anomaly counter still advances — the
+	// anomaly happened either way).
+	reg := obs.NewRegistry()
+	fl, err := OpenFlight(t.TempDir(), reg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Record(Dump{Trigger: TriggerPanic, Stream: "early"})
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fl.Record(Dump{Trigger: TriggerPanic, Stream: "late"})
+
+	total, dumps := fl.Index()
+	if total != 1 || len(dumps) != 1 || dumps[0].Stream != "early" {
+		t.Errorf("Index after post-Close record = %d, %+v; want only the early dump", total, dumps)
+	}
+	onDisk, err := ReadDumps(fl.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onDisk) != 1 {
+		t.Errorf("flight.jsonl holds %d dumps, want 1", len(onDisk))
+	}
+	snap := reg.Snapshot()
+	if v := snap.Value("obs_flight_write_failures_total"); v != 1 {
+		t.Errorf("write failures = %v, want 1", v)
+	}
+	if v := snap.Value("obs_flight_dumps_total", obs.L("trigger", TriggerPanic)); v != 2 {
+		t.Errorf("dumps{panic} = %v, want 2 (anomaly counter advances regardless)", v)
 	}
 }
