@@ -63,6 +63,62 @@ func TestRecognizerIngestSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestIngestBatchSteadyStateAllocs pins the columnar hot path at zero
+// allocations per batch (and therefore per reading): once warmed, a
+// reused ReadingBatch fed through IngestBatch must never touch the
+// heap — the DESIGN.md §13 contract the wire-rate ingest path is
+// built on.
+func TestIngestBatchSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	sim, err := NewSimulator(SimulatorConfig{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := sim.Calibrate(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet := sim.CollectStatic(8 * time.Second)
+	if len(quiet) == 0 {
+		t.Fatal("no quiet capture")
+	}
+	rec := sim.NewRecognizer(cal)
+	lap := quiet[len(quiet)-1].Time + time.Millisecond
+
+	const chunk = 256
+	var batch core.ReadingBatch
+	pos, laps := 0, 0
+	feed := func() {
+		end := pos + chunk
+		if end > len(quiet) {
+			end = len(quiet)
+		}
+		batch.Reset()
+		off := lap * time.Duration(laps)
+		for _, r := range quiet[pos:end] {
+			r.Time += off
+			batch.AppendReading(r)
+		}
+		rec.IngestBatch(&batch)
+		pos = end
+		if pos >= len(quiet) {
+			pos = 0
+			laps++
+		}
+	}
+	// Warm through several laps, as in steadyStateRecognizer: history
+	// and frame cache reach high-water capacity across multiple
+	// trim/compaction cycles.
+	for laps < 6 {
+		feed()
+	}
+	if avg := testing.AllocsPerRun(2000, feed); avg != 0 {
+		t.Errorf("steady-state IngestBatch allocates %.4f objects/batch, want 0", avg)
+	}
+}
+
 // TestUnsampledTraceAllocs pins the unsampled tracing path at zero
 // allocations: an unsampled stream resolves to a nil *StreamTrace, and
 // recording through it — exactly what the engine's per-batch hot path

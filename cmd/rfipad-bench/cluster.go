@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sync"
@@ -300,7 +301,15 @@ func runClusterFailover(nodes, streams int) (clusterFailover, error) {
 	}
 
 	snap := reg.Snapshot()
-	handoff, _ := snap.Get("cluster_handoff_seconds")
+	// The handoff histogram is labeled by trigger; a node kill records
+	// under trigger=failure. Asking for the unlabeled series would match
+	// nothing and its empty quantiles (NaN) are unrepresentable in JSON.
+	handoff, _ := snap.Get("cluster_handoff_seconds", obs.L("trigger", "failure"))
+	p50 := handoff.Quantile(0.50) * 1e3
+	p95 := handoff.Quantile(0.95) * 1e3
+	if math.IsNaN(p50) {
+		p50, p95 = 0, 0
+	}
 	return clusterFailover{
 		Nodes:             nodes,
 		Streams:           streams,
@@ -310,8 +319,8 @@ func runClusterFailover(nodes, streams int) (clusterFailover, error) {
 		HandoffsRestored:  snap.Value("cluster_handoffs_total", obs.L("outcome", "restored")),
 		HandoffsFallback:  snap.Value("cluster_handoffs_total", obs.L("outcome", "fallback_live")),
 		HandoffRetries:    snap.Value("cluster_handoff_retries_total"),
-		HandoffP50Ms:      handoff.Quantile(0.50) * 1e3,
-		HandoffP95Ms:      handoff.Quantile(0.95) * 1e3,
+		HandoffP50Ms:      p50,
+		HandoffP95Ms:      p95,
 		StreamsAdopted:    snap.Value("engine_streams_adopted_total"),
 		WordsCompleted:    completed,
 	}, nil

@@ -17,6 +17,9 @@
 //	rfipad-bench -engine -engine-streams 16 -engine-workers 4
 //	rfipad-bench -cluster        # only the multi-node cluster bench (BENCH_cluster.json)
 //	rfipad-bench -cluster -cluster-nodes 4 -cluster-streams-per-node 4
+//	rfipad-bench -ingest         # single-core columnar vs per-reading ingest (BENCH_ingest.json)
+//	rfipad-bench -ingest -ingest-copies 32
+//	rfipad-bench -diff OLD.json NEW.json   # field-by-field comparison of two reports
 //	rfipad-bench -trials 10 -groups 3 -seed 7
 package main
 
@@ -67,6 +70,12 @@ func run() int {
 		clusterJSON    = flag.String("cluster-json", "BENCH_cluster.json", "output path for the cluster bench report")
 		clusterNodes   = flag.Int("cluster-nodes", 3, "largest node count in the cluster scaling sweep")
 		clusterStreams = flag.Int("cluster-streams-per-node", 4, "streams per node in the cluster scaling sweep")
+
+		ingestBench  = flag.Bool("ingest", false, "run only the single-core columnar-vs-scalar ingest sweep")
+		ingestJSON   = flag.String("ingest-json", "BENCH_ingest.json", "output path for the ingest bench report")
+		ingestCopies = flag.Int("ingest-copies", 16, "workload density: interleaved replicas of the quiet capture")
+
+		diff = flag.Bool("diff", false, "compare two bench JSON reports: rfipad-bench -diff OLD.json NEW.json")
 	)
 	flag.Parse()
 
@@ -85,6 +94,19 @@ func run() int {
 		return usageError("-cluster-streams-per-node must be positive (got %d)", *clusterStreams)
 	case *pipelineWord == "":
 		return usageError("-pipeline-word must be non-empty")
+	case *ingestCopies <= 0:
+		return usageError("-ingest-copies must be positive (got %d)", *ingestCopies)
+	}
+
+	if *diff {
+		if flag.NArg() != 2 {
+			return usageError("-diff takes exactly two report paths (got %d)", flag.NArg())
+		}
+		if err := runDiff(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
 	}
 
 	// Ctrl-C aborts between experiments instead of mid-table.
@@ -109,6 +131,14 @@ func run() int {
 
 	if *clusterBench {
 		if err := runClusterBench(*seed, *pipelineWord, *clusterNodes, *clusterStreams, *clusterJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	if *ingestBench {
+		if err := runIngestBench(*seed, *ingestCopies, *ingestJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

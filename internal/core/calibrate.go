@@ -87,15 +87,11 @@ func Calibrate(static []Reading, numTags int) (*Calibration, error) {
 		c.Bias[i] = b
 		biasSum += b
 
-		// Noise accumulation rate: run the same smoothing + total
-		// variation the disturbance metric uses over this static
-		// stream.
-		suppressed := make([]float64, len(phases))
-		for j, p := range phases {
-			suppressed[j] = dsp.Wrap(p - c.MeanPhase[i])
-		}
-		sm := dsp.MovingAverage(dsp.Unwrap(suppressed), disturbanceSmoothWidth)
-		c.TVRate[i] = dsp.TotalVariation(sm) / float64(len(sm)-1)
+		// Noise accumulation rate: run the same (fused) suppression,
+		// unwrap, smoothing, and total variation the disturbance metric
+		// uses over this static stream.
+		un := dsp.UnwrapColumn(nil, phases, c.MeanPhase[i])
+		c.TVRate[i] = dsp.SmoothedTotalVariation(un, disturbanceSmoothWidth) / float64(len(un)-1)
 	}
 	if float64(dead) > maxDeadFraction*float64(numTags) {
 		return nil, fmt.Errorf("core: calibrate: %d of %d tags have < %d reads — grid too degraded",

@@ -142,16 +142,16 @@ func TestIngestToleratesDuplicatesAndReorder(t *testing.T) {
 	rec.Ingest(mk(0, 20)) // late
 	rec.Ingest(mk(1, 30)) // exact duplicate
 	rec.Ingest(mk(0, 30)) // same instant, different tag: kept
-	if len(rec.buf) != 4 {
-		t.Fatalf("buffer holds %d readings, want 4 (duplicate dropped)", len(rec.buf))
+	if rec.hist.Len() != 4 {
+		t.Fatalf("buffer holds %d readings, want 4 (duplicate dropped)", rec.hist.Len())
 	}
-	for i := 1; i < len(rec.buf); i++ {
-		if rec.buf[i].Time < rec.buf[i-1].Time {
+	for i := 1; i < rec.hist.Len(); i++ {
+		if rec.hist.Times[i] < rec.hist.Times[i-1] {
 			t.Fatal("buffer not time-sorted after out-of-order ingest")
 		}
 	}
-	if rec.buf[1].TagIndex != 0 || rec.buf[1].Time != 20*time.Millisecond {
-		t.Errorf("late reading not inserted in place: %+v", rec.buf)
+	if rec.hist.TagIndices[1] != 0 || rec.hist.Times[1] != 20*time.Millisecond {
+		t.Errorf("late reading not inserted in place: %+v", rec.hist)
 	}
 }
 

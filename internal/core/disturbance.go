@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"rfipad/internal/dsp"
 )
 
@@ -75,7 +77,6 @@ type DisturbanceScratch struct {
 	series [][]Reading
 	phases []float64
 	un     []float64
-	sm     []float64
 	out    []float64
 }
 
@@ -117,36 +118,39 @@ func (sc *DisturbanceScratch) Map(readings []Reading, cal *Calibration, opts Dis
 		sc.phases = growFloats(sc.phases, len(s))
 		phases := sc.phases
 		for j, r := range s {
-			p := r.Phase
-			if opts.Suppression != SuppressNone {
-				// θ'_ij = θ_ij − θ̃_i (Eq. 8), wrapped back onto the
-				// reporting range before unwrapping.
-				p = dsp.Wrap(p - cal.MeanPhase[i])
-			}
-			phases[j] = p
+			phases[j] = r.Phase
 		}
+		// θ'_ij = θ_ij − θ̃_i (Eq. 8), wrapped back onto the reporting
+		// range, then unwrapped — fused into one column pass (a NaN mean
+		// tells the kernel to skip the suppression, which is the
+		// SuppressNone ablation arm).
+		mean := math.NaN()
+		if opts.Suppression != SuppressNone {
+			mean = cal.MeanPhase[i]
+		}
+		sc.un = dsp.UnwrapColumn(sc.un, phases, mean)
 		// Smooth before accumulating: measurement noise would otherwise
 		// grow the total variation linearly with the read count, while
 		// the hand's disturbance is smooth at the MAC's sampling rate.
-		sc.un = dsp.UnwrapInto(sc.un, phases)
-		sc.sm = dsp.MovingAverageInto(sc.sm, sc.un, disturbanceSmoothWidth)
-		un := sc.sm
+		// The smoothed series is never materialized — the fused kernels
+		// accumulate directly over the moving-average windows, exactly
+		// reproducing the two-pass result.
 		var acc float64
 		if opts.Accumulator == AccumNetChange {
-			if v := dsp.NetChange(un); v >= 0 {
+			if v := dsp.SmoothedNetChange(sc.un, disturbanceSmoothWidth); v >= 0 {
 				acc = v
 			} else {
 				acc = -v
 			}
 		} else {
-			acc = dsp.TotalVariation(un)
+			acc = dsp.SmoothedTotalVariation(sc.un, disturbanceSmoothWidth)
 		}
 		switch opts.Suppression {
 		case SuppressFull:
 			// Subtract the tag's calibrated noise accumulation for a
 			// window of this many samples; what remains is
 			// hand-induced.
-			acc -= cal.TVRate[i] * float64(len(un)-1)
+			acc -= cal.TVRate[i] * float64(len(s)-1)
 			if acc < 0 {
 				acc = 0
 			}

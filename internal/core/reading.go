@@ -9,6 +9,7 @@ package core
 import (
 	"cmp"
 	"slices"
+	"sort"
 	"time"
 
 	"rfipad/internal/tagmodel"
@@ -69,7 +70,12 @@ func byTag(readings []Reading, numTags int) [][]Reading {
 
 // byTagInto is byTag reusing dst's outer and per-tag backing arrays
 // when their capacities allow — the allocation-free path for callers
-// that split windows repeatedly (DisturbanceScratch).
+// that split windows repeatedly (DisturbanceScratch). Bucketing
+// preserves arrival order and the per-tag sort is stable, so when two
+// readings of the same tag share a timestamp the one that arrived first
+// deterministically wins the dedup — the same first-arrival-wins policy
+// the streaming recognizer applies when it drops a duplicate at ingest
+// (an unstable sort here used to make the survivor arbitrary).
 func byTagInto(dst [][]Reading, readings []Reading, numTags int) [][]Reading {
 	if cap(dst) < numTags {
 		dst = make([][]Reading, numTags)
@@ -86,14 +92,22 @@ func byTagInto(dst [][]Reading, readings []Reading, numTags int) [][]Reading {
 	}
 	for i := range out {
 		s := out[i]
-		slices.SortFunc(s, func(a, b Reading) int { return cmp.Compare(a.Time, b.Time) })
+		// Streams arrive time-sorted in the common case; checking is one
+		// cheap pass and skips the sort's buffer shuffling entirely.
+		if !slices.IsSortedFunc(s, func(a, b Reading) int { return cmp.Compare(a.Time, b.Time) }) {
+			slices.SortStableFunc(s, func(a, b Reading) int { return cmp.Compare(a.Time, b.Time) })
+		}
 		out[i] = dedupSorted(s)
 	}
 	return out
 }
 
-// dedupSorted removes adjacent same-timestamp entries from one tag's
-// time-sorted series in place.
+// dedupSorted removes same-timestamp entries from one tag's time-sorted
+// series in place, keeping the first of each run. Combined with the
+// stable sort in byTagInto this means the earliest-arriving duplicate
+// wins — matching the recognizer's ingest-time policy, so batch
+// (RecognizeStream over raw captures) and streaming paths see the same
+// surviving sample.
 func dedupSorted(s []Reading) []Reading {
 	if len(s) < 2 {
 		return s
@@ -109,8 +123,23 @@ func dedupSorted(s []Reading) []Reading {
 }
 
 // window extracts the readings with Time in [start, end), preserving
-// order.
+// order. Capture streams are time-sorted in practice, and for sorted
+// input the window is a contiguous run located by two binary searches —
+// a subslice of the input, no allocation, no copying. Unsorted input
+// falls back to the filtering copy.
 func window(readings []Reading, start, end time.Duration) []Reading {
+	sorted := true
+	for i := 1; i < len(readings); i++ {
+		if readings[i].Time < readings[i-1].Time {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		lo := sort.Search(len(readings), func(i int) bool { return readings[i].Time >= start })
+		hi := lo + sort.Search(len(readings)-lo, func(i int) bool { return readings[lo+i].Time >= end })
+		return readings[lo:hi:hi]
+	}
 	var out []Reading
 	for _, r := range readings {
 		if r.Time >= start && r.Time < end {

@@ -40,12 +40,17 @@ type Event struct {
 // "realtime reaction" requirement of §I and the response-time
 // evaluation of §V-D.
 //
-// The per-reading hot path is amortized O(1): each accepted reading
-// folds into an incremental per-frame statistics cache (segCache), and
-// full segmentation runs only when the stream crosses a frame boundary
-// — never per reading — over cached frame values instead of the raw
-// buffer. Steady-state ingest allocates nothing once the buffers reach
-// their high-water marks; the history buffer trims in place and every
+// The hot path is columnar: IngestBatch consumes a ReadingBatch
+// (struct-of-arrays) and bulk-appends every strictly-in-order run with
+// four copy calls, folding the run into the incremental per-frame
+// statistics cache (segCache) in one column sweep. Full segmentation
+// runs only when the stream crosses a frame boundary — never per
+// reading — over cached frame values, and the segmenter's window stds
+// are themselves maintained incrementally between polls. The
+// per-reading Ingest survives as a thin wrapper over a one-element
+// batch, so both entry points share one code path and emit identical
+// events. Steady-state ingest allocates nothing once the buffers reach
+// their high-water marks; the history columns trim in place and every
 // segmentation workspace is recognizer-owned scratch.
 type Recognizer struct {
 	pipeline *Pipeline
@@ -59,11 +64,11 @@ type Recognizer struct {
 	// LetterGap is the quiet period that finalizes a letter.
 	LetterGap time.Duration
 
-	// buf holds the retained history in time order; buf[head:] is the
-	// live window. Trims advance head and compact in place once half
-	// the backing array is dead, so steady-state ingest reuses one
-	// allocation.
-	buf      []Reading
+	// hist holds the retained history as time-ordered columns;
+	// indices [head, hist.Len()) are the live window. Trims advance
+	// head and compact in place once half the backing arrays are dead,
+	// so steady-state ingest reuses one set of allocations.
+	hist     ReadingBatch
 	head     int
 	bufStart time.Duration
 	now      time.Duration
@@ -71,6 +76,14 @@ type Recognizer struct {
 	cache         *segCache
 	scratch       segScratch
 	lastPollFrame int64
+
+	// winScratch is the materialized []Reading view handed to
+	// RecognizeWindow — rebuilt per detected stroke, never on the
+	// per-reading path. EPC/Doppler are zero; the pipeline reads
+	// neither.
+	winScratch []Reading
+	// scalarBatch is the reused one-element batch behind Ingest.
+	scalarBatch ReadingBatch
 
 	// emittedEnd is the end time of the last recognized span; spans
 	// starting before it are re-detections of already-emitted strokes
@@ -107,7 +120,7 @@ func NewRecognizer(p *Pipeline, seg *Segmenter) *Recognizer {
 // ingested or when t is not ahead of the current history start.
 func (r *Recognizer) SkipTo(t time.Duration) {
 	t -= t % r.seg.FrameLen
-	if len(r.buf) != 0 || t <= r.bufStart {
+	if r.hist.Len() != 0 || t <= r.bufStart {
 		return
 	}
 	r.bufStart = t
@@ -123,60 +136,155 @@ func (r *Recognizer) FrameCursor() time.Duration {
 	return r.now - r.now%r.seg.FrameLen
 }
 
-// Ingest feeds one reading and returns any events it triggered.
-// Readings should arrive roughly in time order, but the recognizer
-// tolerates what a reconnecting transport produces: exact duplicates
-// (same tag, same timestamp — replay overlap or a duplicated report
-// frame) are dropped, and modestly out-of-order readings are inserted
-// at their correct position so the per-tag phase series stay
-// monotonic. Readings older than the already-trimmed history are
-// discarded.
+// Ingest feeds one reading and returns any events it triggered. It is
+// a thin compatibility wrapper over a one-element IngestBatch, so the
+// scalar and columnar entry points share one implementation and one
+// behavior: exact duplicates (same tag, same timestamp — replay
+// overlap or a duplicated report frame) are dropped, modestly
+// out-of-order readings are inserted at their correct position so the
+// per-tag phase series stay monotonic, and readings older than the
+// already-trimmed history are discarded.
 func (r *Recognizer) Ingest(rd Reading) []Event {
-	r.tel.readings.Inc()
-	if rd.Time > r.now {
-		r.now = rd.Time
-	}
-	if rd.Time < r.bufStart {
-		// Too late: this history was already recognized and trimmed.
-		r.tel.late.Inc()
+	b := &r.scalarBatch
+	b.Reset()
+	b.AppendReading(rd)
+	return r.IngestBatch(b)
+}
+
+// IngestBatch feeds a columnar batch of readings and returns every
+// event they triggered, concatenated in emission order. The batch is
+// only read — never retained — so the caller may Reset and reuse it as
+// soon as IngestBatch returns. Readings should arrive roughly in time
+// order; the recognizer tolerates what a reconnecting transport
+// produces, with element-for-element the same accept/drop decisions,
+// poll timing, and events as feeding the batch through Ingest one
+// reading at a time.
+//
+// The hot path is the maximal strictly-increasing run that extends the
+// history tail: it is appended with four bulk column copies and folded
+// into the frame cache in one column sweep, with the segmentation poll
+// fired at exactly the frame crossings the scalar path would fire it.
+// Out-of-order, duplicate, and late readings fall back to a per-element
+// path that mirrors the scalar logic.
+func (r *Recognizer) IngestBatch(b *ReadingBatch) []Event {
+	n := b.Len()
+	if n == 0 {
 		return nil
 	}
-	live := r.buf[r.head:]
-	// Find the insertion point from the end — O(1) for in-order
-	// streams, a short walk for transport-reordered ones.
-	i := len(live)
-	for i > 0 && live[i-1].Time > rd.Time {
-		i--
-	}
-	// Duplicate check: entries with the same timestamp sit immediately
-	// before the insertion point.
-	for j := i; j > 0 && live[j-1].Time == rd.Time; j-- {
-		if live[j-1].TagIndex == rd.TagIndex {
-			r.tel.dupes.Inc()
-			return nil
+	var events []Event
+	var late, dupes, reordered uint64
+	frameLen := r.seg.FrameLen
+	times, phases, rss, tags := b.Times, b.Phases, b.RSS, b.TagIndices
+	i := 0
+	for i < n {
+		t := times[i]
+		histLen := r.hist.Len()
+		inOrder := false
+		if histLen == r.head {
+			inOrder = t >= r.bufStart
+		} else {
+			inOrder = t > r.hist.Times[histLen-1]
 		}
+		if inOrder {
+			// Poll gate: processing a reading whose time falls outside
+			// [gateLo, gateHi) crosses a frame boundary and polls right
+			// after that reading, exactly as the scalar path does. For
+			// non-negative times, t outside the gate ⇔
+			// int64(t/FrameLen) != lastPollFrame, without the division.
+			gateLo := time.Duration(r.lastPollFrame) * frameLen
+			gateHi := gateLo + frameLen
+			j := i
+			crossed := false
+			for {
+				tj := times[j]
+				j++
+				if tj >= gateHi || tj < gateLo {
+					crossed = true
+					break
+				}
+				if j >= n || times[j] <= tj {
+					break
+				}
+			}
+			r.hist.appendColumns(times[i:j], phases[i:j], rss[i:j], tags[i:j])
+			r.cache.addColumns(times[i:j], phases[i:j], tags[i:j])
+			// The run is strictly increasing and starts at or past both
+			// bufStart and the history tail, so its last time is the new
+			// stream high-water mark.
+			if last := times[j-1]; last > r.now {
+				r.now = last
+			}
+			if crossed {
+				r.lastPollFrame = int64(r.now / frameLen)
+				events = append(events, r.poll(r.now)...)
+			}
+			i = j
+			continue
+		}
+
+		// Per-element path: late, duplicate, equal-time, or
+		// out-of-order readings, handled exactly as the scalar
+		// recognizer always has.
+		if t > r.now {
+			r.now = t
+		}
+		if t < r.bufStart {
+			// Too late: this history was already recognized and trimmed.
+			late++
+			i++
+			continue
+		}
+		liveTimes := r.hist.Times[r.head:]
+		// Find the insertion point from the end — O(1) for in-order
+		// streams, a short walk for transport-reordered ones.
+		idx := len(liveTimes)
+		for idx > 0 && liveTimes[idx-1] > t {
+			idx--
+		}
+		// Duplicate check: entries with the same timestamp sit
+		// immediately before the insertion point.
+		tag := tags[i]
+		dup := false
+		for k := idx; k > 0 && liveTimes[k-1] == t; k-- {
+			if r.hist.TagIndices[r.head+k-1] == tag {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			dupes++
+			i++
+			continue
+		}
+		if idx == len(liveTimes) {
+			r.hist.Append(t, phases[i], rss[i], tag)
+		} else {
+			reordered++
+			r.hist.insertAt(r.head, idx, t, phases[i], rss[i], tag)
+		}
+		r.cache.add(Reading{TagIndex: int(tag), Time: t, Phase: phases[i], RSS: rss[i]})
+		// Throttle segmentation to frame boundaries: between two
+		// boundaries every poll would see the identical complete-frame
+		// trace, so re-running it per reading only burns cycles. Late
+		// (reordered) readings dirty their old frame in the cache and
+		// are picked up at the next boundary.
+		if pf := int64(r.now / frameLen); pf != r.lastPollFrame {
+			r.lastPollFrame = pf
+			events = append(events, r.poll(r.now)...)
+		}
+		i++
 	}
-	if i == len(live) {
-		r.buf = append(r.buf, rd)
-	} else {
-		r.tel.reordered.Inc()
-		r.buf = append(r.buf, Reading{})
-		live = r.buf[r.head:]
-		copy(live[i+1:], live[i:])
-		live[i] = rd
+	r.tel.readings.Add(uint64(n))
+	if late > 0 {
+		r.tel.late.Add(late)
 	}
-	r.cache.add(rd)
-	// Throttle segmentation to frame boundaries: between two
-	// boundaries every poll would see the identical complete-frame
-	// trace, so re-running it per reading only burns cycles. Late
-	// (reordered) readings dirty their old frame in the cache and are
-	// picked up at the next boundary.
-	pf := int64(r.now / r.seg.FrameLen)
-	if pf == r.lastPollFrame {
-		return nil
+	if dupes > 0 {
+		r.tel.dupes.Add(dupes)
 	}
-	r.lastPollFrame = pf
-	return r.poll(r.now)
+	if reordered > 0 {
+		r.tel.reordered.Add(reordered)
+	}
+	return events
 }
 
 // Flush declares the stream over at the given time, forcing any
@@ -220,8 +328,8 @@ func (r *Recognizer) poll(horizon time.Duration) []Event {
 	}
 	var events []Event
 	segSpan := obs.StartTimer(r.tel.segment)
-	rms := r.cache.values(horizon)
-	spans := r.seg.segmentRMS(rms, r.bufStart, &r.scratch)
+	rms, changed := r.cache.valuesSince(horizon)
+	spans := r.seg.segmentRMSFrom(rms, r.bufStart, &r.scratch, changed)
 	segSpan.End()
 	openSpan := false
 	var lastSpanEnd time.Duration
@@ -273,32 +381,51 @@ func (r *Recognizer) poll(horizon time.Duration) []Event {
 	return events
 }
 
-// window returns the retained readings with Time in [start, end). The
-// history is time-sorted, so the window is one contiguous subslice —
-// no copy. It aliases the recognizer's buffer and is only valid until
-// the next Ingest.
+// window materializes the retained readings with Time in [start, end)
+// into the recognizer's window scratch. The history is time-sorted, so
+// the window is one contiguous column range located by binary search;
+// the []Reading records exist only for RecognizeWindow's benefit and
+// are rebuilt per call (EPC and Doppler are zero — the history columns
+// do not carry them and the pipeline reads neither). The returned slice
+// is only valid until the next window call.
 func (r *Recognizer) window(start, end time.Duration) []Reading {
-	live := r.buf[r.head:]
-	lo := sort.Search(len(live), func(i int) bool { return live[i].Time >= start })
-	hi := lo + sort.Search(len(live[lo:]), func(i int) bool { return live[lo+i].Time >= end })
-	return live[lo:hi]
+	liveTimes := r.hist.Times[r.head:]
+	lo := sort.Search(len(liveTimes), func(i int) bool { return liveTimes[i] >= start })
+	hi := lo + sort.Search(len(liveTimes[lo:]), func(i int) bool { return liveTimes[lo+i] >= end })
+	m := hi - lo
+	if cap(r.winScratch) < m {
+		r.winScratch = make([]Reading, m)
+	}
+	r.winScratch = r.winScratch[:m]
+	for k := 0; k < m; k++ {
+		at := r.head + lo + k
+		r.winScratch[k] = Reading{
+			TagIndex: int(r.hist.TagIndices[at]),
+			Time:     r.hist.Times[at],
+			Phase:    r.hist.Phases[at],
+			RSS:      r.hist.RSS[at],
+		}
+	}
+	return r.winScratch
 }
 
 // trimTo discards history before cut (aligned down to a frame
-// boundary so the cache's frame grid never shifts): the buffer head
-// advances and compacts in place with copy once half the backing array
-// is dead, reusing the existing allocation instead of re-growing a
-// fresh slice per letter.
+// boundary so the cache's frame grid never shifts): the history head
+// advances and the columns compact in place with copy once two thirds
+// of the backing arrays are dead, reusing the existing allocations
+// instead of re-growing fresh slices per letter.
 func (r *Recognizer) trimTo(cut time.Duration) {
 	cut -= cut % r.seg.FrameLen
 	if cut <= r.bufStart {
 		return
 	}
-	live := r.buf[r.head:]
-	r.head += sort.Search(len(live), func(i int) bool { return live[i].Time >= cut })
-	if r.head > len(r.buf)/2 {
-		n := copy(r.buf, r.buf[r.head:])
-		r.buf = r.buf[:n]
+	liveTimes := r.hist.Times[r.head:]
+	r.head += sort.Search(len(liveTimes), func(i int) bool { return liveTimes[i] >= cut })
+	// Compact lazily: waiting until two thirds of the backing arrays are
+	// dead trades a little resident memory for ~⅓ fewer steady-state
+	// memmoves, which show up directly in the batch-ingest hot path.
+	if 3*r.head > 2*r.hist.Len() {
+		r.hist.compactTo(r.head)
 		r.head = 0
 	}
 	r.bufStart = cut

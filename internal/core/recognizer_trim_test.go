@@ -50,7 +50,7 @@ func TestRecognizerTrimBoundsAndReusesBuffer(t *testing.T) {
 	for _, rd := range stream {
 		rec.Ingest(rd)
 		if capAt30 == 0 && rd.Time >= 30*time.Second {
-			capAt30 = cap(rec.buf)
+			capAt30 = cap(rec.hist.Times)
 		}
 	}
 
@@ -62,17 +62,17 @@ func TestRecognizerTrimBoundsAndReusesBuffer(t *testing.T) {
 	}
 	// The live window should hover near historyKeep; a couple of extra
 	// seconds of slack covers trim cadence.
-	live := rec.buf[rec.head:]
+	live := rec.hist.Times[rec.head:]
 	span := rec.now - rec.bufStart
 	if limit := historyKeep + 4*time.Second; span > limit {
 		t.Errorf("retained window %v exceeds %v", span, limit)
 	}
-	for _, rd := range live {
-		if rd.Time < rec.bufStart {
-			t.Fatalf("live window holds reading at %v before bufStart %v", rd.Time, rec.bufStart)
+	for _, at := range live {
+		if at < rec.bufStart {
+			t.Fatalf("live window holds reading at %v before bufStart %v", at, rec.bufStart)
 		}
 	}
-	if got := cap(rec.buf); got != capAt30 {
+	if got := cap(rec.hist.Times); got != capAt30 {
 		t.Errorf("buffer capacity kept growing after warm-up: %d at 30s, %d at 60s — compaction is not reusing the backing array", capAt30, got)
 	}
 
@@ -85,8 +85,8 @@ func TestRecognizerTrimBoundsAndReusesBuffer(t *testing.T) {
 }
 
 // TestRecognizerTrimToAlignsAndCompacts drives trimTo directly: a cut
-// inside the history advances the head, compacts once more than half
-// the array is dead, and refuses to move backwards.
+// inside the history advances the head, compacts once more than two
+// thirds of the array is dead, and refuses to move backwards.
 func TestRecognizerTrimToAlignsAndCompacts(t *testing.T) {
 	grid := Grid{Rows: 5, Cols: 5}
 	rng := rand.New(rand.NewSource(6))
@@ -105,11 +105,11 @@ func TestRecognizerTrimToAlignsAndCompacts(t *testing.T) {
 		t.Errorf("cut not aligned down to a frame boundary: bufStart %v, want 6s", rec.bufStart)
 	}
 	if rec.head != 0 {
-		// A >half cut must have compacted.
-		if rec.head <= len(rec.buf)/2 {
-			t.Logf("head %d of %d retained without compaction", rec.head, len(rec.buf))
+		// A cut past two thirds must have compacted.
+		if 3*rec.head <= 2*rec.hist.Len() {
+			t.Logf("head %d of %d retained without compaction", rec.head, rec.hist.Len())
 		} else {
-			t.Errorf("head %d of %d — compaction threshold missed", rec.head, len(rec.buf))
+			t.Errorf("head %d of %d — compaction threshold missed", rec.head, rec.hist.Len())
 		}
 	}
 	before := rec.bufStart

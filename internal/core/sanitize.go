@@ -70,6 +70,48 @@ func (z *Sanitizer) Admit(rd Reading, newest time.Duration) bool {
 	return true
 }
 
+// AdmitColumns filters a columnar batch in place, keeping exactly the
+// readings Admit would keep when the batch is delivered element by
+// element: newest is the stream's newest previously delivered timestamp
+// (0 before any) and advances over each admitted reading, so a
+// regressing timestamp later in the batch is judged against the batch's
+// own progress, just as the per-reading loop would. Rejections are
+// counted by reason; admitted readings compact toward the front and the
+// batch shrinks to hold only them.
+func (z *Sanitizer) AdmitColumns(b *ReadingBatch, newest time.Duration) {
+	times, phases, rss, tags := b.Times, b.Phases, b.RSS, b.TagIndices
+	w := 0
+	for i := range times {
+		if !isFinite(phases[i]) {
+			z.phase.Inc()
+			continue
+		}
+		if rss[i] < z.RSSMin || rss[i] > z.RSSMax {
+			z.rss.Inc()
+			continue
+		}
+		t := times[i]
+		if newest > 0 && t < newest-z.MaxRegression {
+			z.time.Inc()
+			continue
+		}
+		if t > newest {
+			newest = t
+		}
+		if w != i {
+			times[w] = t
+			phases[w] = phases[i]
+			rss[w] = rss[i]
+			tags[w] = tags[i]
+		}
+		w++
+	}
+	b.Times = times[:w]
+	b.Phases = phases[:w]
+	b.RSS = rss[:w]
+	b.TagIndices = tags[:w]
+}
+
 // isFinite reports whether v is neither NaN nor ±Inf.
 func isFinite(v float64) bool {
 	return !math.IsNaN(v) && !math.IsInf(v, 0)

@@ -7,6 +7,22 @@ import (
 	"rfipad/internal/dsp"
 )
 
+// segAcc is one frame×tag accumulator cell: the running Σp² and sample
+// count interleaved so the hot loop's read-modify-write touches one
+// cache line per reading instead of two parallel arrays.
+type segAcc struct {
+	sumSq float64
+	count int32
+	_     int32
+}
+
+// IEEE-754 bit patterns of π and 2π, used by the branchless wrap in
+// addColumns.
+const (
+	piBits    = 0x400921FB54442D18
+	twoPiBits = 0x401921FB54442D18
+)
+
 // segCache maintains the segmenter's per-frame Eq. 11 statistics
 // incrementally so the streaming recognizer never rescans its buffer.
 // Each accepted reading folds into its frame's per-tag (Σp², count)
@@ -21,12 +37,22 @@ type segCache struct {
 	n        int // tags
 	cal      *Calibration
 	factor   []float64 // Eq. 11 per-tag attenuation, fixed per calibration
+	// adjMean folds the dead-tag exclusion into the mean-phase lookup:
+	// a live tag's entry is its calibrated mean, a dead tag's is NaN, so
+	// the column hot loop's suppressed phase comes out NaN for dead tags
+	// and the single NaN check covers both exclusions.
+	adjMean []float64
 
 	origin time.Duration // stream time of frame 0; multiple of frameLen
-	sumSq  []float64     // [frame*n + tag] Σp² over the frame's samples
-	counts []int32       // [frame*n + tag] sample count
-	vals   []float64     // cached Eq. 11 value per frame
-	dirty  []bool        // frame touched since its value was computed
+	// off is the number of dead frames at the physical head of the
+	// arrays: trims advance it instead of copying, and the arrays only
+	// compact once the dead prefix outgrows the live span, so the
+	// steady-state per-frame trim is O(1) amortized. Logical frame f
+	// (0 = origin) lives at physical index off+f.
+	off   int
+	acc   []segAcc  // [(off+frame)*n + tag] accumulators
+	vals  []float64 // cached Eq. 11 value per frame
+	dirty []bool    // frame touched since its value was computed
 }
 
 // newSegCache builds an empty cache for one calibrated stream.
@@ -47,22 +73,29 @@ func newSegCache(frameLen time.Duration, cal *Calibration) *segCache {
 		}
 		factor[i] = f
 	}
-	return &segCache{frameLen: frameLen, n: n, cal: cal, factor: factor}
+	adjMean := make([]float64, n)
+	for i := range adjMean {
+		if cal.IsDead(i) {
+			adjMean[i] = math.NaN()
+		} else {
+			adjMean[i] = cal.MeanPhase[i]
+		}
+	}
+	return &segCache{frameLen: frameLen, n: n, cal: cal, factor: factor, adjMean: adjMean}
 }
 
-// frames returns the number of frames currently held.
-func (c *segCache) frames() int { return len(c.vals) }
+// frames returns the number of live frames currently held.
+func (c *segCache) frames() int { return len(c.vals) - c.off }
 
-// ensure grows the cache to cover at least nFrames frames. Appends
-// reuse capacity reclaimed by trims, so a bounded stream settles into
-// zero growth.
+// ensure grows the cache to cover at least nFrames live frames.
+// Appends reuse capacity reclaimed by trims, so a bounded stream
+// settles into zero growth.
 func (c *segCache) ensure(nFrames int) {
-	for len(c.vals) < nFrames {
+	for len(c.vals)-c.off < nFrames {
 		c.vals = append(c.vals, 0)
 		c.dirty = append(c.dirty, true)
 		for k := 0; k < c.n; k++ {
-			c.sumSq = append(c.sumSq, 0)
-			c.counts = append(c.counts, 0)
+			c.acc = append(c.acc, segAcc{})
 		}
 	}
 }
@@ -72,57 +105,126 @@ func (c *segCache) ensure(nFrames int) {
 // late). Order within and across frames is irrelevant, so transport
 // reordering needs no special handling here.
 func (c *segCache) add(rd Reading) {
-	if rd.TagIndex < 0 || rd.TagIndex >= c.n || c.cal.IsDead(rd.TagIndex) {
-		// Dead tags' sporadic reads would feed raw (unsuppressed)
-		// phases into the frame statistic — same exclusion as frameRMS.
+	if rd.TagIndex < 0 || rd.TagIndex >= c.n {
 		return
 	}
 	if rd.Time < c.origin {
 		return
 	}
-	p := dsp.WrapSigned(rd.Phase - c.cal.MeanPhase[rd.TagIndex])
+	// adjMean is NaN for dead tags, so the NaN check below also applies
+	// the dead-tag exclusion (their sporadic reads would feed raw,
+	// unsuppressed phases into the frame statistic — same as frameRMS).
+	p := dsp.WrapSignedNear(rd.Phase - c.adjMean[rd.TagIndex])
 	if math.IsNaN(p) {
 		return
 	}
 	f := int((rd.Time - c.origin) / c.frameLen)
 	c.ensure(f + 1)
-	at := f*c.n + rd.TagIndex
-	c.sumSq[at] += p * p
-	c.counts[at]++
-	c.dirty[f] = true
+	pf := c.off + f
+	a := &c.acc[pf*c.n+rd.TagIndex]
+	a.sumSq += p * p
+	a.count++
+	c.dirty[pf] = true
+}
+
+// addColumns folds a column run of accepted readings into the frame
+// accumulators — the batch counterpart of calling add per element, with
+// the frame division hoisted out of the loop. The run must be
+// time-sorted (non-decreasing) with every Time >= origin; the
+// recognizer's bulk-append fast path guarantees both. Tag filtering,
+// suppression, and accumulation order produce bit-identical sums to
+// add over the same elements.
+func (c *segCache) addColumns(times []time.Duration, phases []float64, tags []int32) {
+	if len(times) == 0 {
+		return
+	}
+	// Frame-run tracking: consecutive readings almost always land in
+	// the same frame, so the division only runs on frame changes. The
+	// column views and the tag count live in locals so the inner loop
+	// carries no pointer reloads; acc is re-hoisted after every ensure,
+	// which may grow it.
+	phases = phases[:len(times)]
+	tags = tags[:len(times)]
+	adjMean := c.adjMean
+	acc := c.acc
+	n := int32(c.n)
+	base := -1
+	var frameLo, frameHi time.Duration
+	for k, t := range times {
+		tag := tags[k]
+		if uint32(tag) >= uint32(n) {
+			continue
+		}
+		d := phases[k] - adjMean[tag]
+		if d > -2*math.Pi && d < 2*math.Pi {
+			// WrapSignedNear's |d| < 2π arms, spelled out branch-free:
+			// the sign of d and the >π overshoot are data-random, so the
+			// natural branches mispredict about half the time. Both
+			// steps add/subtract an exact 0.0 or 2π selected by integer
+			// masks — the same single-rounding operations the branchy
+			// form performs, so the result is bit-identical through p²
+			// (the only consumer; ±0.0 square the same).
+			d += math.Float64frombits((math.Float64bits(d) >> 63) * twoPiBits)
+			d -= math.Float64frombits(((piBits - math.Float64bits(d)) >> 63) * twoPiBits)
+		} else {
+			// Everything else — NaN (dead tags), ±Inf, |d| >= 2π — takes
+			// the full dsp wrap.
+			d = dsp.WrapSignedNear(d)
+			if math.IsNaN(d) {
+				continue
+			}
+		}
+		if base < 0 || t >= frameHi || t < frameLo {
+			f := int((t - c.origin) / c.frameLen)
+			c.ensure(f + 1)
+			acc = c.acc
+			frameLo = c.origin + time.Duration(f)*c.frameLen
+			frameHi = frameLo + c.frameLen
+			pf := c.off + f
+			c.dirty[pf] = true
+			base = pf * c.n
+		}
+		a := &acc[base+int(tag)]
+		a.sumSq += d * d
+		a.count++
+	}
 }
 
 // skipTo re-anchors an empty cache's frame grid at origin (a multiple
 // of frameLen). Used when a restored stream resumes mid-capture; a
 // cache that already holds frames keeps its anchor.
 func (c *segCache) skipTo(origin time.Duration) {
-	if len(c.vals) == 0 && origin > c.origin {
+	if c.frames() == 0 && origin > c.origin {
 		c.origin = origin
 	}
 }
 
 // trimTo drops every frame before newOrigin (which must be
-// frame-aligned and >= origin), compacting in place so the backing
-// arrays are reused.
+// frame-aligned and >= origin). Dropped frames only advance the dead
+// prefix; the arrays compact in place once the prefix outgrows the
+// live span, so trimming is O(1) amortized per dropped frame.
 func (c *segCache) trimTo(newOrigin time.Duration) {
 	drop := int((newOrigin - c.origin) / c.frameLen)
 	if drop <= 0 {
 		return
 	}
-	if drop >= len(c.vals) {
+	live := len(c.vals) - c.off
+	if drop >= live {
 		c.vals = c.vals[:0]
 		c.dirty = c.dirty[:0]
-		c.sumSq = c.sumSq[:0]
-		c.counts = c.counts[:0]
+		c.acc = c.acc[:0]
+		c.off = 0
 	} else {
-		nv := copy(c.vals, c.vals[drop:])
-		c.vals = c.vals[:nv]
-		nd := copy(c.dirty, c.dirty[drop:])
-		c.dirty = c.dirty[:nd]
-		ns := copy(c.sumSq, c.sumSq[drop*c.n:])
-		c.sumSq = c.sumSq[:ns]
-		nc := copy(c.counts, c.counts[drop*c.n:])
-		c.counts = c.counts[:nc]
+		c.off += drop
+		if live-drop < c.off {
+			nv := copy(c.vals, c.vals[c.off:])
+			c.vals = c.vals[:nv]
+			nd := copy(c.dirty, c.dirty[c.off:])
+			c.dirty = c.dirty[:nd]
+			na := copy(c.acc, c.acc[c.off*c.n:])
+			c.acc = c.acc[:na]
+			c.off = 0
+		}
 	}
 	c.origin = newOrigin
 }
@@ -132,24 +234,41 @@ func (c *segCache) trimTo(newOrigin time.Duration) {
 // The returned slice is owned by the cache and valid until the next
 // add/trim/values call.
 func (c *segCache) values(horizon time.Duration) []float64 {
+	trace, _ := c.valuesSince(horizon)
+	return trace
+}
+
+// valuesSince is values plus a change watermark: changedFrom is the
+// lowest frame index whose value was recomputed by this call (or
+// len(trace) when every returned frame was already clean). The
+// segmenter's incremental window-std path uses it to recompute only the
+// sliding windows whose inputs moved.
+func (c *segCache) valuesSince(horizon time.Duration) (trace []float64, changedFrom int) {
 	nFrames := int((horizon - c.origin) / c.frameLen)
 	if nFrames <= 0 {
-		return nil
+		return nil, 0
 	}
 	c.ensure(nFrames)
+	changedFrom = nFrames
+	off := c.off
+	acc, factor := c.acc, c.factor
 	for f := 0; f < nFrames; f++ {
-		if !c.dirty[f] {
+		pf := off + f
+		if !c.dirty[pf] {
 			continue
 		}
+		if f < changedFrom {
+			changedFrom = f
+		}
 		var sum float64
-		base := f * c.n
+		base := pf * c.n
 		for i := 0; i < c.n; i++ {
-			if cnt := c.counts[base+i]; cnt > 0 {
-				sum += c.factor[i] * math.Sqrt(c.sumSq[base+i]/float64(cnt))
+			if a := &acc[base+i]; a.count > 0 {
+				sum += factor[i] * math.Sqrt(a.sumSq/float64(a.count))
 			}
 		}
-		c.vals[f] = sum
-		c.dirty[f] = false
+		c.vals[pf] = sum
+		c.dirty[pf] = false
 	}
-	return c.vals[:nFrames]
+	return c.vals[off : off+nFrames], changedFrom
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"slices"
+	"sort"
 	"time"
 
 	"rfipad/internal/dsp"
@@ -144,12 +145,48 @@ func (g *Segmenter) Segment(readings []Reading, cal *Calibration, start, end tim
 // streaming caller polling once per frame allocates nothing in steady
 // state. The zero value is ready; buffers grow to the high-water mark
 // and stay there.
+//
+// Across calls the scratch also carries the incremental window-std
+// state (stds, sortedStds, incr*): a streaming caller that knows which
+// frames changed since its last poll pays only for the handful of
+// sliding windows those frames touch, instead of recomputing — and
+// re-sorting — every window std per poll.
 type segScratch struct {
 	stds   []float64
 	seeded []float64
 	sorted []float64 // quantile workspace (copied + sorted per use)
 	active []bool
 	spans  []Span
+
+	// sortedStds mirrors stds as a NaN-free sorted multiset, maintained
+	// incrementally so the adaptive threshold's quantile and peak are
+	// O(1) lookups instead of a copy + sort per poll.
+	sortedStds []float64
+	incrValid  bool
+	incrStart  time.Duration // rms[0]'s stream time when stds was built
+}
+
+// sortedInsert adds v to the sorted multiset (NaNs are excluded, as the
+// quantile path excludes them).
+func (sc *segScratch) sortedInsert(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(sc.sortedStds, v)
+	sc.sortedStds = append(sc.sortedStds, 0)
+	copy(sc.sortedStds[i+1:], sc.sortedStds[i:])
+	sc.sortedStds[i] = v
+}
+
+// sortedRemove drops one occurrence of v from the sorted multiset.
+func (sc *segScratch) sortedRemove(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(sc.sortedStds, v)
+	if i < len(sc.sortedStds) && sc.sortedStds[i] == v {
+		sc.sortedStds = sc.sortedStds[:i+copy(sc.sortedStds[i:], sc.sortedStds[i+1:])]
+	}
 }
 
 // quantile computes the q-th quantile of x through the scratch's
@@ -172,6 +209,20 @@ func (sc *segScratch) quantile(x []float64, q float64) float64 {
 // recognizer passes its own scratch and must consume the returned spans
 // before the next call, which reuses them.
 func (g *Segmenter) segmentRMS(rms []float64, start time.Duration, sc *segScratch) []Span {
+	return g.segmentRMSFrom(rms, start, sc, -1)
+}
+
+// segmentRMSFrom is segmentRMS with a change watermark: when
+// changedFrom >= 0, frames [changedFrom, len(rms)) are the only ones
+// whose rms values may differ from the previous call on the same
+// scratch (start advances — history trims — are detected and handled
+// by shifting). Only the sliding windows those frames touch are
+// recomputed, and the threshold's quantile/peak read the incrementally
+// maintained sorted multiset, so a quiet steady-state poll costs a few
+// window stds instead of a full re-sort. changedFrom < 0 (or any
+// inconsistency with the scratch's remembered geometry) falls back to
+// a full rebuild; the detected spans are bit-identical either way.
+func (g *Segmenter) segmentRMSFrom(rms []float64, start time.Duration, sc *segScratch, changedFrom int) []Span {
 	if len(rms) == 0 {
 		return nil
 	}
@@ -187,12 +238,35 @@ func (g *Segmenter) segmentRMS(rms []float64, start time.Duration, sc *segScratc
 	// containing it exceeds the threshold. Sliding (rather than the
 	// strictly tiled windows of the paper) removes the 0.5 s
 	// quantization of stroke boundaries while keeping Eq. 12 intact.
-	stds := sc.stds[:0]
-	for f := 0; f+w <= len(rms); f++ {
-		stds = append(stds, dsp.Std(rms[f:f+w]))
+	g.updateStds(rms, start, sc, changedFrom, w)
+	stds := sc.stds
+
+	var thre float64
+	if g.Threshold > 0 {
+		thre = g.Threshold
+	} else {
+		// The adaptive rule of effectiveThresholdScratch over the sorted
+		// multiset: same multiset → same order statistics → same value.
+		thre = adaptiveK * dsp.QuantileSorted(sc.sortedStds, adaptiveQuantile)
+		if n := len(sc.sortedStds); n > 0 {
+			if peak := sc.sortedStds[n-1]; peak*adaptivePeakFrac > thre {
+				thre = peak * adaptivePeakFrac
+			}
+		}
+		if !(thre > thresholdFloor) { // also catches NaN
+			thre = thresholdFloor
+		}
 	}
-	sc.stds = stds
-	thre := g.effectiveThresholdScratch(stds, sc)
+
+	// Quiet-poll early exit: when no window std clears the threshold,
+	// the seeding loop below cannot activate a frame, so the call would
+	// fall through to the len(seeded) == 0 return anyway. The sorted
+	// multiset's tail is the peak, making the common all-quiet poll a
+	// comparison instead of a sweep.
+	if n := len(sc.sortedStds); n == 0 || sc.sortedStds[n-1] <= thre {
+		return nil
+	}
+
 	if cap(sc.active) < len(rms) {
 		sc.active = make([]bool, len(rms))
 	}
@@ -273,6 +347,75 @@ func (g *Segmenter) segmentRMS(rms []float64, start time.Duration, sc *segScratc
 		return nil
 	}
 	return kept
+}
+
+// updateStds brings the scratch's sliding-window stds (and their sorted
+// multiset) up to date with rms. Each recomputed window std is a fresh
+// dsp.Std over the current rms values — never a running update — so an
+// incrementally maintained entry is bit-identical to a full rebuild's.
+//
+// The incremental path survives the two geometry changes a streaming
+// caller produces: a history trim (start advanced by whole frames;
+// dropped frames' windows shift down — their values are unchanged
+// because the surviving rms values are unchanged) and appended frames.
+// A horizon regression (rms shorter than the scratch remembers, e.g.
+// the poll after a flush pushed the horizon far ahead) forces a full
+// rebuild, as does any call without a watermark.
+func (g *Segmenter) updateStds(rms []float64, start time.Duration, sc *segScratch, changedFrom, w int) {
+	nw := len(rms) - w + 1
+	if nw < 0 {
+		nw = 0
+	}
+	rebuild := changedFrom < 0 || !sc.incrValid || g.FrameLen <= 0
+	if !rebuild && start != sc.incrStart {
+		if start < sc.incrStart || (start-sc.incrStart)%g.FrameLen != 0 {
+			rebuild = true
+		} else if drop := int((start - sc.incrStart) / g.FrameLen); drop >= len(sc.stds) {
+			rebuild = true
+		} else {
+			for _, v := range sc.stds[:drop] {
+				sc.sortedRemove(v)
+			}
+			sc.stds = sc.stds[:copy(sc.stds, sc.stds[drop:])]
+		}
+	}
+	if !rebuild && nw < len(sc.stds) {
+		rebuild = true
+	}
+	if rebuild {
+		sc.stds = sc.stds[:0]
+		sc.sortedStds = sc.sortedStds[:0]
+		for f := 0; f < nw; f++ {
+			v := dsp.Std(rms[f : f+w])
+			sc.stds = append(sc.stds, v)
+			if !math.IsNaN(v) {
+				sc.sortedStds = append(sc.sortedStds, v)
+			}
+		}
+		slices.Sort(sc.sortedStds)
+	} else {
+		// Windows touching a changed frame: [changedFrom-w+1, nw), plus
+		// any windows beyond the previous high-water mark.
+		lo := changedFrom - w + 1
+		if lo < 0 {
+			lo = 0
+		}
+		if lo > len(sc.stds) {
+			lo = len(sc.stds)
+		}
+		for f := lo; f < nw; f++ {
+			v := dsp.Std(rms[f : f+w])
+			if f < len(sc.stds) {
+				sc.sortedRemove(sc.stds[f])
+				sc.stds[f] = v
+			} else {
+				sc.stds = append(sc.stds, v)
+			}
+			sc.sortedInsert(v)
+		}
+	}
+	sc.incrValid = true
+	sc.incrStart = start
 }
 
 // merge joins spans closer than MergeGap.

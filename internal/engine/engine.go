@@ -232,14 +232,25 @@ type ctrlReply struct {
 }
 
 // item is one unit of shard work: a batch of readings for a stream, a
-// flush marker, or an evict/adopt control operation.
+// flush marker, or an evict/adopt control operation. A reading batch is
+// carried either as a record slice (the legacy Push path) or as a
+// columnar ReadingBatch (the hot path) — never both.
 type item struct {
 	op    itemOp
 	id    StreamID
-	batch []core.Reading // ownership transfers to the engine on enqueue
+	batch []core.Reading     // ownership transfers to the engine on enqueue
+	cols  *core.ReadingBatch // columnar payload; returned to the pool by the engine
 	enq   time.Time
 	cp    supervise.Checkpoint // adopt payload
 	reply chan ctrlReply       // evict/adopt reply (buffered, capacity 1)
+}
+
+// size returns the item's reading count across both payload forms.
+func (it *item) size() int {
+	if it.cols != nil {
+		return it.cols.Len()
+	}
+	return len(it.batch)
 }
 
 // streamState is a shard-owned stream: its recognizer state machine
@@ -351,6 +362,54 @@ func (e *Engine) drop(batch []core.Reading) {
 	e.tel.droppedR.Add(uint64(len(batch)))
 }
 
+// dropCols sheds a columnar batch: counted like drop, and the batch
+// goes back to the pool (ownership reached the engine either way).
+func (e *Engine) dropCols(b *core.ReadingBatch) {
+	e.tel.overflow.Inc()
+	e.tel.droppedR.Add(uint64(b.Len()))
+	core.PutBatch(b)
+}
+
+// PushBatch enqueues one columnar batch without blocking — the
+// batch-native counterpart of Push. Ownership of the batch transfers to
+// the engine unconditionally: whether the batch is accepted, shed on a
+// full mailbox, or rejected because the engine closed, the engine
+// returns it to the batch pool, so the caller takes a fresh GetBatch
+// for its next push and never touches this one again.
+func (e *Engine) PushBatch(id StreamID, b *core.ReadingBatch) bool {
+	if b == nil || b.Len() == 0 {
+		core.PutBatch(b)
+		return true
+	}
+	if e.closed.Load() {
+		e.dropCols(b)
+		return false
+	}
+	select {
+	case e.shardFor(id).mail <- item{id: id, cols: b, enq: time.Now()}:
+		return true
+	default:
+		e.dropCols(b)
+		return false
+	}
+}
+
+// PushBatchWait is the blocking variant of PushBatch: a full mailbox
+// waits instead of shedding. Ownership transfers to the engine in every
+// case, exactly as in PushBatch. Reports false once the engine is
+// closing (the batch is dropped, counted, and pooled).
+func (e *Engine) PushBatchWait(id StreamID, b *core.ReadingBatch) bool {
+	if b == nil || b.Len() == 0 {
+		core.PutBatch(b)
+		return true
+	}
+	if !e.pushWait(item{id: id, cols: b, enq: time.Now()}) {
+		e.dropCols(b)
+		return false
+	}
+	return true
+}
+
 // pushWait is the blocking variant used by source-driven streams:
 // backpressure propagates to the source instead of dropping. Returns
 // false once the engine is closing.
@@ -458,11 +517,13 @@ func (e *Engine) RunStream(id StreamID, src live.ReportSource) (err error) {
 		if len(batch) == 0 {
 			continue
 		}
-		readings := make([]core.Reading, len(batch))
-		for i, rep := range batch {
-			readings[i] = live.ReadingFromReport(rep)
-		}
-		if !e.pushWait(item{id: id, batch: readings, enq: time.Now()}) {
+		// Decode straight into a pooled columnar batch: no intermediate
+		// []core.Reading, no per-stream allocation once the pool warms.
+		// The shard returns the batch to the pool after ingesting it.
+		cols := core.GetBatch()
+		live.AppendReports(cols, batch)
+		if !e.pushWait(item{id: id, cols: cols, enq: time.Now()}) {
+			core.PutBatch(cols)
 			return ErrClosed
 		}
 	}
@@ -535,7 +596,8 @@ func (s *shard) run() {
 							it.reply <- ctrlReply{err: ErrClosed}
 						}
 						s.eng.tel.abandoned.Inc()
-						s.eng.tel.droppedR.Add(uint64(len(it.batch)))
+						s.eng.tel.droppedR.Add(uint64(it.size()))
+						core.PutBatch(it.cols)
 						continue
 					}
 					s.handle(it)
@@ -630,6 +692,10 @@ func (s *shard) handle(it item) {
 		return
 	}
 	st := s.stream(it.id)
+	// The columnar payload is consumed within this call (the recognizer
+	// never retains it), so it returns to the pool on every exit path —
+	// including a quarantining panic.
+	defer core.PutBatch(it.cols)
 	defer func() {
 		if r := recover(); r != nil {
 			s.quarantine(st, r)
@@ -642,23 +708,28 @@ func (s *shard) handle(it item) {
 		}
 		return
 	}
+	size := it.size()
 	if st.res.Err != nil {
 		// Terminal stream (calibration failed or quarantined):
 		// discard but account.
-		st.res.Dropped += len(it.batch)
-		s.eng.tel.droppedR.Add(uint64(len(it.batch)))
+		st.res.Dropped += size
+		s.eng.tel.droppedR.Add(uint64(size))
 		return
 	}
 	// New data re-arms the flush marker: a stream that keeps writing
 	// after an explicit flush can be flushed again.
 	st.flushed = false
 	s.eng.tel.batches.Inc()
-	s.eng.tel.readings.Add(uint64(len(it.batch)))
+	s.eng.tel.readings.Add(uint64(size))
 	var ingestStart time.Time
 	if st.tr != nil {
 		ingestStart = time.Now()
 		st.tr.Add(trace.Span{Name: trace.SpanMailbox, Node: s.eng.cfg.TraceNode,
-			Start: it.enq, Duration: ingestStart.Sub(it.enq), Count: len(it.batch)})
+			Start: it.enq, Duration: ingestStart.Sub(it.enq), Count: size})
+	}
+	if it.cols != nil {
+		s.handleCols(st, it, ingestStart)
+		return
 	}
 	admitted, rejected := 0, 0
 	for _, rd := range it.batch {
@@ -680,22 +751,59 @@ func (s *shard) handle(it item) {
 			return
 		}
 		st.res.Readings++
-		if !st.res.Calibrated && st.st.Calibrated() {
-			st.res.Calibrated = true
-			st.res.DeadTags = st.st.DeadTags()
-			s.eng.tel.calibrated.Add(1)
-			st.tr.Add(trace.Span{Name: trace.SpanCalibrate, Node: s.eng.cfg.TraceNode,
-				Start: time.Now(), Count: st.res.DeadTags})
-			s.checkpoint(st)
-			if s.eng.cfg.Logger != nil {
-				s.eng.cfg.Logger.Info("stream calibrated",
-					"stream", string(st.id), "dead_tags", st.res.DeadTags)
-			}
-		}
+		s.noteCalibrated(st)
 		s.deliver(st, evs, it.enq)
 	}
 	if st.tr != nil {
 		s.ingestSpans(st, ingestStart, admitted, rejected, nil)
+	}
+}
+
+// handleCols ingests one columnar batch: sanitize in place, one
+// IngestBatch call into the stream, one delivery of the resulting
+// events — element-for-element the same decisions as the per-reading
+// loop, without its per-reading call overhead.
+func (s *shard) handleCols(st *streamState, it item, ingestStart time.Time) {
+	before := it.cols.Len()
+	s.eng.tel.rejected.AdmitColumns(it.cols, st.st.LastTime())
+	admitted := it.cols.Len()
+	rejected := before - admitted
+	evs, err := st.st.IngestBatch(it.cols)
+	if err != nil {
+		st.res.Err = err
+		s.eng.tel.errors.Inc()
+		if st.tr != nil {
+			s.ingestSpans(st, ingestStart, admitted, rejected, err)
+		}
+		if s.eng.cfg.Logger != nil {
+			s.eng.cfg.Logger.Error("stream failed", "stream", string(st.id), "err", err)
+		}
+		return
+	}
+	st.res.Readings += admitted
+	s.noteCalibrated(st)
+	s.deliver(st, evs, it.enq)
+	if st.tr != nil {
+		s.ingestSpans(st, ingestStart, admitted, rejected, nil)
+	}
+}
+
+// noteCalibrated records a stream's calibration completion exactly once
+// — the gauge, trace span, checkpoint, and log line fire when
+// Calibrated() first flips.
+func (s *shard) noteCalibrated(st *streamState) {
+	if st.res.Calibrated || !st.st.Calibrated() {
+		return
+	}
+	st.res.Calibrated = true
+	st.res.DeadTags = st.st.DeadTags()
+	s.eng.tel.calibrated.Add(1)
+	st.tr.Add(trace.Span{Name: trace.SpanCalibrate, Node: s.eng.cfg.TraceNode,
+		Start: time.Now(), Count: st.res.DeadTags})
+	s.checkpoint(st)
+	if s.eng.cfg.Logger != nil {
+		s.eng.cfg.Logger.Info("stream calibrated",
+			"stream", string(st.id), "dead_tags", st.res.DeadTags)
 	}
 }
 

@@ -289,6 +289,13 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 		}
 		tr.Add(sp)
 	}
+	// The drain loop is columnar end to end: each report batch decodes
+	// straight into one reused ReadingBatch, is sanitized in place, and
+	// flows to the stream in a single IngestBatch call — the per-reading
+	// loop this replaces made every reading pay the full call-chain
+	// overhead.
+	cols := core.GetBatch()
+	defer core.PutBatch(cols)
 	for {
 		batch, err := sess.NextReports()
 		if errors.Is(err, llrp.ErrStreamEnded) {
@@ -302,37 +309,33 @@ func Run(sess ReportSource, cfg Config) (Result, error) {
 		if tr != nil {
 			batchStart = time.Now()
 		}
-		admitted, rejected := 0, 0
-		for _, rep := range batch {
-			rd := ReadingFromReport(rep)
-			if !san.Admit(rd, st.LastTime()) {
-				rejected++
-				continue
+		cols.Reset()
+		AppendReports(cols, batch)
+		san.AdmitColumns(cols, st.LastTime())
+		admitted := cols.Len()
+		rejected := len(batch) - admitted
+		evs, err := st.IngestBatch(cols)
+		if err != nil {
+			if tr != nil {
+				ingestSpans(batchStart, admitted, rejected, err)
 			}
-			admitted++
-			evs, err := st.Ingest(rd)
-			if err != nil {
-				if tr != nil {
-					ingestSpans(batchStart, admitted, rejected, err)
-				}
-				finish()
-				return res, err
-			}
-			if !res.Calibrated && st.Calibrated() {
-				markCalibrated()
-				tr.Add(trace.Span{Name: trace.SpanCalibrate, Start: time.Now(),
-					Count: res.DeadTags})
-				saveCheckpoint()
-				logInfo("calibrated", "dead_tags", res.DeadTags,
-					"prelude", cfg.CalibDuration)
-				if res.DeadTags > 0 {
-					status("calibrated with %d dead tag(s); interpolating their cells", res.DeadTags)
-				} else {
-					status("calibrated; recognizing online")
-				}
-			}
-			handle(evs)
+			finish()
+			return res, err
 		}
+		if !res.Calibrated && st.Calibrated() {
+			markCalibrated()
+			tr.Add(trace.Span{Name: trace.SpanCalibrate, Start: time.Now(),
+				Count: res.DeadTags})
+			saveCheckpoint()
+			logInfo("calibrated", "dead_tags", res.DeadTags,
+				"prelude", cfg.CalibDuration)
+			if res.DeadTags > 0 {
+				status("calibrated with %d dead tag(s); interpolating their cells", res.DeadTags)
+			} else {
+				status("calibrated; recognizing online")
+			}
+		}
+		handle(evs)
 		if tr != nil && len(batch) > 0 {
 			ingestSpans(batchStart, admitted, rejected, nil)
 		}

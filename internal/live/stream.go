@@ -44,6 +44,63 @@ func ReadingFromReport(rep llrp.TagReport) core.Reading {
 	}
 }
 
+// AppendReports decodes wire-format tag reports straight into a
+// columnar batch — the batch counterpart of calling ReadingFromReport
+// per report, without materializing intermediate Reading records. EPC
+// and Doppler are resolved and dropped here (the batch columns do not
+// carry them; the tag index is all downstream stages key on).
+func AppendReports(dst *core.ReadingBatch, reports []llrp.TagReport) {
+	for i := range reports {
+		rep := &reports[i]
+		dst.Append(rep.Timestamp, rep.PhaseRad, rep.RSSdBm,
+			core.NarrowTag(tagmodel.SerialOf(rep.EPC)-1))
+	}
+}
+
+// IngestBatch feeds a columnar batch of readings, with element-for-
+// element the same behavior as calling Ingest per reading: readings up
+// to the calibration boundary accumulate into the static prelude (the
+// reading that completes CalibDuration triggers calibration and is part
+// of the prelude, not the recognized stream), and everything after the
+// boundary flows to the recognizer in one columnar call. The batch is
+// only read, never retained. On a calibration error the remaining
+// readings are dropped, exactly as a per-reading caller would stop
+// feeding a terminally failed stream.
+func (s *Stream) IngestBatch(b *core.ReadingBatch) ([]core.Event, error) {
+	n := b.Len()
+	i := 0
+	for i < n && s.rec == nil {
+		rd := b.Reading(i)
+		i++
+		if rd.Time > s.lastTime {
+			s.lastTime = rd.Time
+		}
+		s.static = append(s.static, rd)
+		if rd.Time < s.cfg.CalibDuration {
+			continue
+		}
+		cal, err := core.Calibrate(s.static, s.cfg.Grid.NumTags())
+		if err != nil {
+			return nil, fmt.Errorf("live: calibration failed: %w", err)
+		}
+		s.cal = cal
+		s.static = nil
+		pipe := core.NewPipeline(s.cfg.Grid, cal)
+		pipe.Obs = s.cfg.Obs
+		s.rec = core.NewRecognizer(pipe, nil)
+	}
+	if i >= n {
+		return nil, nil
+	}
+	rest := b.Slice(i, n)
+	for _, t := range rest.Times {
+		if t > s.lastTime {
+			s.lastTime = t
+		}
+	}
+	return s.rec.IngestBatch(&rest), nil
+}
+
 // Ingest feeds one reading. While the prelude is still accumulating it
 // returns no events; once the prelude covers CalibDuration it
 // calibrates (an error here is terminal for the stream) and every

@@ -276,6 +276,15 @@ func EncodeReports(reports []TagReport) ([]byte, error) {
 
 // DecodeReports parses a MsgROAccessReport payload.
 func DecodeReports(payload []byte) ([]TagReport, error) {
+	return DecodeReportsInto(nil, payload)
+}
+
+// DecodeReportsInto is DecodeReports appending into dst's backing array
+// when its capacity allows, so a caller that recycles one scratch slice
+// across frames decodes without allocating. dst's existing elements are
+// overwritten; pass dst[:0] semantics via any slice whose length is
+// ignored. The returned slice aliases dst's array when it fit.
+func DecodeReportsInto(dst []TagReport, payload []byte) ([]TagReport, error) {
 	if len(payload) < 2 {
 		return nil, ErrShortReport
 	}
@@ -283,7 +292,12 @@ func DecodeReports(payload []byte) ([]TagReport, error) {
 	if len(payload) != 2+count*entryLen {
 		return nil, ErrShortReport
 	}
-	out := make([]TagReport, count)
+	var out []TagReport
+	if cap(dst) >= count {
+		out = dst[:count]
+	} else {
+		out = make([]TagReport, count)
+	}
 	off := 2
 	for i := range out {
 		var rep TagReport

@@ -173,6 +173,9 @@ type Session struct {
 	// Consumer-goroutine-only state.
 	rng      *rand.Rand
 	attempts int
+	// scratch is the reused decode buffer behind NextReports; each call
+	// overwrites the previous batch in place.
+	scratch []TagReport
 	// breaker gates reconnect attempts when armed (nil otherwise).
 	breaker *supervise.Breaker
 
@@ -257,6 +260,11 @@ func DialSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 // resuming as needed. It returns ErrStreamEnded on a clean end,
 // ctx.Err() on cancellation, and ErrGiveUp (wrapping the last network
 // error) when MaxAttempts consecutive reconnects fail.
+//
+// The returned slice is a reused decode buffer: it is valid only until
+// the next NextReports call, which overwrites it in place. Both engine
+// and live consumers convert reports to readings before pulling the
+// next batch; a consumer that needs to retain a batch must copy it.
 func (s *Session) NextReports() ([]TagReport, error) {
 	for {
 		if err := s.ctx.Err(); err != nil {
@@ -304,13 +312,14 @@ func (s *Session) readBatch(conn net.Conn, client *Client) ([]TagReport, error) 
 		}
 		switch msg.Type {
 		case MsgROAccessReport:
-			reports, err := DecodeReports(msg.Payload)
+			reports, err := DecodeReportsInto(s.scratch, msg.Payload)
 			if err != nil {
 				// Corrupt frame: resync is impossible on a byte
 				// stream, so treat it as a link failure.
 				s.tel.decodeErrs.Inc()
 				return nil, err
 			}
+			s.scratch = reports
 			return reports, nil
 		case MsgKeepalive:
 			s.noteKeepaliveEcho()

@@ -49,6 +49,9 @@ import (
 type (
 	// Reading is one tag report: EPC, phase, RSS, Doppler, timestamp.
 	Reading = core.Reading
+	// ReadingBatch is the columnar (struct-of-arrays) batch form of a
+	// run of readings — the ingest hot path end to end.
+	ReadingBatch = core.ReadingBatch
 	// Calibration holds the per-tag statistics for diversity
 	// suppression, learned from a static capture.
 	Calibration = core.Calibration
@@ -97,6 +100,13 @@ const (
 	StrokeDetected = core.StrokeDetected
 	LetterDeduced  = core.LetterDeduced
 )
+
+// GetBatch returns an empty ReadingBatch from the shared pool; return
+// it with PutBatch once consumed.
+func GetBatch() *ReadingBatch { return core.GetBatch() }
+
+// PutBatch resets a batch and returns it to the shared pool.
+func PutBatch(b *ReadingBatch) { core.PutBatch(b) }
 
 // M builds a Motion.
 func M(s Shape, d Direction) Motion { return stroke.M(s, d) }

@@ -59,14 +59,36 @@ go test -run '^$' -fuzz FuzzDecodeCheckpoint -fuzztime 10s ./internal/supervise
 echo '== alloc regression tests (pure build)'
 go test -run 'Allocs' . ./internal/obs/trace
 
-echo '== bench smoke (hot path + engine, 1 iteration)'
-go test -run '^$' -bench 'BenchmarkRecognizerIngestSteadyState|BenchmarkEngineMultiStream' \
-    -benchtime=1x -benchmem .
+echo '== bench smoke (hot path + engine + columnar ingest, 1 iteration)'
+go test -run '^$' -bench 'BenchmarkRecognizerIngestSteadyState|BenchmarkEngineMultiStream|BenchmarkStreamingIngest$|BenchmarkIngestBatch$' \
+    -benchtime=1x -benchmem . | tee bench_smoke.txt
+# The columnar batch path must stay allocation-free at steady state:
+# any allocation on BenchmarkIngestBatch is a hot-path regression, so
+# it fails the gate outright.
+if ! grep 'BenchmarkIngestBatch' bench_smoke.txt | grep -q ' 0 allocs/op'; then
+    echo 'FAIL: BenchmarkIngestBatch allocates on the steady-state workload'
+    exit 1
+fi
 
-echo '== engine bench report (BENCH_engine.json)'
+# Bench reports: stash the committed baselines, regenerate each report,
+# then print a field-by-field before/after comparison. The diff is
+# informational (machine noise would make a hard threshold flaky); the
+# uploaded artifacts and the committed baselines carry the numbers.
+echo '== bench reports (BENCH_engine / BENCH_cluster / BENCH_ingest)'
+for name in engine cluster ingest; do
+    if [ -f "BENCH_${name}.json" ]; then
+        cp "BENCH_${name}.json" "BENCH_${name}.baseline.json"
+    fi
+done
 go run ./cmd/rfipad-bench -engine -engine-streams 8 -engine-json BENCH_engine.json
-
-echo '== cluster bench report (BENCH_cluster.json)'
 go run ./cmd/rfipad-bench -cluster -cluster-nodes 3 -cluster-json BENCH_cluster.json
+go run ./cmd/rfipad-bench -ingest -ingest-json BENCH_ingest.json
+for name in engine cluster ingest; do
+    if [ -f "BENCH_${name}.baseline.json" ]; then
+        echo "== bench diff: ${name} (committed baseline -> this run)"
+        go run ./cmd/rfipad-bench -diff "BENCH_${name}.baseline.json" "BENCH_${name}.json"
+        rm -f "BENCH_${name}.baseline.json"
+    fi
+done
 
 echo 'CI OK'
