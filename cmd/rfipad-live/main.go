@@ -88,6 +88,9 @@ func run() int {
 		clusterNodes  = flag.Int("cluster-nodes", 0, "run an in-process multi-node cluster with this many members; streams place via consistent hashing and migrate by checkpoint handoff (0 = single engine)")
 		drainTimeout  = flag.Duration("drain-timeout", 5*time.Second, "bound on mailbox drain during graceful shutdown")
 
+		leaseDuration   = flag.Duration("lease-duration", 0, "cluster mode: ownership lease each stream owner holds, renewed per heartbeat; an owner whose lease expires self-demotes before the failure detector reassigns; must exceed the heartbeat interval and stay under the failure deadline or it is reset (0 = 3/4 of the failure deadline)")
+		leaseCheckEvery = flag.Duration("lease-check-every", 0, "cluster mode: owner-side watchdog period for reaping expired leases (0 = lease-duration/4)")
+
 		retryInitial = flag.Duration("retry-initial", 100*time.Millisecond, "first reconnect backoff delay")
 		retryMaxWait = flag.Duration("retry-max-wait", 5*time.Second, "backoff cap")
 		retryMax     = flag.Int("retry-max", 0, "consecutive failed connects before giving up (0 = retry forever)")
@@ -127,6 +130,8 @@ func run() int {
 		return usageError("-engine-workers must be non-negative (got %d)", *engineWorkers)
 	case *clusterNodes < 0:
 		return usageError("-cluster-nodes must be non-negative (got %d)", *clusterNodes)
+	case *leaseDuration < 0 || *leaseCheckEvery < 0:
+		return usageError("-lease-duration and -lease-check-every must be non-negative")
 	case *drainTimeout <= 0:
 		return usageError("-drain-timeout must be positive (got %v)", *drainTimeout)
 	case *retryMax < 0:
@@ -217,6 +222,8 @@ func run() int {
 				CalibDuration: *calib,
 			},
 			EngineWorkers:    *engineWorkers,
+			LeaseDuration:    *leaseDuration,
+			LeaseCheckEvery:  *leaseCheckEvery,
 			Checkpoints:      store,
 			CheckpointEvery:  *checkpointEvery,
 			CheckpointMaxAge: *checkpointMaxAge,

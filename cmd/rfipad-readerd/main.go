@@ -83,6 +83,8 @@ func run() int {
 		faultCorrupt = flag.Float64("fault-corrupt", 0, "per-write byte corruption probability")
 		faultDup     = flag.Float64("fault-dup", 0, "per-frame duplication probability")
 		faultReorder = flag.Float64("fault-reorder", 0, "per-frame reordering probability")
+		faultDropWr  = flag.Bool("fault-drop-writes", false, "one-way partition: swallow every outbound write (reads keep flowing)")
+		faultDropRd  = flag.Bool("fault-drop-reads", false, "one-way partition: discard every inbound read (writes keep flowing)")
 
 		obsAddr   = flag.String("obs-addr", "", "admin listen address serving /metrics, /healthz, /debug/pprof (empty disables)")
 		logFormat = flag.String("log-format", obs.FormatText, "log output format: text or json")
@@ -180,6 +182,8 @@ func run() int {
 		CorruptProb:      *faultCorrupt,
 		DupFrameProb:     *faultDup,
 		ReorderFrameProb: *faultReorder,
+		DropWrites:       *faultDropWr,
+		DropReads:        *faultDropRd,
 		FrameHeaderLen:   llrp.HeaderLen,
 		FrameSize:        llrp.FrameSize,
 		Observer:         func(kind string) { faultCounter(kind).Inc() },

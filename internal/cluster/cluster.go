@@ -29,6 +29,18 @@ type Config struct {
 	// against false positives under scheduler jitter; the sim tests
 	// shrink both to keep chaos runs fast.
 	FailAfter time.Duration
+	// LeaseDuration is the ownership lease each stream's owner holds,
+	// renewed by every delivered heartbeat. It must be strictly shorter
+	// than FailAfter so an owner the coordinator cannot hear
+	// self-demotes before the failure detector reassigns its streams —
+	// the no-two-writers guarantee — and strictly longer than
+	// HeartbeatInterval, or renewal can never outrun expiry and every
+	// healthy owner thrashes through demotion. Values outside
+	// (HeartbeatInterval, FailAfter) default to 3/4 of FailAfter.
+	LeaseDuration time.Duration
+	// LeaseCheckEvery is the owner-side watchdog period for reaping
+	// expired leases (default LeaseDuration/4, floored at 1ms).
+	LeaseCheckEvery time.Duration
 
 	// HandoffTimeout bounds one stream migration end to end — evict or
 	// checkpoint load through adoption ack (default 5 s). Past it the
@@ -98,6 +110,30 @@ func (c Config) withDefaults() Config {
 	if c.FailAfter <= 0 {
 		c.FailAfter = 4 * c.HeartbeatInterval
 	}
+	// Lease renewal rides the heartbeat, so a lease that cannot outlive
+	// one heartbeat interval can never be renewed: every healthy owner
+	// would thrash demote/restore and shed its results. Clamp to the
+	// sound interval (HeartbeatInterval, FailAfter) when the config
+	// admits one; a degenerate FailAfter barely above the heartbeat
+	// splits the difference.
+	minLease := c.HeartbeatInterval
+	if minLease >= c.FailAfter {
+		// FailAfter itself is inside one heartbeat interval — the
+		// detector is unsound regardless, so only enforce (0, FailAfter).
+		minLease = 0
+	}
+	if c.LeaseDuration <= minLease || c.LeaseDuration >= c.FailAfter {
+		c.LeaseDuration = c.FailAfter * 3 / 4
+		if c.LeaseDuration <= minLease {
+			c.LeaseDuration = (minLease + c.FailAfter) / 2
+		}
+	}
+	if c.LeaseCheckEvery <= 0 {
+		c.LeaseCheckEvery = c.LeaseDuration / 4
+	}
+	if c.LeaseCheckEvery < time.Millisecond {
+		c.LeaseCheckEvery = time.Millisecond
+	}
 	if c.HandoffTimeout <= 0 {
 		c.HandoffTimeout = 5 * time.Second
 	}
@@ -153,7 +189,11 @@ type Cluster struct {
 	members    map[NodeID]*member
 	allNodes   map[NodeID]*Node // includes killed/left nodes, for reaping
 	placements map[engine.StreamID]*placement
-	closed     bool
+	// epochs is the per-stream ownership epoch high-water mark. It only
+	// grows (entries survive orphaning), so a stream that bounces
+	// between owners always gets a strictly larger fencing token.
+	epochs map[engine.StreamID]uint64
+	closed bool
 
 	stop      chan struct{}
 	monitorWG sync.WaitGroup
@@ -176,7 +216,20 @@ func New(cfg Config) *Cluster {
 		members:    map[NodeID]*member{},
 		allNodes:   map[NodeID]*Node{},
 		placements: map[engine.StreamID]*placement{},
+		epochs:     map[engine.StreamID]uint64{},
 		stop:       make(chan struct{}),
+	}
+	if cfg.Checkpoints != nil {
+		// Observe every write the store's epoch fence rejects: each one
+		// is a stale former owner caught trying to overwrite its
+		// successor's state.
+		cfg.Checkpoints.OnFenced = func(stream string, writeEpoch, storedEpoch uint64) {
+			c.tel.fencedWrites.Inc()
+			if c.log != nil {
+				c.log.Warn("stale checkpoint write fenced",
+					"stream", stream, "write_epoch", writeEpoch, "stored_epoch", storedEpoch)
+			}
+		}
 	}
 	c.monitorWG.Add(1)
 	go c.monitor()
@@ -204,18 +257,34 @@ func (c *Cluster) AddNode(id NodeID) (*Node, error) {
 		CheckpointEvery:  c.cfg.CheckpointEvery,
 		CheckpointMaxAge: c.cfg.CheckpointMaxAge,
 	}
-	if c.cfg.OnEvent != nil {
-		onEvent := c.cfg.OnEvent
-		ecfg.OnEvent = func(sid engine.StreamID, ev core.Event) { onEvent(id, sid, ev) }
-	}
 	n := &Node{
 		id:     id,
-		eng:    engine.New(ecfg),
 		ln:     ln,
 		log:    c.log,
 		flight: c.cfg.Flight,
 		hbStop: make(chan struct{}),
+		wdStop: make(chan struct{}),
+		leases: map[engine.StreamID]lease{},
 	}
+	// Checkpoints this engine writes are stamped with the lease epoch
+	// the node holds — expired or not, so a stale owner's writes carry
+	// the old epoch and hit the store's fence.
+	ecfg.Epoch = func(sid engine.StreamID) (uint64, bool) { return n.leaseEpoch(sid) }
+	if c.cfg.OnEvent != nil {
+		onEvent := c.cfg.OnEvent
+		ecfg.OnEvent = func(sid engine.StreamID, ev core.Event) {
+			// Results are gated on a live lease: a partitioned owner can
+			// still be chewing through queued batches after its lease
+			// lapsed, but nothing it produces may surface — the stream's
+			// new owner is its only emitter.
+			if !n.leaseLive(sid, time.Now()) {
+				c.tel.suppressed.Inc()
+				return
+			}
+			onEvent(id, sid, ev)
+		}
+	}
+	n.eng = engine.New(ecfg)
 
 	c.mu.Lock()
 	if c.closed {
@@ -257,6 +326,8 @@ func (c *Cluster) AddNode(id NodeID) (*Node, error) {
 	go n.serve(c.cfg.HandoffAttemptTimeout)
 	n.wg.Add(1)
 	go c.heartbeat(n)
+	n.wg.Add(1)
+	go c.leaseWatchdog(n)
 	if c.log != nil {
 		c.log.Info("node joined", "node", string(id), "addr", n.Addr())
 	}
@@ -264,7 +335,13 @@ func (c *Cluster) AddNode(id NodeID) (*Node, error) {
 }
 
 // heartbeat is the per-node beat loop; it stops when the node is
-// killed, leaves, or shuts down.
+// killed, leaves, or shuts down. A delivered heartbeat does double
+// duty: it feeds the failure detector and renews the node's stream
+// leases, so liveness-as-seen-by-the-coordinator and
+// permission-to-emit always travel together. A node whose heartbeat
+// path is partitioned (PartitionHeartbeats) ticks but delivers
+// nothing — like a real one-way partition, it neither resets the
+// failure deadline nor renews a lease.
 func (c *Cluster) heartbeat(n *Node) {
 	defer n.wg.Done()
 	t := time.NewTicker(c.cfg.HeartbeatInterval)
@@ -277,9 +354,10 @@ func (c *Cluster) heartbeat(n *Node) {
 			return
 		case <-t.C:
 			c.mu.Lock()
-			if m, ok := c.members[n.id]; ok && !n.killed.Load() {
+			if m, ok := c.members[n.id]; ok && !n.killed.Load() && !n.hbPartitioned.Load() {
 				m.lastBeat = time.Now()
 				c.tel.heartbeats.Inc()
+				c.renewLeasesLocked(n, m.lastBeat.Add(c.cfg.LeaseDuration))
 			}
 			c.mu.Unlock()
 		}
@@ -290,11 +368,7 @@ func (c *Cluster) heartbeat(n *Node) {
 // declared dead and its streams are migrated off it.
 func (c *Cluster) monitor() {
 	defer c.monitorWG.Done()
-	period := c.cfg.FailAfter / 4
-	if period < time.Millisecond {
-		period = time.Millisecond
-	}
-	t := time.NewTicker(period)
+	t := time.NewTicker(monitorPeriod(c.cfg.FailAfter))
 	defer t.Stop()
 	for {
 		select {
@@ -304,7 +378,7 @@ func (c *Cluster) monitor() {
 			now := time.Now()
 			c.mu.Lock()
 			for id, m := range c.members {
-				if now.Sub(m.lastBeat) > c.cfg.FailAfter {
+				if heartbeatExpired(m.lastBeat, now, c.cfg.FailAfter) {
 					c.failLocked(id)
 				}
 			}
@@ -452,6 +526,18 @@ func (c *Cluster) runMigration(m migration) {
 		evictErr = "no durable checkpoint store"
 	}
 
+	// Ownership change-over: the donor's lease dies with its state, and
+	// the assignment the new owner will receive is minted under a
+	// strictly larger epoch (floored by whatever epoch the checkpoint
+	// itself carries), so any write the old owner still manages to issue
+	// is fenced by the store.
+	if m.graceful && haveCP {
+		m.fromNode.revokeLease(m.id)
+	}
+	c.mu.Lock()
+	cp.Epoch = c.nextEpochLocked(m.id, cp.Epoch)
+	c.mu.Unlock()
+
 	// The migration's spans land in the stream's existing ring: the
 	// coordinator shares the tracer with the node engines, and for a
 	// dead donor the checkpoint's TraceID recovers the identity the
@@ -561,6 +647,9 @@ func (c *Cluster) finalize(m migration, tr *trace.StreamTrace, target NodeID, ha
 		}
 		p.node = target
 		p.migrating = false
+		// The adopter's lease must exist before any batch reaches it:
+		// pushes are gated on a live lease.
+		c.grantLeaseLocked(target, m.id, c.epochs[m.id])
 		pending := p.pending
 		p.pending = nil
 		node := c.memberNodeLocked(target)
@@ -654,6 +743,9 @@ func (c *Cluster) Push(id engine.StreamID, batch []core.Reading) bool {
 		p = &placement{node: owner}
 		c.placements[id] = p
 		c.tel.placed.Set(float64(len(c.placements)))
+		// First placement: mint the stream's first epoch and lease the
+		// owner before the first batch can reach its engine.
+		c.grantLeaseLocked(owner, id, c.nextEpochLocked(id, 0))
 	}
 	if p.migrating {
 		if len(p.pending) >= c.cfg.PendingBatches {

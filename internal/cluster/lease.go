@@ -1,0 +1,276 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"rfipad/internal/engine"
+	"rfipad/internal/obs/trace"
+)
+
+// Ownership leases are the cluster's split-brain defense. The
+// coordinator mints a monotonically increasing per-stream epoch on
+// every (re)assignment and grants the owning node a lease strictly
+// shorter than FailAfter, renewed with each delivered heartbeat. The
+// two halves of the protocol:
+//
+//   - Coordinator side: the failure detector only reassigns a stream
+//     after FailAfter of heartbeat silence, and the new assignment
+//     carries a higher epoch.
+//   - Owner side: a node whose lease expires unrenewed self-demotes
+//     the stream first — emission stops at the expiry instant, the
+//     state is evicted locally, and one final fenced-safe checkpoint
+//     is attempted.
+//
+// Because lease < FailAfter, the old owner's demotion strictly
+// precedes the reassignment: no two nodes are ever active writers for
+// the same stream. Even a pathological owner that cannot run its own
+// watchdog (a GC-stalled zombie) is contained, because its results are
+// gated on the expired lease and its late checkpoint writes carry the
+// old epoch, which the store's fence rejects (supervise.ErrFenced).
+
+// lease is one stream's ownership grant on a node: the fencing epoch
+// the coordinator minted for this assignment plus the renewal
+// deadline. A reaped lease is tombstoned (demoted), not deleted: the
+// demotion must run exactly once, but the epoch stays reportable so a
+// checkpoint racing the eviction through the shard mailbox still
+// stamps the owner's true old token instead of falling back to an
+// arrival epoch the fence would reject.
+type lease struct {
+	epoch   uint64
+	expires time.Time
+	demoted bool
+}
+
+// expiredLease is a lease the watchdog reaped, queued for demotion.
+type expiredLease struct {
+	id    engine.StreamID
+	epoch uint64
+}
+
+// grantLease installs or renews a stream's lease on the node.
+func (n *Node) grantLease(id engine.StreamID, epoch uint64, expires time.Time) {
+	n.leaseMu.Lock()
+	n.leases[id] = lease{epoch: epoch, expires: expires}
+	n.leaseMu.Unlock()
+}
+
+// revokeLease removes a stream's lease (its state was evicted for
+// migration; the node is no longer the owner).
+func (n *Node) revokeLease(id engine.StreamID) {
+	n.leaseMu.Lock()
+	delete(n.leases, id)
+	n.leaseMu.Unlock()
+}
+
+// leaseEpoch reports the epoch the node holds for a stream — expired
+// or not. Checkpoint stamping deliberately ignores expiry: a stale
+// owner must stamp its true (old) epoch so the store's fence can judge
+// the write, rather than borrowing a fresher one.
+func (n *Node) leaseEpoch(id engine.StreamID) (uint64, bool) {
+	n.leaseMu.Lock()
+	l, ok := n.leases[id]
+	n.leaseMu.Unlock()
+	return l.epoch, ok
+}
+
+// leaseLive reports whether the node holds an unexpired lease for the
+// stream — the gate on result emission and batch intake.
+func (n *Node) leaseLive(id engine.StreamID, now time.Time) bool {
+	n.leaseMu.Lock()
+	l, ok := n.leases[id]
+	n.leaseMu.Unlock()
+	return ok && now.Before(l.expires)
+}
+
+// takeExpiredLeases tombstones and returns every expired lease that
+// has not already been reaped. Marking and return are atomic per lease
+// so a demotion runs at most once; the tombstone (rather than a
+// delete) keeps the old epoch visible to leaseEpoch until a fresh
+// grant or an explicit revocation replaces it.
+func (n *Node) takeExpiredLeases(now time.Time) []expiredLease {
+	n.leaseMu.Lock()
+	defer n.leaseMu.Unlock()
+	var out []expiredLease
+	for id, l := range n.leases {
+		if !l.demoted && !now.Before(l.expires) {
+			out = append(out, expiredLease{id: id, epoch: l.epoch})
+			l.demoted = true
+			n.leases[id] = l
+		}
+	}
+	return out
+}
+
+// stopWatchdog halts the lease watchdog loop (idempotent).
+func (n *Node) stopWatchdog() {
+	n.wdOnce.Do(func() { close(n.wdStop) })
+}
+
+// SuspendDemotion pauses (true) or resumes (false) the node's lease
+// watchdog — a chaos hook simulating a zombie whose runtime stalled
+// past its lease expiry without running its own demotion (GC pause,
+// frozen VM). The other defenses still apply: the node's results stay
+// gated on the expired lease and its late checkpoint writes are fenced
+// by the store, which is exactly what the partition chaos tests
+// assert.
+func (n *Node) SuspendDemotion(v bool) { n.demoteSuspended.Store(v) }
+
+// renewLeasesLocked extends the leases of every stream placed on a
+// node, as part of one successfully delivered heartbeat: renewal and
+// failure detection ride the same signal, so a node the coordinator
+// can hear keeps its leases and a node it cannot hear loses them
+// before it loses membership. Streams mid-migration are skipped — the
+// donor's lease was revoked when its state left and must not revive.
+// Callers hold c.mu.
+func (c *Cluster) renewLeasesLocked(n *Node, expires time.Time) {
+	for sid, p := range c.placements {
+		if p.node == n.id && !p.migrating {
+			n.grantLease(sid, c.epochs[sid], expires)
+		}
+	}
+}
+
+// nextEpochLocked mints a stream's next ownership epoch: strictly
+// greater than every epoch this coordinator has minted for it, every
+// epoch the durable store has seen (epoch continuity across a
+// coordinator restart), and the floor the caller observed on an
+// evicted checkpoint. Callers hold c.mu.
+func (c *Cluster) nextEpochLocked(id engine.StreamID, floor uint64) uint64 {
+	e := c.epochs[id]
+	if floor > e {
+		e = floor
+	}
+	if c.epochs[id] == 0 && c.cfg.Checkpoints != nil {
+		// First mint this incarnation: a previous coordinator may have
+		// minted epochs that only survive in the stored checkpoint.
+		if cp, err := c.cfg.Checkpoints.Load(string(id)); err == nil && cp.Epoch > e {
+			e = cp.Epoch
+		}
+	}
+	e++
+	c.epochs[id] = e
+	c.tel.epoch(string(id)).Set(float64(e))
+	return e
+}
+
+// grantLeaseLocked mints nothing: it hands an already-minted epoch to
+// the owner with a fresh expiry. Callers hold c.mu.
+func (c *Cluster) grantLeaseLocked(owner NodeID, id engine.StreamID, epoch uint64) {
+	if n := c.memberNodeLocked(owner); n != nil {
+		n.grantLease(id, epoch, time.Now().Add(c.cfg.LeaseDuration))
+	}
+}
+
+// leaseWatchdog is the owner-side half of the lease protocol: a
+// per-node loop that reaps expired leases and self-demotes their
+// streams. It runs even on a killed node — an in-process "crash"
+// leaves the engine goroutines alive, and a real partitioned process
+// would still be running its own watchdog; that is the whole point.
+func (c *Cluster) leaseWatchdog(n *Node) {
+	defer n.wg.Done()
+	t := time.NewTicker(c.cfg.LeaseCheckEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.wdStop:
+			return
+		case <-c.stop:
+			return
+		case <-t.C:
+			if n.demoteSuspended.Load() {
+				continue
+			}
+			for _, ex := range n.takeExpiredLeases(time.Now()) {
+				c.selfDemote(n, ex)
+			}
+		}
+	}
+}
+
+// selfDemote is zombie-owner containment: a lease that expired
+// unrenewed means the coordinator may be reassigning the stream right
+// now, so the node evicts the state locally — emission already stopped
+// at the expiry instant, checkpointing stops because the state is gone
+// — and writes one final checkpoint under the old epoch so a successor
+// resumes from the newest state this owner had. If a new owner already
+// saved under a higher epoch the store fences this write out; either
+// way no two nodes are ever active writers.
+func (c *Cluster) selfDemote(n *Node, ex expiredLease) {
+	c.tel.leaseExpired.Inc()
+	// Direct engine access, not n.evict: a killed node refuses peer
+	// requests, but self-demotion is the node's own local action.
+	cp, ok := n.eng.EvictStream(ex.id)
+	detail := fmt.Sprintf("lease (epoch %d) expired unrenewed; stream evicted locally", ex.epoch)
+	saveErr := ""
+	if ok && c.cfg.Checkpoints != nil {
+		cp.Epoch = ex.epoch
+		if err := c.cfg.Checkpoints.Save(cp); err != nil {
+			saveErr = err.Error()
+			detail += "; final save: " + saveErr
+		} else {
+			detail += "; final checkpoint saved"
+		}
+	} else if !ok {
+		detail += " (nothing calibrated to evict)"
+	}
+	tr := c.traceFor(ex.id, cp.TraceID)
+	tr.Add(trace.Span{Name: trace.SpanDemote, Node: string(n.id),
+		Start: time.Now(), Err: saveErr})
+	if c.cfg.Flight != nil {
+		c.cfg.Flight.Record(trace.Dump{
+			Trigger: trace.TriggerLeaseExpired,
+			Node:    string(n.id),
+			Stream:  string(ex.id),
+			Trace:   tr.ID(),
+			Detail:  detail,
+			Spans:   tr.Spans(),
+		})
+	}
+	if c.log != nil {
+		c.log.Warn("ownership lease expired; stream self-demoted",
+			"node", string(n.id), "stream", string(ex.id),
+			"epoch", ex.epoch, "had_state", ok, "save_err", saveErr)
+	}
+}
+
+// PartitionHeartbeats severs (true) or heals (false) the control path
+// from a node to the coordinator while every data path — pushes, the
+// handoff listener, the shared checkpoint store — stays reachable: an
+// asymmetric partition. The node keeps running as a zombie owner; the
+// failure detector will declare it dead and reassign its streams,
+// while the node's own lease expiry forces it to self-demote first.
+// Returns false for an unknown node.
+func (c *Cluster) PartitionHeartbeats(id NodeID, partitioned bool) bool {
+	c.mu.Lock()
+	n, ok := c.allNodes[id]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	n.hbPartitioned.Store(partitioned)
+	if c.log != nil {
+		c.log.Warn("heartbeat path partition toggled",
+			"node", string(id), "partitioned", partitioned)
+	}
+	return true
+}
+
+// heartbeatExpired is the failure detector's deadline test: silence
+// must exceed failAfter strictly, so a heartbeat landing exactly at
+// the deadline keeps its node alive.
+func heartbeatExpired(lastBeat, now time.Time, failAfter time.Duration) bool {
+	return now.Sub(lastBeat) > failAfter
+}
+
+// monitorPeriod derives the failure detector's polling period from
+// FailAfter: a quarter of the deadline (bounding detection overshoot
+// to 25%), floored at 1ms so tiny FailAfter values cannot produce a
+// zero or negative ticker period.
+func monitorPeriod(failAfter time.Duration) time.Duration {
+	period := failAfter / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	return period
+}

@@ -1,0 +1,201 @@
+package cluster
+
+// Unit tests for the lease protocol's load-bearing arithmetic: the
+// failure detector's strict deadline, the monitor-period floor, the
+// LeaseDuration < FailAfter clamp, and the node-side lease table the
+// watchdog and the emission gate share.
+
+import (
+	"testing"
+	"time"
+
+	"rfipad/internal/engine"
+)
+
+// TestHeartbeatExpiredBoundary pins the detector's deadline semantics:
+// silence must STRICTLY exceed FailAfter. A heartbeat landing exactly
+// at the deadline keeps its node alive — the lease math (lease <
+// FailAfter) assumes the detector never fires early.
+func TestHeartbeatExpiredBoundary(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	const failAfter = 150 * time.Millisecond
+	cases := []struct {
+		name    string
+		silence time.Duration
+		want    bool
+	}{
+		{"fresh beat", 0, false},
+		{"well inside", failAfter / 2, false},
+		{"exactly at deadline", failAfter, false},
+		{"one nanosecond past", failAfter + time.Nanosecond, true},
+		{"well past", 2 * failAfter, true},
+	}
+	for _, tc := range cases {
+		if got := heartbeatExpired(base, base.Add(tc.silence), failAfter); got != tc.want {
+			t.Errorf("%s: heartbeatExpired(silence=%v, failAfter=%v) = %v, want %v",
+				tc.name, tc.silence, failAfter, got, tc.want)
+		}
+	}
+}
+
+// TestMonitorPeriodFloor pins the detector's polling period: a quarter
+// of FailAfter, floored at 1ms so a tiny FailAfter cannot produce a
+// zero or negative ticker period (time.NewTicker panics on those).
+func TestMonitorPeriodFloor(t *testing.T) {
+	cases := []struct {
+		failAfter time.Duration
+		want      time.Duration
+	}{
+		{time.Nanosecond, time.Millisecond},
+		{time.Millisecond, time.Millisecond},
+		{3 * time.Millisecond, time.Millisecond},
+		{4 * time.Millisecond, time.Millisecond},
+		{100 * time.Millisecond, 25 * time.Millisecond},
+		{2 * time.Second, 500 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := monitorPeriod(tc.failAfter); got != tc.want {
+			t.Errorf("monitorPeriod(%v) = %v, want %v", tc.failAfter, got, tc.want)
+		}
+		if monitorPeriod(tc.failAfter) <= 0 {
+			t.Fatalf("monitorPeriod(%v) not positive", tc.failAfter)
+		}
+	}
+}
+
+// TestLeaseConfigDefaults pins the clamp that makes the whole protocol
+// sound: LeaseDuration must land strictly inside (0, FailAfter), so an
+// unheard owner's self-demotion always precedes reassignment.
+func TestLeaseConfigDefaults(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Config
+		want time.Duration
+	}{
+		{"unset defaults to 3/4 FailAfter",
+			Config{FailAfter: 100 * time.Millisecond}, 75 * time.Millisecond},
+		{"negative defaults",
+			Config{FailAfter: 100 * time.Millisecond, LeaseDuration: -time.Second}, 75 * time.Millisecond},
+		{"longer than FailAfter is clamped",
+			Config{FailAfter: 100 * time.Millisecond, LeaseDuration: 150 * time.Millisecond}, 75 * time.Millisecond},
+		{"equal to FailAfter is clamped",
+			Config{FailAfter: 100 * time.Millisecond, LeaseDuration: 100 * time.Millisecond}, 75 * time.Millisecond},
+		{"valid value kept",
+			Config{FailAfter: 100 * time.Millisecond, LeaseDuration: 60 * time.Millisecond}, 60 * time.Millisecond},
+		// Renewal rides the heartbeat: a lease at or below the heartbeat
+		// interval can never be renewed, so it defaults too. (Default
+		// HeartbeatInterval 500ms, FailAfter 2s.)
+		{"shorter than the heartbeat is clamped",
+			Config{LeaseDuration: 300 * time.Millisecond}, 1500 * time.Millisecond},
+		{"equal to the heartbeat is clamped",
+			Config{LeaseDuration: 500 * time.Millisecond}, 1500 * time.Millisecond},
+		// Degenerate FailAfter barely above the heartbeat: 3/4 FailAfter
+		// would still sit inside one heartbeat, so split the difference.
+		{"degenerate FailAfter splits the sound interval",
+			Config{HeartbeatInterval: 500 * time.Millisecond, FailAfter: 600 * time.Millisecond},
+			550 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		got := tc.in.withDefaults()
+		if got.LeaseDuration != tc.want {
+			t.Errorf("%s: LeaseDuration = %v, want %v", tc.name, got.LeaseDuration, tc.want)
+		}
+		if got.LeaseDuration >= got.FailAfter {
+			t.Errorf("%s: LeaseDuration %v >= FailAfter %v — zombie demotion would race reassignment",
+				tc.name, got.LeaseDuration, got.FailAfter)
+		}
+		if got.HeartbeatInterval < got.FailAfter && got.LeaseDuration <= got.HeartbeatInterval {
+			t.Errorf("%s: LeaseDuration %v <= HeartbeatInterval %v — renewal could never outrun expiry",
+				tc.name, got.LeaseDuration, got.HeartbeatInterval)
+		}
+		if got.LeaseCheckEvery <= 0 {
+			t.Errorf("%s: LeaseCheckEvery = %v, want > 0", tc.name, got.LeaseCheckEvery)
+		}
+	}
+
+	// The watchdog period floors at 1ms even for microscopic leases.
+	tiny := Config{FailAfter: 2 * time.Millisecond}.withDefaults()
+	if tiny.LeaseCheckEvery != time.Millisecond {
+		t.Errorf("tiny FailAfter: LeaseCheckEvery = %v, want 1ms floor", tiny.LeaseCheckEvery)
+	}
+}
+
+// TestNodeLeaseTable exercises the lease table directly: grant, the
+// liveness gate, the expiry reap's atomicity, revocation, and the
+// deliberate asymmetry that leaseEpoch ignores expiry (a stale owner
+// must stamp its true old epoch so the store's fence can judge it).
+func TestNodeLeaseTable(t *testing.T) {
+	n := &Node{leases: map[engine.StreamID]lease{}}
+	const id = engine.StreamID("plate-0")
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+	if n.leaseLive(id, base) {
+		t.Fatal("lease live before any grant")
+	}
+	if _, ok := n.leaseEpoch(id); ok {
+		t.Fatal("leaseEpoch reported a lease before any grant")
+	}
+
+	n.grantLease(id, 7, base.Add(100*time.Millisecond))
+	if !n.leaseLive(id, base) {
+		t.Error("fresh lease not live")
+	}
+	if !n.leaseLive(id, base.Add(100*time.Millisecond-time.Nanosecond)) {
+		t.Error("lease dead just before expiry")
+	}
+	if n.leaseLive(id, base.Add(100*time.Millisecond)) {
+		t.Error("lease live exactly at expiry — liveness must be strict")
+	}
+
+	// Expired but not yet reaped: the epoch is still reportable, so a
+	// zombie's late checkpoint writes carry the old epoch into the fence.
+	if e, ok := n.leaseEpoch(id); !ok || e != 7 {
+		t.Errorf("leaseEpoch after expiry = %d, %v; want 7, true", e, ok)
+	}
+
+	// Reaping is an atomic mark-and-return: a second sweep finds
+	// nothing, so a demotion runs at most once — but the tombstone keeps
+	// the old epoch reportable, so a checkpoint racing the demotion's
+	// eviction still stamps the true old token for the fence to judge.
+	other := engine.StreamID("plate-1")
+	n.grantLease(other, 3, base.Add(time.Hour))
+	ex := n.takeExpiredLeases(base.Add(200 * time.Millisecond))
+	if len(ex) != 1 || ex[0].id != id || ex[0].epoch != 7 {
+		t.Fatalf("takeExpiredLeases = %+v, want [{%s 7}]", ex, id)
+	}
+	if again := n.takeExpiredLeases(base.Add(200 * time.Millisecond)); len(again) != 0 {
+		t.Fatalf("second reap returned %+v, want none", again)
+	}
+	if e, ok := n.leaseEpoch(id); !ok || e != 7 {
+		t.Errorf("leaseEpoch after reap = %d, %v; want 7, true (tombstone keeps the epoch visible)", e, ok)
+	}
+	if n.leaseLive(id, base.Add(200*time.Millisecond)) {
+		t.Error("reaped lease reports live")
+	}
+	if !n.leaseLive(other, base.Add(200*time.Millisecond)) {
+		t.Error("unexpired lease swept up by the reap")
+	}
+
+	// A fresh grant replaces the tombstone outright: the node can own
+	// the stream again under a new epoch.
+	n.grantLease(id, 9, base.Add(time.Hour))
+	if !n.leaseLive(id, base.Add(200*time.Millisecond)) {
+		t.Error("regranted lease not live")
+	}
+	if e, _ := n.leaseEpoch(id); e != 9 {
+		t.Errorf("regranted lease epoch = %d, want 9", e)
+	}
+	if ex := n.takeExpiredLeases(base.Add(200 * time.Millisecond)); len(ex) != 0 {
+		t.Errorf("reap swept a live regranted lease: %+v", ex)
+	}
+
+	// Renewal replaces in place; revocation removes.
+	n.grantLease(other, 4, base.Add(2*time.Hour))
+	if e, _ := n.leaseEpoch(other); e != 4 {
+		t.Errorf("renewed lease epoch = %d, want 4", e)
+	}
+	n.revokeLease(other)
+	if n.leaseLive(other, base) {
+		t.Error("revoked lease still live")
+	}
+}

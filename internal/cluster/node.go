@@ -34,6 +34,22 @@ type Node struct {
 	hbOnce sync.Once
 	wg     sync.WaitGroup
 
+	// leases is the node's view of the ownership leases it holds, keyed
+	// by stream: granted at placement, renewed by delivered heartbeats,
+	// reaped by the lease watchdog (see lease.go).
+	leaseMu sync.Mutex
+	leases  map[engine.StreamID]lease
+	// hbPartitioned simulates an asymmetric partition: the node's
+	// heartbeats stop reaching the coordinator while every data path
+	// stays up (Cluster.PartitionHeartbeats).
+	hbPartitioned atomic.Bool
+	// demoteSuspended pauses the watchdog's self-demotion — the chaos
+	// hook for a zombie that cannot run its own containment
+	// (SuspendDemotion).
+	demoteSuspended atomic.Bool
+	wdStop          chan struct{}
+	wdOnce          sync.Once
+
 	closeOnce sync.Once
 	results   []engine.StreamResult
 }
@@ -49,9 +65,11 @@ func (n *Node) Addr() string { return n.ln.Addr().String() }
 func (n *Node) Engine() *engine.Engine { return n.eng }
 
 // push enqueues a batch on the node's engine. A killed node is
-// unreachable: it sheds everything.
+// unreachable, and a node without a live lease for the stream refuses
+// intake — accepting batches after lease expiry would let a demoted
+// owner quietly recreate the evicted state from its own backlog.
 func (n *Node) push(id engine.StreamID, batch []core.Reading) bool {
-	if n.killed.Load() {
+	if n.killed.Load() || !n.leaseLive(id, time.Now()) {
 		return false
 	}
 	return n.eng.Push(id, batch)
@@ -59,7 +77,7 @@ func (n *Node) push(id engine.StreamID, batch []core.Reading) bool {
 
 // pushWait is the blocking push used by source-driven streams.
 func (n *Node) pushWait(id engine.StreamID, batch []core.Reading) bool {
-	if n.killed.Load() {
+	if n.killed.Load() || !n.leaseLive(id, time.Now()) {
 		return false
 	}
 	return n.eng.PushWait(id, batch)
@@ -102,10 +120,13 @@ func (n *Node) kill() {
 
 // shutdown closes the listener and drains the engine, once. The
 // engine's Close is idempotent, so a node that was killed and later
-// reaped drains cleanly.
+// reaped drains cleanly. The lease watchdog stops here — not at kill:
+// a killed node's engine keeps running, and so would a real
+// partitioned process's watchdog.
 func (n *Node) shutdown() []engine.StreamResult {
 	n.closeOnce.Do(func() {
 		n.stopHeartbeat()
+		n.stopWatchdog()
 		n.ln.Close()
 		n.results = n.eng.Close()
 		n.wg.Wait()

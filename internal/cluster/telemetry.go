@@ -3,13 +3,18 @@ package cluster
 import "rfipad/internal/obs"
 
 // telemetry bundles the cluster_* instruments: membership, handoffs,
-// handoff latency, and orphaned streams — the observable surface of
-// the coordination layer.
+// handoff latency, orphaned streams, and the ownership/fencing surface
+// — the observable side of the coordination layer.
 type telemetry struct {
-	nodes      *obs.Gauge   // live membership size
-	failures   *obs.Counter // nodes declared dead by the failure detector
-	heartbeats *obs.Counter // heartbeats received
-	placed     *obs.Gauge   // streams with a placement
+	reg        *obs.Registry // for the per-stream epoch gauge
+	nodes      *obs.Gauge    // live membership size
+	failures   *obs.Counter  // nodes declared dead by the failure detector
+	heartbeats *obs.Counter  // heartbeats received
+	placed     *obs.Gauge    // streams with a placement
+
+	leaseExpired *obs.Counter // leases that expired unrenewed (self-demotions)
+	fencedWrites *obs.Counter // checkpoint writes the epoch fence rejected
+	suppressed   *obs.Counter // events dropped because the emitter held no live lease
 
 	handoffRestored *obs.Counter // handoffs whose checkpoint was adopted
 	handoffFallback *obs.Counter // handoffs that fell back to live calibration
@@ -29,6 +34,13 @@ type telemetry struct {
 
 func newTelemetry(reg *obs.Registry) *telemetry {
 	return &telemetry{
+		reg: reg,
+		leaseExpired: reg.Counter("cluster_lease_expirations_total",
+			"Ownership leases that expired unrenewed, each self-demoting its stream on the (former) owner."),
+		fencedWrites: reg.Counter("cluster_fenced_writes_total",
+			"Checkpoint writes rejected by the epoch fence (a stale former owner tried to save)."),
+		suppressed: reg.Counter("cluster_results_suppressed_total",
+			"Recognition events dropped because the emitting node held no live lease for the stream."),
 		nodes: reg.Gauge("cluster_nodes",
 			"Live cluster members (joined, not failed or left)."),
 		failures: reg.Counter("cluster_node_failures_total",
@@ -66,4 +78,12 @@ func (t *telemetry) handoffLatency(trigger string) *obs.Histogram {
 		return t.latencyFailure
 	}
 	return t.latencyGraceful
+}
+
+// epoch is the per-stream ownership epoch gauge; the registry dedups
+// by name+labels, so repeated calls for one stream share a series.
+func (t *telemetry) epoch(stream string) *obs.Gauge {
+	return t.reg.Gauge("cluster_ownership_epoch",
+		"Current ownership epoch per stream (minted on every (re)assignment).",
+		obs.L("stream", stream))
 }

@@ -92,6 +92,15 @@ type Config struct {
 	CheckpointEvery time.Duration
 	// CheckpointMaxAge bounds restore staleness (default 15 min).
 	CheckpointMaxAge time.Duration
+	// Epoch, when set, resolves a stream's current ownership epoch at
+	// checkpoint-write time (the cluster wires it to the node's lease
+	// table). The epoch rides every checkpoint the engine saves or
+	// evicts, making Store.Save a fenced compare-and-swap against
+	// concurrent owners. The second return reports whether the caller
+	// holds an epoch for the stream; when false — or Epoch is nil, the
+	// standalone case — the engine falls back to the epoch the stream's
+	// state was restored or adopted with.
+	Epoch func(StreamID) (uint64, bool)
 	// DrainTimeout bounds how long Close spends handling mailbox
 	// backlog before abandoning the remainder (default 5 s). Flushes
 	// and checkpoint writes still run for every stream.
@@ -159,6 +168,7 @@ type telemetry struct {
 	panics      *obs.Counter
 	ckptSaved   *obs.Counter
 	ckptErrors  *obs.Counter
+	ckptFenced  *obs.Counter
 	ckptLoaded  *obs.Counter
 	evicted     *obs.Counter
 	adopted     *obs.Counter
@@ -199,6 +209,8 @@ func newTelemetry(reg *obs.Registry) *telemetry {
 			"Stream calibration checkpoints written."),
 		ckptErrors: reg.Counter("engine_checkpoint_errors_total",
 			"Checkpoint writes that failed."),
+		ckptFenced: reg.Counter("engine_checkpoints_fenced_total",
+			"Checkpoint writes rejected by the ownership fence (a newer epoch is stored)."),
 		ckptLoaded: reg.Counter("engine_checkpoints_restored_total",
 			"Streams whose calibration was restored from a checkpoint."),
 		evicted: reg.Counter("engine_streams_evicted_total",
@@ -263,7 +275,11 @@ type streamState struct {
 	latency *obs.Histogram
 	// tr is the stream's trace handle; nil when the stream is
 	// unsampled, making every span site a single-branch no-op.
-	tr      *trace.StreamTrace
+	tr *trace.StreamTrace
+	// epoch is the ownership epoch the stream's state arrived with
+	// (restore or adoption); the fallback stamp when Config.Epoch has
+	// no live grant for the stream.
+	epoch   uint64
 	flushed bool
 	// quarantined marks a stream whose handler panicked: its state
 	// was dropped and every later item is discarded (but accounted).
@@ -631,6 +647,7 @@ func (s *shard) stream(id StreamID) *streamState {
 			restoreStart := time.Now()
 			if restored, rerr := live.RestoreStream(s.eng.cfg.Stream, cp); rerr == nil {
 				st.st = restored
+				st.epoch = cp.Epoch
 				st.res.Calibrated = true
 				st.res.DeadTags = restored.DeadTags()
 				s.eng.tel.ckptLoaded.Inc()
@@ -904,6 +921,7 @@ func (s *shard) evict(it item) {
 	if st.tr != nil {
 		cp.TraceID = st.tr.ID().String()
 	}
+	s.stampEpoch(st, &cp)
 	delete(s.streams, it.id)
 	s.eng.tel.calibrated.Add(-1)
 	s.eng.tel.evicted.Inc()
@@ -954,9 +972,10 @@ func (s *shard) adopt(it item) {
 		return
 	}
 	st := &streamState{
-		id: it.id,
-		st: restored,
-		tr: tr,
+		id:    it.id,
+		st:    restored,
+		tr:    tr,
+		epoch: it.cp.Epoch,
 		latency: s.eng.tel.reg.Histogram("engine_event_latency_seconds",
 			"Enqueue-to-emission latency of recognition events.",
 			nil, obs.L("stream", string(it.id))),
@@ -980,6 +999,20 @@ func (s *shard) adopt(it item) {
 	reply(ctrlReply{ok: true})
 }
 
+// stampEpoch resolves the ownership epoch a checkpoint is written
+// under: the epoch the caller currently holds for the stream (live
+// lease) when Config.Epoch reports one, else the epoch the stream's
+// state arrived with. A stale owner therefore stamps its old epoch —
+// exactly what lets the store's fence reject it.
+func (s *shard) stampEpoch(st *streamState, cp *supervise.Checkpoint) {
+	cp.Epoch = st.epoch
+	if fn := s.eng.cfg.Epoch; fn != nil {
+		if e, ok := fn(st.id); ok {
+			cp.Epoch = e
+		}
+	}
+}
+
 // checkpoint persists one stream's calibration state, when enabled.
 func (s *shard) checkpoint(st *streamState) {
 	store := s.eng.cfg.Checkpoints
@@ -993,7 +1026,21 @@ func (s *shard) checkpoint(st *streamState) {
 	if st.tr != nil {
 		cp.TraceID = st.tr.ID().String()
 	}
+	s.stampEpoch(st, &cp)
 	if err := store.Save(cp); err != nil {
+		if errors.Is(err, supervise.ErrFenced) {
+			// Not an I/O failure: the stream has a newer owner somewhere
+			// and this engine's state is now provably stale. Keep the
+			// stream running (results may still be gated upstream) but
+			// record the anomaly distinctly.
+			s.eng.tel.ckptFenced.Inc()
+			s.flight(trace.TriggerFencedWrite, string(st.id), err.Error(), st.tr, nil)
+			if s.eng.cfg.Logger != nil {
+				s.eng.cfg.Logger.Warn("checkpoint write fenced; a newer owner holds the stream",
+					"stream", string(st.id), "epoch", cp.Epoch, "err", err)
+			}
+			return
+		}
 		s.eng.tel.ckptErrors.Inc()
 		if s.eng.cfg.Logger != nil {
 			s.eng.cfg.Logger.Warn("checkpoint save failed", "stream", string(st.id), "err", err)

@@ -1,0 +1,82 @@
+package engine_test
+
+// Engine-side fencing behavior: a stream whose checkpoint writes are
+// rejected by the store's epoch fence (a newer owner saved under a
+// higher epoch) must keep recognizing — the fence is an ownership
+// verdict, not a stream fault — while the rejection is counted on its
+// own series, distinct from real write errors, and the newer owner's
+// stored state stays untouched.
+
+import (
+	"testing"
+	"time"
+
+	"rfipad/internal/engine"
+	"rfipad/internal/obs"
+	"rfipad/internal/supervise"
+)
+
+func TestEngineFencedCheckpointKeepsRecognizing(t *testing.T) {
+	store, err := supervise.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = "plate-f"
+
+	// The store already holds epoch 5 — a newer owner's state. It is
+	// deliberately stale (SavedAt an hour ago) so this engine will NOT
+	// restore from it: the stream calibrates live and every save it
+	// attempts collides with the higher stored epoch.
+	if err := store.Save(supervise.Checkpoint{
+		Stream:  id,
+		Epoch:   5,
+		SavedAt: time.Now().Add(-time.Hour),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	eng := engine.New(engine.Config{
+		Workers:         1,
+		Obs:             reg,
+		Checkpoints:     store,
+		CheckpointEvery: 50 * time.Millisecond,
+		// This engine believes it owns the stream under epoch 1 — the
+		// stale-owner half of a split brain.
+		Epoch: func(engine.StreamID) (uint64, bool) { return 1, true },
+	})
+	if err := eng.RunStream(id, newReplaySource(t, 57, "IT", reg)); err != nil {
+		t.Fatal(err)
+	}
+	results := eng.Close()
+	if len(results) != 1 {
+		t.Fatalf("results: %+v", results)
+	}
+	res := results[0]
+	if res.Err != nil {
+		t.Fatalf("fenced stream got a terminal error: %v — fencing must not fault the stream", res.Err)
+	}
+	if res.Letters != "IT" {
+		t.Errorf("fenced stream recognized %q, want %q", res.Letters, "IT")
+	}
+
+	snap := reg.Snapshot()
+	if v := snap.Value("engine_checkpoints_fenced_total"); v < 1 {
+		t.Errorf("engine_checkpoints_fenced_total = %v, want >= 1", v)
+	}
+	if v := snap.Value("engine_checkpoint_errors_total"); v != 0 {
+		t.Errorf("engine_checkpoint_errors_total = %v, want 0 — a fenced write is not a write failure", v)
+	}
+	if v := snap.Value("engine_checkpoints_saved_total"); v != 0 {
+		t.Errorf("engine_checkpoints_saved_total = %v, want 0 — every save should have been fenced", v)
+	}
+
+	// The newer owner's state survived every attempt.
+	cp, err := store.Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Epoch != 5 {
+		t.Errorf("stored epoch = %d, want 5 (the stale owner must not overwrite its successor)", cp.Epoch)
+	}
+}

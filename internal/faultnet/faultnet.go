@@ -5,12 +5,15 @@
 // in unit tests and end-to-end (rfipad-readerd exposes it behind
 // -fault-* flags for chaos runs against rfipad-live).
 //
-// All faults are applied on the *write* path of the wrapped
+// Most faults are applied on the *write* path of the wrapped
 // connection: wrapping the server side perturbs what the client
 // receives, which is the direction that matters for a report stream.
-// Every random decision draws from a rand.Rand seeded from
-// Config.Seed (plus the connection's accept index for listeners), so
-// a given seed reproduces the exact fault schedule.
+// The one-way partition modes (DropWrites, DropReads) additionally
+// let a test sever exactly one direction of a link — the asymmetric
+// partition behind split-brain scenarios — while the other direction
+// keeps flowing. Every random decision draws from a rand.Rand seeded
+// from Config.Seed (plus the connection's accept index for
+// listeners), so a given seed reproduces the exact fault schedule.
 //
 // Frame-aware faults (duplication, reordering, whole-frame
 // corruption) need to know where frames start and end; the caller
@@ -53,6 +56,16 @@ type Config struct {
 	// probability.
 	CorruptProb float64
 
+	// DropWrites blackholes every write: the caller sees full success,
+	// the peer receives nothing — one half of an asymmetric partition
+	// (e.g. heartbeats silently lost while the reverse path works).
+	DropWrites bool
+	// DropReads discards every byte the peer sends: Read consumes and
+	// drops incoming data, returning only when the connection's read
+	// deadline expires or the peer closes — the other half of an
+	// asymmetric partition (e.g. an acknowledgment that never arrives).
+	DropReads bool
+
 	// DupFrameProb duplicates a complete frame with this per-frame
 	// probability. Requires framing (below).
 	DupFrameProb float64
@@ -88,6 +101,11 @@ const (
 	FaultReorder = "reorder"
 	// FaultPartial is a write split into fragments.
 	FaultPartial = "partial"
+	// FaultDropWrite is a blackholed write (DropWrites).
+	FaultDropWrite = "drop_write"
+	// FaultDropRead is a discarded inbound read (DropReads), reported
+	// once per underlying read that returned data.
+	FaultDropRead = "drop_read"
 )
 
 // framed reports whether frame-aware faults can run.
@@ -96,7 +114,8 @@ func (c Config) framed() bool { return c.FrameHeaderLen > 0 && c.FrameSize != ni
 // active reports whether any fault is configured.
 func (c Config) active() bool {
 	return c.Latency > 0 || c.PartialWrites || c.DropAfterBytes > 0 || c.DropProb > 0 ||
-		c.CorruptProb > 0 || c.DupFrameProb > 0 || c.ReorderFrameProb > 0
+		c.CorruptProb > 0 || c.DupFrameProb > 0 || c.ReorderFrameProb > 0 ||
+		c.DropWrites || c.DropReads
 }
 
 // errInjectedDrop is what a faulted connection returns once its drop
@@ -150,7 +169,8 @@ func (l *listener) Accept() (net.Conn, error) {
 	return Wrap(c, l.cfg, rand.New(rand.NewSource(l.cfg.Seed+i))), nil
 }
 
-// conn injects faults on the write path. Reads pass through.
+// conn injects faults on the write path; reads pass through unless
+// DropReads severs the inbound direction.
 type conn struct {
 	net.Conn
 	cfg Config
@@ -174,6 +194,11 @@ func (c *conn) Write(p []byte) (int, error) {
 	defer c.mu.Unlock()
 	if c.dropped {
 		return 0, errInjectedDrop{}
+	}
+	if c.cfg.DropWrites {
+		// One-way partition: claim success, deliver nothing.
+		c.observe(FaultDropWrite)
+		return len(p), nil
 	}
 	if !c.cfg.framed() {
 		if err := c.emit(p); err != nil {
@@ -217,6 +242,28 @@ func (c *conn) Write(p []byte) (int, error) {
 		}
 	}
 	return len(p), nil
+}
+
+// Read passes through unless DropReads is set, in which case every
+// inbound byte is consumed and discarded: the caller blocks exactly as
+// it would on a silent peer, until its read deadline expires or the
+// peer closes the connection.
+func (c *conn) Read(p []byte) (int, error) {
+	if !c.cfg.DropReads {
+		return c.Conn.Read(p)
+	}
+	scratch := make([]byte, 1024)
+	for {
+		n, err := c.Conn.Read(scratch)
+		if n > 0 {
+			c.mu.Lock()
+			c.observe(FaultDropRead)
+			c.mu.Unlock()
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
 }
 
 // cutFrame splits one complete frame off the pending buffer, or nil.
@@ -305,6 +352,8 @@ func (c *conn) drop() error {
 }
 
 // observe reports an injected fault to the configured observer.
+// Called with c.mu held so observer calls stay serialized even when
+// read- and write-path faults fire concurrently.
 func (c *conn) observe(kind string) {
 	if c.cfg.Observer != nil {
 		c.cfg.Observer(kind)

@@ -230,3 +230,88 @@ func TestListenerWrapsAcceptedConns(t *testing.T) {
 	}
 	<-done
 }
+
+// TestDropWritesBlackholes: a one-way partition on the outbound
+// direction must report full success to the writer while the peer
+// receives nothing at all.
+func TestDropWritesBlackholes(t *testing.T) {
+	var kinds []string
+	w, out := pipePair(t, Config{
+		DropWrites: true,
+		Observer:   func(kind string) { kinds = append(kinds, kind) },
+	}, 7)
+	msg := []byte("heartbeat that never arrives")
+	for i := 0; i < 3; i++ {
+		n, err := w.Write(msg)
+		if err != nil || n != len(msg) {
+			t.Fatalf("blackholed write = %d, %v; want full success", n, err)
+		}
+	}
+	w.Close()
+	if got := <-out; len(got) != 0 {
+		t.Errorf("peer received %d bytes through a write blackhole", len(got))
+	}
+	if len(kinds) != 3 {
+		t.Fatalf("observer saw %d faults, want 3", len(kinds))
+	}
+	for _, k := range kinds {
+		if k != FaultDropWrite {
+			t.Errorf("observer kind = %q, want %q", k, FaultDropWrite)
+		}
+	}
+}
+
+// TestDropReadsDiscards: a one-way partition on the inbound direction
+// must consume and discard what the peer sends (so the peer's writes
+// still complete — the link is up from its point of view) while the
+// local reader sees nothing but its deadline expiring.
+func TestDropReadsDiscards(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	var faults int
+	r := Wrap(a, Config{
+		DropReads: true,
+		Observer:  func(kind string) { faults++ },
+	}, nil)
+	defer r.Close()
+
+	wrote := make(chan error, 1)
+	go func() {
+		// net.Pipe is synchronous: this only completes if the faulted
+		// side really consumes the bytes it is discarding.
+		_, err := b.Write([]byte("ack the caller will never see"))
+		wrote <- err
+	}()
+
+	r.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 64)
+	n, err := r.Read(buf)
+	if n != 0 || err == nil {
+		t.Fatalf("read through a read blackhole = %d, %v; want 0 and a deadline error", n, err)
+	}
+	if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("read error = %v, want a timeout", err)
+	}
+	if err := <-wrote; err != nil {
+		t.Fatalf("peer write failed: %v (discard loop must keep consuming)", err)
+	}
+	if faults == 0 {
+		t.Error("observer saw no drop_read faults")
+	}
+}
+
+// TestDropReadsEOF: when the peer closes, the discarding reader must
+// surface the close instead of spinning.
+func TestDropReadsEOF(t *testing.T) {
+	a, b := net.Pipe()
+	r := Wrap(a, Config{DropReads: true}, nil)
+	defer r.Close()
+	go func() {
+		b.Write([]byte("last words"))
+		b.Close()
+	}()
+	r.SetReadDeadline(time.Now().Add(time.Second))
+	if n, err := r.Read(make([]byte, 8)); n != 0 || err != io.EOF {
+		t.Fatalf("read after peer close = %d, %v; want 0, EOF", n, err)
+	}
+}

@@ -30,6 +30,14 @@ const (
 	// integrity envelope (bad magic, CRC, version, or payload) at
 	// restore or adoption.
 	TriggerCorruptCheckpoint = "corrupt_checkpoint"
+	// TriggerLeaseExpired is an ownership lease that expired unrenewed:
+	// the (possibly partitioned) owner self-demoted the stream before
+	// the failure detector could hand it to someone else.
+	TriggerLeaseExpired = "lease_expired"
+	// TriggerFencedWrite is a checkpoint write rejected by the epoch
+	// fence — a stale former owner tried to overwrite its successor's
+	// state.
+	TriggerFencedWrite = "fenced_write"
 )
 
 // Summary is the recent-readings digest attached to a dump: enough to

@@ -129,6 +129,12 @@ const (
 	// SpanFallback marks a handoff that missed its deadline (or had no
 	// usable checkpoint) and fell back to live recalibration.
 	SpanFallback = "fallback_live"
+	// SpanDemote marks an owner self-demoting a stream after its
+	// ownership lease expired unrenewed: state is evicted locally and a
+	// final fenced-safe checkpoint attempted, all before the
+	// coordinator's failure detector can reassign. Err carries the
+	// final save's error when it was fenced or failed.
+	SpanDemote = "demote"
 )
 
 // Span is one timed (or point) event in a stream's lifecycle. Spans

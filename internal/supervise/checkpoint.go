@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"rfipad/internal/core"
@@ -39,6 +40,14 @@ type Checkpoint struct {
 	// when the stream was unsampled; older checkpoints simply lack the
 	// field, which decodes to the same thing.
 	TraceID string `json:"trace_id,omitempty"`
+	// Epoch is the stream's ownership epoch at save time: the fencing
+	// token the cluster coordinator mints on every (re)assignment.
+	// Store.Save rejects writes whose epoch is older than the stored
+	// one (ErrFenced), so a partitioned former owner can never
+	// overwrite its successor's state. Zero for standalone daemons and
+	// legacy (version 1) checkpoints, where every save carries the same
+	// epoch and the fence never rejects.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Calibration is the per-tag static statistics (mean phase,
 	// deviation bias, noise rate, dead set).
 	Calibration core.CalibrationSnapshot `json:"calibration"`
@@ -56,10 +65,16 @@ type Checkpoint struct {
 // The header is validated before the payload is touched, so truncated,
 // corrupted, or version-skewed files fail with a typed error instead
 // of feeding garbage calibration into the pipeline.
+//
+// Version 2 added the ownership epoch to the JSON payload. The decoder
+// still accepts version 1 files — they carry no epoch and decode with
+// Epoch 0, the "never fenced" value — so checkpoints written before an
+// upgrade restore cleanly.
 const (
-	checkpointMagic   = "RFCP"
-	checkpointVersion = 1
-	headerLen         = 14
+	checkpointMagic         = "RFCP"
+	checkpointVersion       = 2
+	checkpointVersionLegacy = 1
+	headerLen               = 14
 	// maxPayload bounds decode allocations against corrupted length
 	// fields (a calibration for a few thousand tags is well under it).
 	maxPayload = 16 << 20
@@ -79,6 +94,11 @@ var (
 	// ErrNoCheckpoint is returned when the store has no file for the
 	// stream.
 	ErrNoCheckpoint = errors.New("supervise: no checkpoint")
+	// ErrFenced tags a checkpoint write rejected by the ownership
+	// fence: its epoch is older than the stored one, meaning the writer
+	// lost ownership of the stream between reading its state and saving
+	// it. The stored checkpoint is left untouched.
+	ErrFenced = errors.New("supervise: checkpoint write fenced by newer epoch")
 )
 
 // EncodeCheckpoint serializes cp into the versioned, checksummed file
@@ -108,7 +128,7 @@ func DecodeCheckpoint(data []byte) (Checkpoint, error) {
 	if string(data[:4]) != checkpointMagic {
 		return cp, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
 	}
-	if v := binary.BigEndian.Uint16(data[4:]); v != checkpointVersion {
+	if v := binary.BigEndian.Uint16(data[4:]); v != checkpointVersion && v != checkpointVersionLegacy {
 		return cp, fmt.Errorf("%w: version %d, want %d", ErrVersion, v, checkpointVersion)
 	}
 	n := binary.BigEndian.Uint32(data[6:])
@@ -170,12 +190,25 @@ func ReadCheckpoint(r io.Reader) (Checkpoint, error) {
 }
 
 // Store persists checkpoints as one file per stream in a directory.
-// Saves are atomic (write to a temp file, fsync, rename), so a crash
-// mid-save leaves the previous checkpoint intact, never a torn one.
+// Saves are atomic (write to a temp file, fsync, rename, fsync the
+// directory), so a crash mid-save leaves the previous checkpoint
+// intact, never a torn one, and a crash just after a save keeps the
+// committed one. Save is also a fenced compare-and-swap on the
+// ownership epoch: a write carrying an epoch older than the stored
+// checkpoint's returns ErrFenced, which is what stops a partitioned
+// former owner from clobbering its successor's state.
 type Store struct {
 	dir string
+	// mu serializes the read-compare-rename of Save so concurrent
+	// writers (e.g. a demoting owner and its adopter sharing a store)
+	// cannot interleave between the fence check and the rename.
+	mu sync.Mutex
 	// Now overrides the staleness clock (tests; nil = time.Now).
 	Now func() time.Time
+	// OnFenced, when set, observes every write the epoch fence rejects
+	// (the cluster wires it to a counter). Set it before the store sees
+	// concurrent saves; it is called with Save's lock held.
+	OnFenced func(stream string, writeEpoch, storedEpoch uint64)
 }
 
 // NewStore opens (creating if needed) a checkpoint directory and
@@ -201,7 +234,9 @@ func NewStore(dir string) (*Store, error) {
 func (s *Store) Dir() string { return s.dir }
 
 // Path returns the checkpoint file path for a stream (its name
-// sanitized to a safe filename).
+// sanitized to a safe filename). When sanitization had to alter the
+// name, a short hash of the original is appended so distinct streams
+// that sanitize identically ("a/b" and "a_b") cannot share a file.
 func (s *Store) Path(stream string) string {
 	safe := strings.Map(func(r rune) rune {
 		switch {
@@ -211,14 +246,22 @@ func (s *Store) Path(stream string) string {
 		}
 		return '_'
 	}, stream)
-	if safe == "" {
-		safe = "_"
+	if safe != stream {
+		if safe == "" {
+			safe = "_"
+		}
+		safe = fmt.Sprintf("%s-%08x", safe, crc32.ChecksumIEEE([]byte(stream)))
 	}
 	return filepath.Join(s.dir, safe+".ckpt")
 }
 
 // Save writes cp atomically. The stream name comes from cp.Stream; a
-// zero SavedAt is stamped with the store clock.
+// zero SavedAt is stamped with the store clock. The write is fenced:
+// if the stored checkpoint carries a newer ownership epoch than cp,
+// Save returns ErrFenced and leaves the stored one in place (equal
+// epochs overwrite freely — that is the same owner re-saving). A
+// stored file too corrupt to decode never blocks a save; recovery
+// state beats a fence that cannot be evaluated.
 func (s *Store) Save(cp Checkpoint) error {
 	if cp.SavedAt.IsZero() {
 		cp.SavedAt = s.now()
@@ -226,6 +269,15 @@ func (s *Store) Save(cp Checkpoint) error {
 	data, err := EncodeCheckpoint(cp)
 	if err != nil {
 		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if stored, err := s.Load(cp.Stream); err == nil && cp.Epoch < stored.Epoch {
+		if s.OnFenced != nil {
+			s.OnFenced(cp.Stream, cp.Epoch, stored.Epoch)
+		}
+		return fmt.Errorf("%w: write epoch %d, stored epoch %d (stream %q)",
+			ErrFenced, cp.Epoch, stored.Epoch, cp.Stream)
 	}
 	tmp, err := os.CreateTemp(s.dir, ".ckpt-*")
 	if err != nil {
@@ -250,7 +302,24 @@ func (s *Store) Save(cp Checkpoint) error {
 		os.Remove(name)
 		return fmt.Errorf("supervise: save checkpoint: %w", err)
 	}
+	// A rename is durable only once its directory is synced; without
+	// this a crash after Save returns could roll the stream back to the
+	// previous checkpoint (or none at all for a first save).
+	if err := s.syncDir(); err != nil {
+		return fmt.Errorf("supervise: save checkpoint: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs the store directory, committing the most recent
+// rename against power loss.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Load reads and validates a stream's checkpoint. Missing files return

@@ -43,6 +43,16 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 	skew := append([]byte{}, good...)
 	binary.BigEndian.PutUint16(skew[4:], checkpointVersion+1)
 	f.Add(skew)
+	// Legacy version-1 frame (pre-epoch): must decode, not error.
+	legacy := append([]byte{}, good...)
+	binary.BigEndian.PutUint16(legacy[4:], checkpointVersionLegacy)
+	f.Add(legacy)
+	// Current frame carrying an ownership epoch.
+	epoched, err := EncodeCheckpoint(Checkpoint{Stream: "live", Epoch: 7})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(epoched)
 	hugeLen := append([]byte{}, good...)
 	binary.BigEndian.PutUint32(hugeLen[6:], 0xFFFFFFFF)
 	f.Add(hugeLen)

@@ -1,0 +1,189 @@
+package supervise
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestStorePathCollisionDisambiguated pins the fix for the sanitization
+// collision: "a/b" and "a_b" both sanitize to "a_b", so without a
+// disambiguating hash two distinct streams would share one checkpoint
+// file and silently overwrite each other's calibration.
+func TestStorePathCollisionDisambiguated(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	collisions := [][2]string{
+		{"a/b", "a_b"},
+		{"tcp://host:5084", "tcp___host_5084"},
+		{"", "_"},
+	}
+	for _, pair := range collisions {
+		if st.Path(pair[0]) == st.Path(pair[1]) {
+			t.Errorf("Path(%q) == Path(%q) == %q: distinct streams share a file",
+				pair[0], pair[1], st.Path(pair[0]))
+		}
+	}
+	// Paths stay deterministic: the same stream always maps to the same
+	// file, or saves could never be found again.
+	if st.Path("a/b") != st.Path("a/b") {
+		t.Error("Path is not deterministic")
+	}
+
+	// End to end: both streams save and load back their own state.
+	for i, stream := range []string{"a/b", "a_b"} {
+		cp := testCheckpoint()
+		cp.Stream = stream
+		cp.StreamTime = testCheckpoint().StreamTime + time.Duration(i)
+		if err := st.Save(cp); err != nil {
+			t.Fatalf("Save(%q): %v", stream, err)
+		}
+	}
+	for i, stream := range []string{"a/b", "a_b"} {
+		got, err := st.Load(stream)
+		if err != nil {
+			t.Fatalf("Load(%q): %v", stream, err)
+		}
+		if got.Stream != stream || got.StreamTime != testCheckpoint().StreamTime+time.Duration(i) {
+			t.Errorf("Load(%q) returned stream %q time %v: files collided",
+				stream, got.Stream, got.StreamTime)
+		}
+	}
+}
+
+// TestStoreSaveFencedCAS exercises the epoch fence: older epochs are
+// rejected with ErrFenced (and observed via OnFenced), equal epochs
+// overwrite (same owner re-saving), newer epochs advance the stored
+// state, and an undecodable stored file never blocks recovery.
+func TestStoreSaveFencedCAS(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type fenced struct {
+		stream      string
+		write, have uint64
+	}
+	var seen []fenced
+	st.OnFenced = func(stream string, writeEpoch, storedEpoch uint64) {
+		seen = append(seen, fenced{stream, writeEpoch, storedEpoch})
+	}
+
+	cp := testCheckpoint()
+	cp.Epoch = 5
+	cp.StreamTime = 50 * time.Second
+	if err := st.Save(cp); err != nil {
+		t.Fatal(err)
+	}
+
+	stale := testCheckpoint()
+	stale.Epoch = 4
+	stale.StreamTime = 40 * time.Second
+	if err := st.Save(stale); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale-epoch save err = %v, want ErrFenced", err)
+	}
+	if len(seen) != 1 || seen[0] != (fenced{cp.Stream, 4, 5}) {
+		t.Fatalf("OnFenced observed %+v, want one {%s 4 5}", seen, cp.Stream)
+	}
+	if got, err := st.Load(cp.Stream); err != nil || got.StreamTime != 50*time.Second {
+		t.Fatalf("fenced write disturbed stored checkpoint: %+v, %v", got, err)
+	}
+
+	// Equal epoch: the same owner re-saving fresher state must succeed.
+	resave := testCheckpoint()
+	resave.Epoch = 5
+	resave.StreamTime = 55 * time.Second
+	if err := st.Save(resave); err != nil {
+		t.Fatalf("equal-epoch save rejected: %v", err)
+	}
+	// Newer epoch: the successor takes over.
+	adopt := testCheckpoint()
+	adopt.Epoch = 6
+	if err := st.Save(adopt); err != nil {
+		t.Fatalf("newer-epoch save rejected: %v", err)
+	}
+	if got, _ := st.Load(cp.Stream); got.Epoch != 6 {
+		t.Fatalf("stored epoch = %d, want 6", got.Epoch)
+	}
+
+	// A stored file too corrupt to decode must not fence anything out:
+	// recovery state beats a fence that cannot be evaluated.
+	if err := os.WriteFile(st.Path(cp.Stream), []byte("RFCP garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	zero := testCheckpoint()
+	zero.Epoch = 0
+	if err := st.Save(zero); err != nil {
+		t.Fatalf("save over corrupt file rejected: %v", err)
+	}
+	if len(seen) != 1 {
+		t.Fatalf("OnFenced fired %d times, want exactly 1", len(seen))
+	}
+}
+
+// TestStoreEpochRoundTrip confirms the epoch rides the on-disk format.
+func TestStoreEpochRoundTrip(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := testCheckpoint()
+	cp.Epoch = 42
+	if err := st.Save(cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load(cp.Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 42 {
+		t.Fatalf("loaded epoch %d, want 42", got.Epoch)
+	}
+}
+
+// TestDecodeCheckpointLegacyVersion: version 1 files written before the
+// epoch existed must keep decoding (with Epoch 0, the never-fenced
+// value) so an upgraded daemon restores pre-upgrade state.
+func TestDecodeCheckpointLegacyVersion(t *testing.T) {
+	want := testCheckpoint() // Epoch 0 → omitted from the payload
+	data, err := EncodeCheckpoint(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.BigEndian.PutUint16(data[4:], checkpointVersionLegacy)
+	got, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatalf("legacy version rejected: %v", err)
+	}
+	if got.Stream != want.Stream || got.FrameCursor != want.FrameCursor || got.Epoch != 0 {
+		t.Fatalf("legacy decode mangled checkpoint: %+v", got)
+	}
+}
+
+// TestStoreSaveSyncsDirectory exercises the directory-fsync path that
+// makes the rename durable: a normal save must traverse it without
+// error, and syncDir itself must surface a failure when the directory
+// is gone (the error a full disk or yanked volume would produce).
+func TestStoreSaveSyncsDirectory(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(testCheckpoint()); err != nil {
+		t.Fatalf("save (with dir fsync) failed: %v", err)
+	}
+	if err := st.syncDir(); err != nil {
+		t.Fatalf("syncDir on live dir: %v", err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.syncDir(); err == nil {
+		t.Fatal("syncDir on removed dir reported success")
+	}
+}

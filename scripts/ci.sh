@@ -46,6 +46,17 @@ go test -race -count=2 \
     -run 'TestEnginePanic|TestEngineSourcePanic|TestEngineCheckpoint|TestEngineDrain|TestCheckpointRestore|TestCheckpointStale|TestSessionBreaker|TestClusterNodeKill|TestClusterHandoff|TestClusterLeave|TestClusterFlight' \
     ./internal/engine ./internal/live ./internal/llrp ./internal/cluster
 
+# Split-brain containment: asymmetric partitions (heartbeats severed,
+# data paths up), zombie owners whose watchdog is suspended, epoch
+# continuity across a coordinator restart, and a handoff whose ack is
+# eaten by a one-way partition. These pin the lease/fencing invariant —
+# no two nodes are ever active writers for one stream — so they run
+# twice under the race detector like the rest of the chaos set.
+echo '== partition chaos tests (-race -count=2)'
+go test -race -count=2 \
+    -run 'TestClusterZombie|TestClusterAsymmetric|TestClusterCoordinatorRestart|TestClusterHandoffOneWay|TestEngineFenced|TestDropWrites|TestDropReads' \
+    ./internal/engine ./internal/cluster ./internal/faultnet
+
 # Short fuzz pass over the checkpoint decoder: corrupt files must decode
 # to typed errors, never panic a daemon at boot. New crashers land in
 # internal/supervise/testdata/fuzz for the workflow to archive.
