@@ -12,6 +12,7 @@ import (
 	"rfipad/internal/cluster"
 	"rfipad/internal/core"
 	"rfipad/internal/engine"
+	"rfipad/internal/experiments/scenario"
 	"rfipad/internal/live"
 	"rfipad/internal/obs"
 	"rfipad/internal/replay"
@@ -52,6 +53,7 @@ type clusterFailover struct {
 
 // clusterReport is the machine-readable BENCH_cluster.json payload.
 type clusterReport struct {
+	Provenance     scenario.Provenance `json:"provenance"`
 	Word           string              `json:"word"`
 	Cores          int                 `json:"cores"`
 	StreamsPerNode int                 `json:"streams_per_node"`
@@ -336,7 +338,8 @@ func runClusterBench(seed int64, word string, maxNodes, streamsPerNode int, path
 	if streamsPerNode <= 0 {
 		streamsPerNode = 4
 	}
-	rep := clusterReport{Word: word, Cores: runtime.NumCPU(), StreamsPerNode: streamsPerNode}
+	rep := clusterReport{Provenance: newProvenance(seed), Word: word,
+		Cores: runtime.NumCPU(), StreamsPerNode: streamsPerNode}
 
 	for n := 1; n <= maxNodes; n++ {
 		pt, err := runClusterScale(seed, word, n, streamsPerNode)

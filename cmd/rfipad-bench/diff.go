@@ -6,6 +6,8 @@ import (
 	"math"
 	"os"
 	"sort"
+
+	"rfipad/internal/experiments/scenario"
 )
 
 // flattenNumbers walks an unmarshalled JSON value and collects every
@@ -44,11 +46,68 @@ func loadNumbers(path string) (map[string]float64, error) {
 	return out, nil
 }
 
-// runDiff prints a numeric field-by-field comparison of two bench JSON
-// reports — the CI before/after view against a committed baseline.
-// Fields present on only one side are listed as added/removed; it never
-// fails the run, it only reports.
-func runDiff(oldPath, newPath string) error {
+// runDiff compares two bench JSON reports — the CI before/after view
+// against a committed baseline. When both inputs are scenario reports
+// it gates cell-by-cell on the accuracy-class fields with the given
+// tolerance and fails on regression; otherwise it prints the generic
+// numeric field-by-field comparison, which never fails the run.
+func runDiff(oldPath, newPath string, accuracyTol float64) error {
+	if scenario.IsReport(oldPath) && scenario.IsReport(newPath) {
+		return runScenarioDiff(oldPath, newPath, accuracyTol)
+	}
+	return runNumericDiff(oldPath, newPath)
+}
+
+// runScenarioDiff is the scenario-aware arm: a per-cell table of the
+// gated fields, then a verdict. Latency columns are informational —
+// machine noise would make a hard latency threshold flaky — while an
+// accuracy, exact-rate, recovery-rate drop or a drop-rate rise beyond
+// tolerance fails the diff.
+func runScenarioDiff(oldPath, newPath string, tol float64) error {
+	oldRep, err := scenario.Load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := scenario.Load(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("--- %s (%s) -> %s (%s), accuracy tolerance %.3f\n",
+		oldPath, oldRep.Provenance.Commit, newPath, newRep.Provenance.Commit, tol)
+	newCells := map[string]scenario.ScenarioResult{}
+	for _, c := range newRep.Cells {
+		newCells[c.Key] = c
+	}
+	fmt.Printf("%-40s %17s %13s %13s %13s\n",
+		"cell", "accuracy", "exact", "recovery", "drop")
+	for _, oc := range oldRep.Cells {
+		nc, ok := newCells[oc.Key]
+		if !ok {
+			fmt.Printf("%-40s (missing from new report)\n", oc.Key)
+			continue
+		}
+		fmt.Printf("%-40s %8.3f->%7.3f %6.2f->%5.2f %6.2f->%5.2f %6.3f->%5.3f\n",
+			oc.Key, oc.Accuracy, nc.Accuracy, oc.ExactRate, nc.ExactRate,
+			oc.RecoveryRate, nc.RecoveryRate, oc.DropRate, nc.DropRate)
+	}
+	regs, notes := scenario.Compare(oldRep, newRep, tol)
+	for _, n := range notes {
+		fmt.Println("note:", n)
+	}
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Println("REGRESSION:", r)
+		}
+		return fmt.Errorf("scenario diff: %d regression(s) beyond tolerance %.3f", len(regs), tol)
+	}
+	fmt.Println("scenario diff: no accuracy regressions")
+	return nil
+}
+
+// runNumericDiff prints a numeric field-by-field comparison. Fields
+// present on only one side are listed as added/removed; it never fails
+// the run, it only reports.
+func runNumericDiff(oldPath, newPath string) error {
 	oldN, err := loadNumbers(oldPath)
 	if err != nil {
 		return err

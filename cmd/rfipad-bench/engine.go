@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rfipad/internal/engine"
+	"rfipad/internal/experiments/scenario"
 	"rfipad/internal/llrp"
 	"rfipad/internal/obs"
 	"rfipad/internal/replay"
@@ -28,6 +29,7 @@ type streamLatency struct {
 // single-stream run on the same captures, steady-state allocation
 // rate, and per-stream event latency.
 type engineReport struct {
+	Provenance        scenario.Provenance      `json:"provenance"`
 	Word              string                   `json:"word"`
 	Streams           int                      `json:"streams"`
 	Workers           int                      `json:"workers"`
@@ -133,6 +135,7 @@ func runEngineBench(seed int64, word string, streams, workers int, path string) 
 	singleRate := float64(perStream) / singleWall.Seconds()
 	multiRate := float64(total) / multiWall.Seconds()
 	rep := engineReport{
+		Provenance:        newProvenance(seed),
 		Word:              word,
 		Streams:           streams,
 		Workers:           workers,

@@ -10,6 +10,7 @@ import (
 
 	"rfipad"
 	"rfipad/internal/core"
+	"rfipad/internal/experiments/scenario"
 	"rfipad/internal/live"
 	"rfipad/internal/llrp"
 	"rfipad/internal/obs"
@@ -51,10 +52,11 @@ type ingestBaseline struct {
 // recorded pre-columnar baseline the speedup target is phrased
 // against.
 type ingestReport struct {
-	Copies         int `json:"copies"`
-	ReadingsPerLap int `json:"readings_per_lap"`
-	Laps           int `json:"laps"`
-	ReadingsTotal  int `json:"readings_total"`
+	Provenance     scenario.Provenance `json:"provenance"`
+	Copies         int                 `json:"copies"`
+	ReadingsPerLap int                 `json:"readings_per_lap"`
+	Laps           int                 `json:"laps"`
+	ReadingsTotal  int                 `json:"readings_total"`
 	// CoreScalarSteady is the per-reading path on the natural-density
 	// steady-state capture — the workload the engine bench feeds.
 	CoreScalarSteady ingestVariant `json:"core_scalar_steady"`
@@ -368,6 +370,7 @@ func runIngestBench(seed int64, copies int, path string) error {
 		WireLimitPerSec:       1e9 / baselineWireLimitNs,
 	}
 	rep := ingestReport{
+		Provenance:       newProvenance(seed),
 		Copies:           copies,
 		ReadingsPerLap:   len(dense),
 		Laps:             laps,

@@ -19,7 +19,11 @@
 //	rfipad-bench -cluster -cluster-nodes 4 -cluster-streams-per-node 4
 //	rfipad-bench -ingest         # single-core columnar vs per-reading ingest (BENCH_ingest.json)
 //	rfipad-bench -ingest -ingest-copies 32
+//	rfipad-bench -scenarios      # scenario matrix, smoke preset (BENCH_scenarios.json)
+//	rfipad-bench -scenarios-full # scenario matrix, every axis populated
+//	rfipad-bench -scenarios -scenario-preset full
 //	rfipad-bench -diff OLD.json NEW.json   # field-by-field comparison of two reports
+//	rfipad-bench -diff OLD.json NEW.json -diff-accuracy-tol 0.02   # scenario reports: gated cell diff
 //	rfipad-bench -trials 10 -groups 3 -seed 7
 package main
 
@@ -29,10 +33,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"rfipad/internal/experiments"
+	"rfipad/internal/experiments/scenario"
 )
 
 func main() {
@@ -75,7 +81,14 @@ func run() int {
 		ingestJSON   = flag.String("ingest-json", "BENCH_ingest.json", "output path for the ingest bench report")
 		ingestCopies = flag.Int("ingest-copies", 16, "workload density: interleaved replicas of the quiet capture")
 
-		diff = flag.Bool("diff", false, "compare two bench JSON reports: rfipad-bench -diff OLD.json NEW.json")
+		scenarios     = flag.Bool("scenarios", false, "run the scenario matrix through the real pipeline (smoke preset)")
+		scenariosFull = flag.Bool("scenarios-full", false, "run the full scenario matrix (every axis populated)")
+		scenarioName  = flag.String("scenario-preset", "", "scenario preset to run (overrides -scenarios/-scenarios-full selection)")
+		scenariosJSON = flag.String("scenarios-json", "BENCH_scenarios.json", "output path for the scenario matrix report")
+		flightDir     = flag.String("flight-dir", os.Getenv("RFIPAD_FLIGHT_DIR"), "flight-recorder directory for anomalous scenario trials (default $RFIPAD_FLIGHT_DIR)")
+
+		diff    = flag.Bool("diff", false, "compare two bench JSON reports: rfipad-bench -diff OLD.json NEW.json")
+		diffTol = flag.Float64("diff-accuracy-tol", 0.05, "per-cell accuracy tolerance when -diff compares two scenario reports")
 	)
 	flag.Parse()
 
@@ -96,13 +109,35 @@ func run() int {
 		return usageError("-pipeline-word must be non-empty")
 	case *ingestCopies <= 0:
 		return usageError("-ingest-copies must be positive (got %d)", *ingestCopies)
+	case *diffTol < 0:
+		return usageError("-diff-accuracy-tol must be non-negative (got %g)", *diffTol)
 	}
 
 	if *diff {
 		if flag.NArg() != 2 {
 			return usageError("-diff takes exactly two report paths (got %d)", flag.NArg())
 		}
-		if err := runDiff(flag.Arg(0), flag.Arg(1)); err != nil {
+		if err := runDiff(flag.Arg(0), flag.Arg(1), *diffTol); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	if *scenarios || *scenariosFull || *scenarioName != "" {
+		preset := "smoke"
+		if *scenariosFull {
+			preset = "full"
+		}
+		if *scenarioName != "" {
+			preset = *scenarioName
+		}
+		cfg, ok := scenario.Preset(preset)
+		if !ok {
+			return usageError("unknown scenario preset %q (registered: %s)",
+				preset, scenarioPresetNames())
+		}
+		if err := runScenarioBench(cfg, *seed, *parallel, *flightDir, *scenariosJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
@@ -169,8 +204,12 @@ func run() int {
 		start := time.Now()
 		res, ok := experiments.Run(*name, cfg)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *name)
-			return 2
+			names := make([]string, 0, 32)
+			for _, e := range experiments.List() {
+				names = append(names, e.Name)
+			}
+			return usageError("unknown experiment %q (registered: %s)",
+				*name, strings.Join(names, ", "))
 		}
 		fmt.Printf("=== %s (%v)\n%s\n", res.Name(), time.Since(start).Round(time.Millisecond), res)
 		return 0

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rfipad/internal/experiments/scenario"
+)
+
+// scenarioPresetNames lists the registered matrices for usage errors.
+func scenarioPresetNames() string {
+	names := make([]string, 0, 2)
+	for _, p := range scenario.Presets() {
+		names = append(names, p.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// runScenarioBench expands and runs one scenario matrix through the
+// real pipeline and writes the schema-versioned report to path.
+func runScenarioBench(cfg scenario.Config, seed int64, parallel int, flightDir, path string) error {
+	cfg.Seed = seed
+	if parallel > 0 {
+		cfg.Parallelism = parallel
+	}
+	cfg.FlightDir = flightDir
+
+	start := time.Now()
+	cells, err := scenario.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("scenario bench: %w", err)
+	}
+	rep := scenario.NewReport(cfg, newProvenance(seed), cells)
+	if err := rep.WriteFile(path); err != nil {
+		return err
+	}
+
+	wall := time.Since(start).Round(time.Millisecond)
+	trials, anomalies := 0, 0
+	fmt.Printf("=== scenarios %q (%v)\n", cfg.Name, wall)
+	fmt.Printf("%-40s %8s %7s %9s %7s %9s\n",
+		"cell", "accuracy", "exact", "recovery", "drop", "p95 ms")
+	for _, c := range cells {
+		trials += len(c.TrialResults)
+		anomalies += c.Anomalies
+		fmt.Printf("%-40s %8.3f %7.2f %9.2f %7.3f %9.2f\n",
+			c.Key, c.Accuracy, c.ExactRate, c.RecoveryRate, c.DropRate, c.LatencyP95Ms)
+	}
+	fmt.Printf("%d cells, %d trials, %d anomalous; wrote %s\n",
+		len(cells), trials, anomalies, path)
+	if anomalies > 0 && flightDir != "" {
+		fmt.Printf("anomalous trials dumped to %s/flight.jsonl\n", flightDir)
+	}
+	return nil
+}

@@ -97,22 +97,10 @@ type condition struct {
 	mac *epc.Config
 }
 
-// groupOutcome is one deployment group's tally.
-type groupOutcome struct {
-	tally     metrics.MotionTally
-	confusion *metrics.Confusion
-	// strokeDurations collects ground-truth durations of correctly
-	// recognized strokes (Fig. 21).
-	strokeDurations map[stroke.Motion][]time.Duration
-}
-
 // runGroup executes Trials repetitions of every motion on one fresh
-// deployment.
-func runGroup(cfg Config, cond condition, group int) groupOutcome {
-	out := groupOutcome{
-		confusion:       metrics.NewConfusion(),
-		strokeDurations: map[stroke.Motion][]time.Duration{},
-	}
+// deployment and folds them into one Aggregate.
+func runGroup(cfg Config, cond condition, group int) *Aggregate {
+	out := NewAggregate()
 	seed := cfg.Seed + int64(group)*1_000_003
 	rng := rand.New(rand.NewSource(seed))
 	dep := scene.New(cond.scene, rng)
@@ -125,8 +113,7 @@ func runGroup(cfg Config, cond condition, group int) groupOutcome {
 	if err != nil {
 		// A deployment that cannot calibrate counts every trial as
 		// missed; this cannot happen with sane configurations.
-		out.tally.Trials = len(cond.motions) * cfg.Trials
-		out.tally.Missed = out.tally.Trials
+		out.MissedAll(len(cond.motions) * cfg.Trials)
 		return out
 	}
 	if cond.suppression == core.SuppressNone {
@@ -160,25 +147,14 @@ func runGroup(cfg Config, cond condition, group int) groupOutcome {
 			readings := system.RunScript(script)
 			results := pipeline.RecognizeStream(readings, cond.segmenter, 0, script.Duration()+time.Second)
 
-			out.tally.Trials++
-			switch {
-			case len(results) == 0 || !results[0].Result.Ok:
-				out.tally.Missed++
-				out.confusion.Observe(m.String(), "(none)")
-			default:
-				got := results[0].Result.Motion
-				out.confusion.Observe(m.String(), got.String())
-				if got == m {
-					out.tally.Correct++
-					out.strokeDurations[m] = append(out.strokeDurations[m],
-						script.Segments[0].End-script.Segments[0].Start)
-				} else {
-					out.tally.Wrong++
-				}
-				if len(results) > 1 {
-					out.tally.Spurious += len(results) - 1
-				}
+			trial := Trial{Motion: m}
+			if len(results) > 0 && results[0].Result.Ok {
+				trial.Detected = true
+				trial.Predicted = results[0].Result.Motion
+				trial.Spurious = len(results) - 1
+				trial.Duration = script.Segments[0].End - script.Segments[0].Start
 			}
+			out.Observe(trial)
 		}
 	}
 	return out
@@ -186,8 +162,8 @@ func runGroup(cfg Config, cond condition, group int) groupOutcome {
 
 // runCondition fans groups out over the configured parallelism and
 // merges their outcomes.
-func runCondition(cfg Config, cond condition) (metrics.MotionTally, []groupOutcome) {
-	outcomes := make([]groupOutcome, cfg.Groups)
+func runCondition(cfg Config, cond condition) (metrics.MotionTally, []*Aggregate) {
+	outcomes := make([]*Aggregate, cfg.Groups)
 	sem := make(chan struct{}, cfg.Parallelism)
 	var wg sync.WaitGroup
 	for g := 0; g < cfg.Groups; g++ {
@@ -202,7 +178,7 @@ func runCondition(cfg Config, cond condition) (metrics.MotionTally, []groupOutco
 	wg.Wait()
 	var total metrics.MotionTally
 	for _, o := range outcomes {
-		total.Add(o.tally)
+		total.Add(o.Tally)
 	}
 	return total, outcomes
 }
@@ -224,7 +200,16 @@ type runner struct {
 
 var registry []runner
 
+// register adds an experiment at init time. Duplicate names panic:
+// a silently shadowed experiment would make `-run` ambiguous and the
+// registry test meaningless, and the collision is always a programming
+// error caught on the first test run.
 func register(name, desc string, run func(Config) Result) {
+	for _, r := range registry {
+		if r.name == name {
+			panic(fmt.Sprintf("experiments: duplicate registration of %q", name))
+		}
+	}
 	registry = append(registry, runner{name: name, desc: desc, run: run})
 }
 

@@ -27,19 +27,11 @@ func init() {
 	})
 }
 
-// letterTrialOutcome summarizes one written-letter capture.
-type letterTrialOutcome struct {
-	seg           metrics.SegmentationTally
-	strokesRight  int
-	strokesTotal  int
-	letterCorrect bool
-	letterOK      bool
-}
-
 // runLetterTrial writes the letter once and scores segmentation,
-// stroke recognition, and letter deduction against the ground truth.
-func runLetterTrial(system *sim.System, pipeline *core.Pipeline, ch rune, user hand.User, seed int64) (letterTrialOutcome, error) {
-	var out letterTrialOutcome
+// stroke recognition, and letter deduction against the ground truth,
+// producing the shared LetterTrial record.
+func runLetterTrial(system *sim.System, pipeline *core.Pipeline, ch rune, user hand.User, seed int64) (LetterTrial, error) {
+	var out LetterTrial
 	specs, err := sim.LetterSpecs(ch)
 	if err != nil {
 		return out, err
@@ -49,8 +41,8 @@ func runLetterTrial(system *sim.System, pipeline *core.Pipeline, ch rune, user h
 	readings := system.RunScript(script)
 	results := pipeline.RecognizeStream(readings, nil, 0, script.Duration()+time.Second)
 
-	out.strokesTotal = len(script.Segments)
-	out.seg.Strokes = len(script.Segments)
+	out.StrokesTotal = len(script.Segments)
+	out.Seg.Strokes = len(script.Segments)
 
 	overlap := func(a, b core.Span) time.Duration {
 		lo := a.Start
@@ -80,23 +72,23 @@ func runLetterTrial(system *sim.System, pipeline *core.Pipeline, ch rune, user h
 		if best < 0 {
 			// No overlap with any stroke: detected inside a
 			// repositioning period (insertion).
-			out.seg.Insertions++
+			out.Seg.Insertions++
 			continue
 		}
 		truth := script.Segments[best]
 		if !matched[best] {
 			matched[best] = true
-			out.seg.Detected++
+			out.Seg.Detected++
 			// Underfill: the detection covers too little of the stroke.
 			if float64(bestOv) < 0.7*float64(truth.End-truth.Start) {
-				out.seg.Underfills++
+				out.Seg.Underfills++
 			}
 			if r.Result.Ok && r.Result.Motion == truth.Motion {
-				out.strokesRight++
+				out.StrokesRight++
 			}
 		} else {
 			// A second detection on the same stroke is spurious.
-			out.seg.Insertions++
+			out.Seg.Insertions++
 		}
 	}
 
@@ -107,8 +99,8 @@ func runLetterTrial(system *sim.System, pipeline *core.Pipeline, ch rune, user h
 		}
 	}
 	got, ok := core.ComposeLetter(obs)
-	out.letterOK = ok
-	out.letterCorrect = ok && got == ch
+	out.LetterOK = ok
+	out.LetterCorrect = ok && got == ch
 	return out, nil
 }
 
@@ -160,10 +152,10 @@ func RunFig22(cfg Config) Fig22Result {
 			if err != nil {
 				continue
 			}
-			seg.Add(out.seg)
-			strokesRight += out.strokesRight
-			strokesTotal += out.strokesTotal
-			if out.letterCorrect {
+			seg.Add(out.Seg)
+			strokesRight += out.StrokesRight
+			strokesTotal += out.StrokesTotal
+			if out.LetterCorrect {
 				lettersRight++
 			}
 		}
@@ -232,7 +224,7 @@ func RunFig23(cfg Config) Fig23Result {
 			if err != nil {
 				continue
 			}
-			if out.letterCorrect {
+			if out.LetterCorrect {
 				right++
 			}
 		}

@@ -88,7 +88,7 @@ func RunTable1(cfg Config) Table1Result {
 		_, outcomes := runCondition(cfg, condition{scene: scene.Config{Placement: pl}})
 		var accs []float64
 		for _, o := range outcomes {
-			accs = append(accs, o.tally.Accuracy())
+			accs = append(accs, o.Tally.Accuracy())
 		}
 		if pl == scene.LOS {
 			res.LOS = accs
@@ -314,7 +314,7 @@ func RunFig21(cfg Config) Fig21Result {
 	perMotion := map[stroke.Motion][]float64{}
 	var all []float64
 	for _, o := range outcomes {
-		for m, ds := range o.strokeDurations {
+		for m, ds := range o.Durations {
 			for _, d := range ds {
 				perMotion[m] = append(perMotion[m], d.Seconds())
 				all = append(all, d.Seconds())
@@ -418,15 +418,9 @@ func (r ConfusionResult) String() string {
 func RunConfusion(cfg Config) ConfusionResult {
 	cfg.fill()
 	_, outcomes := runCondition(cfg, condition{})
-	matrix := metrics.NewConfusion()
+	merged := NewAggregate()
 	for _, o := range outcomes {
-		for _, truth := range o.confusion.Labels() {
-			for _, pred := range o.confusion.Labels() {
-				for k := 0; k < o.confusion.Count(truth, pred); k++ {
-					matrix.Observe(truth, pred)
-				}
-			}
-		}
+		merged.Merge(o)
 	}
-	return ConfusionResult{Matrix: matrix, Overall: matrix.Accuracy()}
+	return ConfusionResult{Matrix: merged.Confusion, Overall: merged.Confusion.Accuracy()}
 }

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	saved := registry
+	defer func() {
+		registry = saved
+		if r := recover(); r == nil {
+			t.Fatal("registering a duplicate name should panic")
+		} else if s, ok := r.(string); !ok || !strings.Contains(s, "table1") {
+			t.Fatalf("panic message should name the duplicate, got %v", r)
+		}
+	}()
+	register("table1", "shadowing duplicate", nil)
+}
+
+func TestConfigFillDefaults(t *testing.T) {
+	var c Config
+	c.fill()
+	d := DefaultConfig()
+	if c.Trials != d.Trials || c.Groups != d.Groups {
+		t.Errorf("zero Config filled to Trials=%d Groups=%d, want defaults %d/%d",
+			c.Trials, c.Groups, d.Trials, d.Groups)
+	}
+	if c.Parallelism != 1 {
+		t.Errorf("zero Parallelism fills to serial (1), got %d", c.Parallelism)
+	}
+	if c.CalibrationTime != d.CalibrationTime {
+		t.Errorf("CalibrationTime = %v, want %v", c.CalibrationTime, d.CalibrationTime)
+	}
+
+	// Negative values are treated like zero, not passed through.
+	neg := Config{Trials: -3, Groups: -1, Parallelism: -2, CalibrationTime: -time.Second}
+	neg.fill()
+	if neg.Trials != d.Trials || neg.Groups != d.Groups || neg.Parallelism != 1 || neg.CalibrationTime != d.CalibrationTime {
+		t.Errorf("negative Config filled to %+v", neg)
+	}
+
+	// Explicit settings survive fill untouched.
+	set := Config{Seed: 9, Trials: 7, Groups: 5, Parallelism: 3, CalibrationTime: time.Minute}
+	set.fill()
+	if set != (Config{Seed: 9, Trials: 7, Groups: 5, Parallelism: 3, CalibrationTime: time.Minute}) {
+		t.Errorf("non-zero Config mutated by fill: %+v", set)
+	}
+}
+
+func TestListOrderingStable(t *testing.T) {
+	first := List()
+	if len(first) == 0 {
+		t.Fatal("empty registry")
+	}
+	if !sort.SliceIsSorted(first, func(i, j int) bool { return first[i].Name < first[j].Name }) {
+		t.Error("List() is not sorted by name")
+	}
+	second := List()
+	if len(second) != len(first) {
+		t.Fatalf("List() size changed between calls: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("List()[%d] unstable: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+}
+
+// TestRunDeterministicAcrossParallelism pins the property the whole
+// bench suite relies on: trial seeds derive from (group, motion, trial)
+// indices alone, so the rendered tables are byte-identical no matter
+// how groups are scheduled across workers.
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	for _, name := range []string{"table1", "confusion", "fig21"} {
+		serial := tiny()
+		serial.Parallelism = 1
+		wide := tiny()
+		wide.Parallelism = 4
+
+		a, ok := Run(name, serial)
+		if !ok {
+			t.Fatalf("experiment %q not registered", name)
+		}
+		b, _ := Run(name, wide)
+		if a.String() != b.String() {
+			t.Errorf("%s: Parallelism=1 and Parallelism=4 disagree:\n--- serial\n%s\n--- parallel\n%s",
+				name, a, b)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package scenario is the declarative experiment-matrix harness: a
+// Config names up to five axes (users × hand speeds × fault profiles ×
+// grid degradation × engine load), expands into a trial matrix, and
+// runs every trial through the real streaming stack — synthesized
+// capture → llrp server → fault-injected link → reconnecting session →
+// sharded engine — rather than calling the simulator directly. Each
+// cell aggregates into a typed ScenarioResult (accuracy, latency,
+// recovery rate, drop rate) with a per-trial telemetry snapshot, so
+// every accuracy number ships with the counters that explain it and a
+// regression shows up cell-by-cell in `rfipad-bench -diff`.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"rfipad/internal/faultnet"
+	"rfipad/internal/hand"
+)
+
+// FaultProfile names one link-fault regime applied between the reader
+// daemon and the session. Seed and Observer of Net are overridden per
+// trial so every cell gets a reproducible, per-trial fault schedule.
+type FaultProfile struct {
+	Name string
+	Net  faultnet.Config
+}
+
+// NoFault is a transparent link.
+func NoFault() FaultProfile { return FaultProfile{Name: "none"} }
+
+// FlakyLink force-drops every connection after 32 KiB and fragments
+// and duplicates frames — the end-to-end chaos regime of the live
+// tests, where recognition only succeeds if resume and duplicate
+// tolerance work.
+func FlakyLink() FaultProfile {
+	return FaultProfile{Name: "flaky", Net: faultnet.Config{
+		DropAfterBytes: 32 * 1024,
+		DupFrameProb:   0.03,
+		PartialWrites:  true,
+	}}
+}
+
+// NoisyLink keeps connections up but jitters, duplicates, and reorders
+// frames — the degraded-but-connected regime.
+func NoisyLink() FaultProfile {
+	return FaultProfile{Name: "noisy", Net: faultnet.Config{
+		Latency:          200 * time.Microsecond,
+		LatencyJitter:    200 * time.Microsecond,
+		DupFrameProb:     0.05,
+		ReorderFrameProb: 0.02,
+		PartialWrites:    true,
+	}}
+}
+
+// GridDegradation silences tags and thins reads before the capture is
+// served — the sparse-read regime of a damaged or occluded tag array.
+// DeadTags removes every reading of that many (per-trial random) tags;
+// DropRate discards each remaining reading with that probability.
+type GridDegradation struct {
+	Name     string
+	DeadTags int
+	DropRate float64
+}
+
+// FullGrid is the undamaged array.
+func FullGrid() GridDegradation { return GridDegradation{Name: "full"} }
+
+// Degraded silences dead tags and drops the given fraction of the
+// remaining reads. Calibration interpolates dead cells only while the
+// dead fraction stays under its tolerance (¼ of the array), so keep
+// dead ≤ 6 on the default 5×5 grid.
+func Degraded(dead int, drop float64) GridDegradation {
+	return GridDegradation{
+		Name:     fmt.Sprintf("dead%d-drop%d", dead, int(drop*100+0.5)),
+		DeadTags: dead,
+		DropRate: drop,
+	}
+}
+
+// Config declares one scenario matrix. Every axis is optional: a nil
+// axis collapses to its single neutral element, so the zero Config is
+// one pristine cell.
+type Config struct {
+	// Name labels the matrix in reports ("smoke", "full", ...).
+	Name string
+	// Word is the air-written text every trial recognizes (default "HI").
+	Word string
+	// Trials is the number of repetitions per cell (default 2).
+	Trials int
+	// Seed drives every random process; equal seeds reproduce the
+	// whole matrix exactly (default 1).
+	Seed int64
+	// Parallelism bounds concurrently running trials; each trial owns
+	// its server, session, engine, and metrics registry, so trials are
+	// safely parallel (default 2).
+	Parallelism int
+	// CalibDuration is the static-prelude length synthesized and
+	// expected by calibration (default 3 s of stream time).
+	CalibDuration time.Duration
+	// ReplaySpeed is the capture replay factor relative to real time
+	// (default 40).
+	ReplaySpeed float64
+	// EngineWorkers is the per-trial engine shard count (default 2).
+	EngineWorkers int
+	// AccuracyFloor marks a trial anomalous (and flight-dumps it) when
+	// its letter accuracy falls below the floor (default 0.5).
+	AccuracyFloor float64
+	// FlightDir, when non-empty, opens a flight recorder there:
+	// anomalous trials (accuracy below floor, panic, breaker open)
+	// leave dumps in flight.jsonl for post-mortem.
+	FlightDir string
+
+	// Users is the volunteer axis (default: the median volunteer).
+	Users []hand.User
+	// HandSpeeds is the speed-multiplier axis applied to each user's
+	// stroke speed (default: 1.0).
+	HandSpeeds []float64
+	// Faults is the link-fault axis (default: NoFault).
+	Faults []FaultProfile
+	// Grids is the tag-array degradation axis (default: FullGrid).
+	Grids []GridDegradation
+	// EngineLoads is the background-stream axis: each trial's engine
+	// additionally drains this many paced background streams (default: 0).
+	EngineLoads []int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Word == "" {
+		c.Word = "HI"
+	}
+	if c.Trials <= 0 {
+		c.Trials = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 2
+	}
+	if c.CalibDuration <= 0 {
+		c.CalibDuration = 3 * time.Second
+	}
+	if c.ReplaySpeed <= 0 {
+		c.ReplaySpeed = 40
+	}
+	if c.EngineWorkers <= 0 {
+		c.EngineWorkers = 2
+	}
+	if c.AccuracyFloor <= 0 {
+		c.AccuracyFloor = 0.5
+	}
+	if len(c.Users) == 0 {
+		c.Users = []hand.User{hand.DefaultUser()}
+	}
+	if len(c.HandSpeeds) == 0 {
+		c.HandSpeeds = []float64{1}
+	}
+	if len(c.Faults) == 0 {
+		c.Faults = []FaultProfile{NoFault()}
+	}
+	if len(c.Grids) == 0 {
+		c.Grids = []GridDegradation{FullGrid()}
+	}
+	if len(c.EngineLoads) == 0 {
+		c.EngineLoads = []int{0}
+	}
+	return c
+}
+
+// Cell is one matrix cell's axis labels.
+type Cell struct {
+	User       string  `json:"user"`
+	HandSpeed  float64 `json:"hand_speed"`
+	Fault      string  `json:"fault"`
+	Grid       string  `json:"grid"`
+	EngineLoad int     `json:"engine_load"`
+}
+
+// Key is the cell's stable identifier — the join key `-diff` compares
+// reports on.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s/x%.2f/%s/%s/load%d",
+		c.User, c.HandSpeed, c.Fault, c.Grid, c.EngineLoad)
+}
+
+// Matrix expands the config into its cells in deterministic nested
+// axis order (users, speeds, faults, grids, loads).
+func (c Config) Matrix() []Cell {
+	c = c.withDefaults()
+	var out []Cell
+	for _, u := range c.Users {
+		for _, sp := range c.HandSpeeds {
+			for _, f := range c.Faults {
+				for _, g := range c.Grids {
+					for _, l := range c.EngineLoads {
+						out = append(out, Cell{
+							User: u.Name, HandSpeed: sp, Fault: f.Name,
+							Grid: g.Name, EngineLoad: l,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Smoke is the CI matrix: 3 axes (hand speed × fault × grid), 8 cells,
+// 2 trials each — small enough for every push, wide enough that an
+// accuracy regression under chaos or a degraded grid is caught.
+func Smoke() Config {
+	return Config{
+		Name:        "smoke",
+		Word:        "HI",
+		Trials:      2,
+		Parallelism: 4,
+		HandSpeeds:  []float64{1, 1.6},
+		Faults:      []FaultProfile{NoFault(), FlakyLink()},
+		Grids:       []GridDegradation{FullGrid(), Degraded(3, 0.2)},
+	}
+}
+
+// Full is the nightly matrix: every axis populated, including the
+// paper's fast volunteer and background engine load.
+func Full() Config {
+	vols := hand.Volunteers()
+	return Config{
+		Name:        "full",
+		Word:        "HELLO",
+		Trials:      3,
+		Parallelism: 4,
+		Users:       []hand.User{hand.DefaultUser(), vols[5]},
+		HandSpeeds:  []float64{0.7, 1, 1.6},
+		Faults:      []FaultProfile{NoFault(), FlakyLink(), NoisyLink()},
+		Grids:       []GridDegradation{FullGrid(), Degraded(3, 0), Degraded(5, 0.3)},
+		EngineLoads: []int{0, 4},
+	}
+}
+
+// Presets returns the named matrices rfipad-bench can run.
+func Presets() []Config { return []Config{Smoke(), Full()} }
+
+// Preset looks a matrix up by name.
+func Preset(name string) (Config, bool) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Config{}, false
+}

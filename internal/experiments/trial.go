@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"time"
+
+	"rfipad/internal/metrics"
+	"rfipad/internal/stroke"
+)
+
+// Trial is one motion repetition's typed outcome — the unit every
+// runner in this package produces before anything is averaged. Keeping
+// the per-trial record explicit (instead of bumping tallies inline)
+// gives the scenario harness (internal/experiments/scenario) and the
+// paper-table runners one shared vocabulary: a trial either detected
+// the motion or missed it, possibly with spurious extra detections.
+type Trial struct {
+	// Motion is the ground-truth motion performed.
+	Motion stroke.Motion
+	// Predicted is the recognized motion (meaningful when Detected).
+	Predicted stroke.Motion
+	// Detected reports whether the pipeline produced any detection.
+	Detected bool
+	// Spurious counts detections beyond the first.
+	Spurious int
+	// Duration is the ground-truth stroke duration (recorded for
+	// Fig. 21's duration histogram when the trial is correct).
+	Duration time.Duration
+}
+
+// Correct reports whether the detection matched the ground truth.
+func (t Trial) Correct() bool { return t.Detected && t.Predicted == t.Motion }
+
+// Aggregate accumulates Trials into the tallies the paper-style
+// tables render: the motion tally, the confusion matrix, and the
+// ground-truth durations of correctly recognized strokes.
+type Aggregate struct {
+	Tally     metrics.MotionTally
+	Confusion *metrics.Confusion
+	// Durations maps each motion to the ground-truth durations of its
+	// correctly recognized trials (Fig. 21).
+	Durations map[stroke.Motion][]time.Duration
+}
+
+// NewAggregate returns an empty accumulator.
+func NewAggregate() *Aggregate {
+	return &Aggregate{
+		Confusion: metrics.NewConfusion(),
+		Durations: map[stroke.Motion][]time.Duration{},
+	}
+}
+
+// Observe folds one trial in.
+func (a *Aggregate) Observe(t Trial) {
+	a.Tally.Trials++
+	if !t.Detected {
+		a.Tally.Missed++
+		a.Confusion.Observe(t.Motion.String(), "(none)")
+		return
+	}
+	a.Confusion.Observe(t.Motion.String(), t.Predicted.String())
+	if t.Predicted == t.Motion {
+		a.Tally.Correct++
+		a.Durations[t.Motion] = append(a.Durations[t.Motion], t.Duration)
+	} else {
+		a.Tally.Wrong++
+	}
+	a.Tally.Spurious += t.Spurious
+}
+
+// MissedAll counts n trials as missed without confusion entries — the
+// outcome of a deployment that never calibrated.
+func (a *Aggregate) MissedAll(n int) {
+	a.Tally.Trials += n
+	a.Tally.Missed += n
+}
+
+// Merge folds another aggregate in (used when several deployment
+// groups report into one table cell).
+func (a *Aggregate) Merge(o *Aggregate) {
+	a.Tally.Add(o.Tally)
+	for _, truth := range o.Confusion.Labels() {
+		for _, pred := range o.Confusion.Labels() {
+			for k := 0; k < o.Confusion.Count(truth, pred); k++ {
+				a.Confusion.Observe(truth, pred)
+			}
+		}
+	}
+	for m, ds := range o.Durations {
+		a.Durations[m] = append(a.Durations[m], ds...)
+	}
+}
+
+// LetterTrial is one written-letter capture's outcome (Fig. 22/23):
+// segmentation quality, per-stroke recognition, and letter deduction.
+type LetterTrial struct {
+	Seg           metrics.SegmentationTally
+	StrokesRight  int
+	StrokesTotal  int
+	LetterCorrect bool
+	LetterOK      bool
+}

@@ -145,7 +145,14 @@ func (s *Source) Seek(resumeFrom time.Duration) {
 // adjustment gap between letters so the online recognizer can close
 // each one. The result is sorted by timestamp.
 func Synthesize(seed int64, word string, prelude time.Duration) ([]llrp.TagReport, error) {
-	sim, err := rfipad.NewSimulator(rfipad.SimulatorConfig{Seed: seed})
+	return SynthesizeUser(seed, word, prelude, rfipad.User{})
+}
+
+// SynthesizeUser is Synthesize with an explicit writer profile — the
+// scenario harness sweeps hand speed and per-user diversity through
+// it. The zero User selects the median volunteer.
+func SynthesizeUser(seed int64, word string, prelude time.Duration, writer rfipad.User) ([]llrp.TagReport, error) {
+	sim, err := rfipad.NewSimulator(rfipad.SimulatorConfig{Seed: seed, Writer: writer})
 	if err != nil {
 		return nil, err
 	}

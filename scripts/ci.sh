@@ -102,4 +102,29 @@ for name in engine cluster ingest; do
     fi
 done
 
+# Scenario-matrix accuracy gate: rerun the smoke matrix through the
+# real pipeline (llrp server -> faultnet -> session -> engine) and diff
+# it cell-by-cell against the committed baseline. Unlike the bench
+# diffs above, this one is HARD: an accuracy/exact/recovery drop or a
+# drop-rate rise beyond tolerance exits nonzero. The committed
+# BENCH_scenarios.json is the floor of the observed run-to-run spread
+# (flaky-link cells land at either 0.75 or 1.0 depending on where the
+# reconnect cuts a letter), so tolerance 0.1 only has to absorb
+# drop-rate jitter (~±0.006), not the bimodal accuracy swing.
+echo '== scenario matrix accuracy gate (smoke preset)'
+go run ./cmd/rfipad-bench -scenarios -scenarios-json BENCH_scenarios.ci.json
+go run ./cmd/rfipad-bench -diff -diff-accuracy-tol 0.1 BENCH_scenarios.json BENCH_scenarios.ci.json
+
+# Self-test the gate: inject an accuracy collapse into the fresh report
+# and assert the diff flags it. The no-fault/full-grid cells are pinned
+# at accuracy 1 in every run, so the sed always has a target; if the
+# tampered diff passes, the gate itself has regressed.
+sed 's/"accuracy": 1,/"accuracy": 0.1,/' BENCH_scenarios.ci.json > BENCH_scenarios.tampered.json
+if go run ./cmd/rfipad-bench -diff -diff-accuracy-tol 0.1 BENCH_scenarios.json BENCH_scenarios.tampered.json >/dev/null 2>&1; then
+    echo 'FAIL: scenario diff did not flag an injected accuracy regression'
+    exit 1
+fi
+echo '== scenario gate self-test: injected regression caught'
+rm -f BENCH_scenarios.tampered.json
+
 echo 'CI OK'
